@@ -1,0 +1,252 @@
+//! PER (Predict and Relay) adapted to landmark destinations (paper §II-C,
+//! §V-A.1).
+//!
+//! "In PER, a node's past mobility and sojourn among different landmarks
+//! are summarized to … predict a node's probability to visit a landmark
+//! before a certain deadline." We model each node as a time-homogeneous
+//! semi-Markov process: an order-1 transition matrix over landmarks plus
+//! the node's mean time per hop (sojourn + travel). The utility of a node
+//! for a packet is the first-passage probability of reaching the packet's
+//! destination landmark within its remaining TTL.
+//!
+//! Because this probability changes every time the node moves, PER
+//! re-ranks carriers constantly — which is exactly why the paper measures
+//! it with the highest forwarding cost (§V-A.2).
+
+use crate::common::UtilityModel;
+use dtnflow_core::ids::{LandmarkId, NodeId};
+use dtnflow_core::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Cap on the number of DP steps (hops) expanded per query.
+pub const MAX_STEPS: usize = 24;
+
+/// Per-node semi-Markov mobility summary.
+struct NodeModel {
+    /// Transit counts `from -> (to -> count)`.
+    transitions: HashMap<u16, HashMap<u16, u32>>,
+    current: Option<LandmarkId>,
+    last_arrival: Option<SimTime>,
+    /// Sum and count of observed hop times (arrival to next arrival).
+    hop_time_sum: u64,
+    hop_count: u64,
+    /// Memoized first-passage curves: dst -> cumulative hit probability
+    /// after `s+1` hops. Cleared whenever the node moves.
+    cache: HashMap<u16, Vec<f64>>,
+}
+
+impl NodeModel {
+    fn new() -> Self {
+        NodeModel {
+            transitions: HashMap::new(),
+            current: None,
+            last_arrival: None,
+            hop_time_sum: 0,
+            hop_count: 0,
+            cache: HashMap::new(),
+        }
+    }
+
+    fn mean_hop_secs(&self) -> f64 {
+        if self.hop_count == 0 {
+            return f64::INFINITY;
+        }
+        self.hop_time_sum as f64 / self.hop_count as f64
+    }
+
+    /// First-passage cumulative probabilities: entry `s` is the
+    /// probability of having visited `dst` within `s+1` hops from the
+    /// current landmark.
+    fn first_passage(&mut self, dst: LandmarkId) -> &[f64] {
+        if !self.cache.contains_key(&dst.0) {
+            let curve = self.compute_first_passage(dst);
+            self.cache.insert(dst.0, curve);
+        }
+        &self.cache[&dst.0]
+    }
+
+    fn compute_first_passage(&self, dst: LandmarkId) -> Vec<f64> {
+        let Some(at) = self.current else {
+            return vec![0.0; MAX_STEPS];
+        };
+        // Sparse distribution over landmarks, dst absorbing.
+        let mut dist: HashMap<u16, f64> = HashMap::new();
+        dist.insert(at.0, 1.0);
+        let mut absorbed = 0.0;
+        let mut curve = Vec::with_capacity(MAX_STEPS);
+        for _ in 0..MAX_STEPS {
+            let mut next: HashMap<u16, f64> = HashMap::new();
+            for (&from, &mass) in &dist {
+                let Some(outs) = self.transitions.get(&from) else {
+                    continue; // unknown outs: the walk stalls here
+                };
+                let total: u32 = outs.values().sum();
+                if total == 0 {
+                    continue;
+                }
+                for (&to, &cnt) in outs {
+                    let m = mass * cnt as f64 / total as f64;
+                    if to == dst.0 {
+                        absorbed += m;
+                    } else {
+                        *next.entry(to).or_insert(0.0) += m;
+                    }
+                }
+            }
+            dist = next;
+            curve.push(absorbed);
+        }
+        curve
+    }
+}
+
+/// The PER utility model.
+pub struct Per {
+    nodes: Vec<NodeModel>,
+}
+
+impl Per {
+    pub fn new(num_nodes: usize, _num_landmarks: usize) -> Self {
+        Per {
+            nodes: (0..num_nodes).map(|_| NodeModel::new()).collect(),
+        }
+    }
+
+    /// Probability that `node` visits `dst` within `deadline` (diagnostic
+    /// accessor; the router goes through [`UtilityModel::score`]).
+    pub fn hit_probability(
+        &mut self,
+        node: NodeId,
+        dst: LandmarkId,
+        deadline: SimDuration,
+    ) -> f64 {
+        let m = &mut self.nodes[node.index()];
+        let mean_hop = m.mean_hop_secs();
+        if !mean_hop.is_finite() || mean_hop <= 0.0 {
+            return 0.0;
+        }
+        let steps = (deadline.secs() as f64 / mean_hop).floor() as usize;
+        if steps == 0 {
+            return 0.0;
+        }
+        let curve = m.first_passage(dst);
+        curve[steps.min(MAX_STEPS) - 1]
+    }
+}
+
+impl UtilityModel for Per {
+    fn name(&self) -> &'static str {
+        "PER"
+    }
+
+    fn on_visit(&mut self, node: NodeId, lm: LandmarkId, now: SimTime) {
+        let m = &mut self.nodes[node.index()];
+        if let (Some(prev), Some(since)) = (m.current, m.last_arrival) {
+            if prev != lm {
+                *m.transitions
+                    .entry(prev.0)
+                    .or_default()
+                    .entry(lm.0)
+                    .or_insert(0) += 1;
+                m.hop_time_sum += now.since(since).secs();
+                m.hop_count += 1;
+            }
+        }
+        if m.current != Some(lm) {
+            m.cache.clear();
+        }
+        m.current = Some(lm);
+        m.last_arrival = Some(now);
+    }
+
+    fn score(
+        &mut self,
+        node: NodeId,
+        dst: LandmarkId,
+        remaining: SimDuration,
+        _now: SimTime,
+    ) -> f64 {
+        self.hit_probability(node, dst, remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtnflow_core::time::{DAY, HOUR};
+
+    fn lm(i: u16) -> LandmarkId {
+        LandmarkId(i)
+    }
+
+    fn feed_cycle(m: &mut Per, node: NodeId, cycle: &[u16], reps: usize, hop_secs: u64) {
+        let mut t = 0;
+        for _ in 0..reps {
+            for &l in cycle {
+                m.on_visit(node, lm(l), SimTime(t));
+                t += hop_secs;
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_cycle_hits_with_certainty_given_time() {
+        let mut m = Per::new(1, 3);
+        feed_cycle(&mut m, NodeId(0), &[0, 1, 2], 6, 3_600);
+        // Currently at l2; within a day (24 hops of 1 h) it surely
+        // revisits l0 and l1.
+        assert!(m.hit_probability(NodeId(0), lm(0), DAY) > 0.99);
+        assert!(m.hit_probability(NodeId(0), lm(1), DAY) > 0.99);
+    }
+
+    #[test]
+    fn tight_deadline_lowers_probability() {
+        let mut m = Per::new(1, 3);
+        feed_cycle(&mut m, NodeId(0), &[0, 1, 2], 6, 3_600);
+        // At l2, the next hop is l0, the one after l1: with only one
+        // hop's worth of time, l1 is unreachable.
+        let one_hop = HOUR.mul_f64(1.5);
+        assert!(m.hit_probability(NodeId(0), lm(0), one_hop) > 0.99);
+        assert!(m.hit_probability(NodeId(0), lm(1), one_hop) < 0.01);
+    }
+
+    #[test]
+    fn probability_changes_when_node_moves() {
+        let mut m = Per::new(1, 3);
+        feed_cycle(&mut m, NodeId(0), &[0, 1, 2], 6, 3_600);
+        let deadline = HOUR.mul_f64(1.5);
+        let before = m.hit_probability(NodeId(0), lm(0), deadline);
+        // Move to l0 on the usual cadence: now l1 is next, l0 behind.
+        m.on_visit(NodeId(0), lm(0), SimTime(18 * 3_600));
+        let after_l0 = m.hit_probability(NodeId(0), lm(1), deadline);
+        let after_l0_back = m.hit_probability(NodeId(0), lm(0), deadline);
+        assert!(before > 0.99);
+        assert!(after_l0 > 0.99);
+        assert!(after_l0_back < 0.5, "l0 is now behind: {after_l0_back}");
+    }
+
+    #[test]
+    fn unknown_node_scores_zero() {
+        let mut m = Per::new(1, 2);
+        assert_eq!(m.hit_probability(NodeId(0), lm(1), DAY), 0.0);
+        // One visit gives a current landmark but no hop statistics.
+        m.on_visit(NodeId(0), lm(0), SimTime(0));
+        assert_eq!(m.hit_probability(NodeId(0), lm(1), DAY), 0.0);
+    }
+
+    #[test]
+    fn branching_walks_split_probability() {
+        let mut m = Per::new(1, 3);
+        // From l0 the node goes to l1 and l2 equally often; one hop of
+        // time gives ~0.5 for either.
+        let seq = [0u16, 1, 0, 2, 0, 1, 0, 2];
+        let mut t = 0;
+        for &l in &seq {
+            m.on_visit(NodeId(0), lm(l), SimTime(t));
+            t += 3_600;
+        }
+        // Currently at l2 -> returns to l0 w.p. 1; from l0 splits.
+        let p1 = m.hit_probability(NodeId(0), lm(1), HOUR.mul(2));
+        assert!((p1 - 0.5).abs() < 0.1, "p1 {p1}");
+    }
+}

@@ -1,0 +1,142 @@
+//! SimBet adapted to landmark destinations (paper §II-B, §V-A.1).
+//!
+//! "It combines centrality and similarity to calculate the suitability of
+//! a node to carry packets to a given destination landmark. The similarity
+//! is derived from the frequency that the node visits the landmark."
+//! Centrality is the node's degree in its landmark graph — how many
+//! distinct landmarks it connects ("nodes with high centrality, i.e.
+//! connecting many landmarks", §V-A.2). The forwarding decision uses
+//! SimBet's pairwise-normalized utility.
+
+use crate::common::UtilityModel;
+use dtnflow_core::ids::{LandmarkId, NodeId};
+use dtnflow_core::time::{SimDuration, SimTime};
+use std::collections::BTreeSet;
+
+/// The SimBet utility model.
+pub struct SimBet {
+    num_landmarks: usize,
+    /// Visit counts per (node, landmark) — the similarity signal.
+    visits: Vec<u32>,
+    /// Distinct landmarks visited per node — the centrality signal.
+    seen: Vec<BTreeSet<u16>>,
+    /// Weight of the similarity component (`α`; 1−α goes to centrality).
+    alpha: f64,
+}
+
+impl SimBet {
+    pub fn new(num_nodes: usize, num_landmarks: usize) -> Self {
+        SimBet {
+            num_landmarks,
+            visits: vec![0; num_nodes * num_landmarks],
+            seen: vec![BTreeSet::new(); num_nodes],
+            alpha: 0.5,
+        }
+    }
+
+    fn similarity(&self, node: NodeId, dst: LandmarkId) -> f64 {
+        self.visits[node.index() * self.num_landmarks + dst.index()] as f64
+    }
+
+    fn centrality(&self, node: NodeId) -> f64 {
+        self.seen[node.index()].len() as f64
+    }
+}
+
+impl UtilityModel for SimBet {
+    fn name(&self) -> &'static str {
+        "SimBet"
+    }
+
+    fn on_visit(&mut self, node: NodeId, lm: LandmarkId, _now: SimTime) {
+        self.visits[node.index() * self.num_landmarks + lm.index()] += 1;
+        self.seen[node.index()].insert(lm.0);
+    }
+
+    fn score(&mut self, node: NodeId, dst: LandmarkId, _: SimDuration, _: SimTime) -> f64 {
+        // Standalone score (used for ranking at generation time): an
+        // unnormalized blend.
+        self.alpha * self.similarity(node, dst) + (1.0 - self.alpha) * self.centrality(node)
+    }
+
+    fn should_forward(
+        &mut self,
+        holder: NodeId,
+        other: NodeId,
+        dst: LandmarkId,
+        _remaining: SimDuration,
+        _now: SimTime,
+    ) -> bool {
+        // SimBet's pairwise-normalized utility: each component is the
+        // node's share of the pair total.
+        let (sh, so) = (self.similarity(holder, dst), self.similarity(other, dst));
+        let (ch, co) = (self.centrality(holder), self.centrality(other));
+        let sim_total = sh + so;
+        let cen_total = ch + co;
+        let sim_util = |x: f64| if sim_total > 0.0 { x / sim_total } else { 0.5 };
+        let cen_util = |x: f64| if cen_total > 0.0 { x / cen_total } else { 0.5 };
+        let u_other = self.alpha * sim_util(so) + (1.0 - self.alpha) * cen_util(co);
+        let u_holder = self.alpha * sim_util(sh) + (1.0 - self.alpha) * cen_util(ch);
+        u_other > u_holder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtnflow_core::time::DAY;
+
+    fn lm(i: u16) -> LandmarkId {
+        LandmarkId(i)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime(s)
+    }
+
+    #[test]
+    fn similarity_dominates_toward_frequent_visitor() {
+        let mut m = SimBet::new(2, 3);
+        // Node 0 visits dst often, node 1 never (equal centrality 1).
+        for k in 0..4 {
+            m.on_visit(NodeId(0), lm(2), t(k * 100));
+        }
+        m.on_visit(NodeId(1), lm(0), t(0));
+        assert!(m.should_forward(NodeId(1), NodeId(0), lm(2), DAY, t(500)));
+        assert!(!m.should_forward(NodeId(0), NodeId(1), lm(2), DAY, t(500)));
+    }
+
+    #[test]
+    fn centrality_breaks_similarity_ties() {
+        let mut m = SimBet::new(2, 4);
+        // Neither node visits dst 3; node 0 connects three landmarks,
+        // node 1 only one.
+        for l in 0..3 {
+            m.on_visit(NodeId(0), lm(l), t(l as u64));
+        }
+        m.on_visit(NodeId(1), lm(0), t(10));
+        assert!(m.should_forward(NodeId(1), NodeId(0), lm(3), DAY, t(20)));
+        assert!(!m.should_forward(NodeId(0), NodeId(1), lm(3), DAY, t(20)));
+    }
+
+    #[test]
+    fn no_forwarding_between_equals() {
+        let mut m = SimBet::new(2, 2);
+        m.on_visit(NodeId(0), lm(0), t(0));
+        m.on_visit(NodeId(1), lm(0), t(1));
+        // Identical profiles: strict inequality fails both ways.
+        assert!(!m.should_forward(NodeId(0), NodeId(1), lm(1), DAY, t(2)));
+        assert!(!m.should_forward(NodeId(1), NodeId(0), lm(1), DAY, t(2)));
+    }
+
+    #[test]
+    fn standalone_score_blends_components() {
+        let mut m = SimBet::new(1, 3);
+        m.on_visit(NodeId(0), lm(1), t(0));
+        m.on_visit(NodeId(0), lm(2), t(1));
+        m.on_visit(NodeId(0), lm(1), t(2));
+        // similarity to l1 = 2, centrality = 2.
+        let s = m.score(NodeId(0), lm(1), DAY, t(3));
+        assert!((s - (0.5 * 2.0 + 0.5 * 2.0)).abs() < 1e-12);
+    }
+}

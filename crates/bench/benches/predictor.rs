@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks for the order-k Markov predictor: online
+//! observation, prediction, and whole-trace evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dtnflow_core::ids::LandmarkId;
+use dtnflow_mobility::synth::campus::{CampusConfig, CampusModel};
+use dtnflow_predictor::{evaluate_order_k, MarkovPredictor};
+
+fn bench_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictor/observe");
+    for k in [1usize, 2, 3] {
+        group.bench_function(format!("order-{k}"), |b| {
+            let seq: Vec<LandmarkId> = (0..1_000u16).map(|i| LandmarkId(i % 37)).collect();
+            b.iter(|| {
+                let mut p = MarkovPredictor::new(k);
+                for &lm in &seq {
+                    p.observe(black_box(lm));
+                }
+                p.observations()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut p = MarkovPredictor::new(1);
+    for i in 0..10_000u32 {
+        p.observe(LandmarkId((i % 41 * 7 % 41) as u16));
+    }
+    c.bench_function("predictor/predict", |b| {
+        b.iter(|| black_box(&p).predict())
+    });
+    c.bench_function("predictor/distribution", |b| {
+        b.iter(|| black_box(&p).distribution())
+    });
+}
+
+fn bench_trace_eval(c: &mut Criterion) {
+    let trace = CampusModel::new(CampusConfig::tiny()).generate();
+    c.bench_function("predictor/evaluate-tiny-campus", |b| {
+        b.iter(|| evaluate_order_k(black_box(&trace), 1))
+    });
+}
+
+criterion_group!(benches, bench_observe, bench_predict, bench_trace_eval);
+criterion_main!(benches);

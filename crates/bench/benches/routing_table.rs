@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for the distance-vector routing table:
+//! vector receive + recompute at reduced (40) and paper (159) scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dtnflow_core::ids::LandmarkId;
+use dtnflow_router::{RoutingTable, StoredVector};
+
+fn filled_table(num: usize) -> RoutingTable {
+    let mut rt = RoutingTable::new(LandmarkId(0), num);
+    for n in 1..num {
+        let delays: Vec<f64> = (0..num)
+            .map(|d| {
+                if d == n {
+                    0.0
+                } else {
+                    ((d * 7 + n * 13) % 97) as f64 + 1.0
+                }
+            })
+            .collect();
+        rt.receive(LandmarkId::from(n), StoredVector { seq: 1, delays });
+    }
+    rt
+}
+
+fn link(l: LandmarkId) -> f64 {
+    if l.0 % 3 == 1 {
+        (l.0 % 11) as f64 + 1.0
+    } else {
+        f64::INFINITY
+    }
+}
+
+fn bench_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_table/recompute");
+    for num in [40usize, 159] {
+        let mut rt = filled_table(num);
+        group.bench_function(format!("{num}-landmarks"), |b| {
+            b.iter(|| {
+                rt.recompute(&link);
+                black_box(rt.coverage())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_receive(c: &mut Criterion) {
+    let num = 159;
+    c.bench_function("routing_table/receive-159", |b| {
+        let mut rt = filled_table(num);
+        let mut seq = 2u64;
+        b.iter(|| {
+            let delays: Vec<f64> = (0..num).map(|d| (d % 13) as f64).collect();
+            let accepted = rt.receive(LandmarkId(5), StoredVector { seq, delays });
+            seq += 1;
+            black_box(accepted)
+        });
+    });
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut rt = filled_table(159);
+    rt.recompute(&link);
+    c.bench_function("routing_table/snapshot-159", |b| {
+        b.iter(|| black_box(&rt).snapshot())
+    });
+}
+
+criterion_group!(benches, bench_recompute, bench_receive, bench_snapshot);
+criterion_main!(benches);

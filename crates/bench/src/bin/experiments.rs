@@ -1,0 +1,72 @@
+//! Regenerate the DTN-FLOW paper's tables and figures.
+//!
+//! ```text
+//! experiments [IDS...] [--quick] [--out DIR] [--list]
+//!
+//! IDS     experiment ids (table1 fig2 ... deploy ablation sched) or `all`
+//! --quick shrink parameter sweeps (smoke mode)
+//! --out   output directory for .txt/.csv results (default: results)
+//! --list  print the known ids and exit
+//! ```
+
+use dtnflow_bench::experiments::{run_experiment, ALL_IDS};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_dir = PathBuf::from(
+                    it.next().expect("--out requires a directory argument"),
+                );
+            }
+            "--list" => {
+                for id in ALL_IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: experiments [IDS...|all] [--quick] [--out DIR] [--list]");
+        eprintln!("known ids: {}", ALL_IDS.join(" "));
+        std::process::exit(2);
+    }
+    for id in &ids {
+        if !ALL_IDS.contains(&id.as_str()) {
+            eprintln!("unknown experiment id `{id}`; known: {}", ALL_IDS.join(" "));
+            std::process::exit(2);
+        }
+    }
+
+    for id in &ids {
+        let started = Instant::now();
+        println!("=== {id} ===");
+        let tables = run_experiment(id, quick);
+        for table in &tables {
+            println!("{}", table.render());
+            if let Err(e) = table.save(&out_dir) {
+                eprintln!("warning: could not save {}: {e}", table.id);
+            }
+        }
+        println!(
+            "({id} finished in {:.1}s; results under {})\n",
+            started.elapsed().as_secs_f64(),
+            out_dir.display()
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Fig. 5: the subarea division of the campus deployment, as an ASCII map
+//! plus per-subarea area shares.
+
+use crate::report::Table;
+use crate::scenarios::Scenario;
+use dtnflow_core::geometry::Rect;
+use dtnflow_landmark::{SubareaDivision, SubareaGrid};
+
+/// Fig. 5: Voronoi subarea division over the deployment landmarks.
+pub fn fig5() -> Vec<Table> {
+    let s = Scenario::deployment();
+    let sites = s.trace.positions().to_vec();
+    let area = Rect::bounding(&sites)
+        .expect("deployment has landmarks");
+    // Pad the bounding box a little so every site is interior.
+    let pad = 80.0;
+    let area = Rect::new(
+        dtnflow_core::geometry::Point::new(area.min.x - pad, area.min.y - pad),
+        dtnflow_core::geometry::Point::new(area.max.x + pad, area.max.y + pad),
+    );
+    let grid = SubareaGrid::new(SubareaDivision::new(sites), area, 60, 24);
+
+    let mut t = Table::new(
+        "fig5",
+        "Subarea division in the campus deployment (Fig. 5)",
+        &["landmark", "role", "area share"],
+    );
+    let roles = [
+        "library (sink)",
+        "department A",
+        "department B",
+        "department C",
+        "department D",
+        "student center",
+        "dining hall",
+        "dining hall",
+    ];
+    for (i, share) in grid.area_shares().iter().enumerate() {
+        t.row(vec![
+            format!("l{i}"),
+            roles[i].to_string(),
+            format!("{share:.3}"),
+        ]);
+    }
+    for line in grid.render_ascii().lines() {
+        t.note(line.to_string());
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_covers_all_subareas() {
+        let t = &fig5()[0];
+        assert_eq!(t.len(), 8);
+        let shares: f64 = (0..8)
+            .map(|r| t.cell(r, 2).parse::<f64>().unwrap())
+            .sum();
+        // Cells are rounded to three decimals, so allow rounding slack.
+        assert!((shares - 1.0).abs() < 0.01);
+    }
+}

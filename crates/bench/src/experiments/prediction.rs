@@ -1,0 +1,85 @@
+//! Fig. 6: transit-prediction accuracy — the order-k comparison (a) and
+//! the per-node five-number summary for the order-1 predictor (b).
+
+use crate::report::Table;
+use crate::scenarios::Scenario;
+use dtnflow_predictor::{accuracy_five_num, best_k, evaluate_order_k};
+
+/// Fig. 6(a): mean per-node accuracy of the order-k predictor, k = 1..3;
+/// Fig. 6(b): min / q1 / mean / q3 / max of order-1 per-node accuracies.
+pub fn fig6() -> Vec<Table> {
+    let scenarios = [Scenario::campus(), Scenario::bus()];
+
+    let mut a = Table::new(
+        "fig6a",
+        "Average accuracy of the order-k Markov predictor (Fig. 6a)",
+        &["trace", "k=1", "k=2", "k=3", "best k"],
+    );
+    for s in &scenarios {
+        let accs: Vec<f64> = (1..=3)
+            .map(|k| {
+                evaluate_order_k(&s.trace, k)
+                    .mean_node_accuracy()
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        a.row(vec![
+            s.name.to_string(),
+            format!("{:.3}", accs[0]),
+            format!("{:.3}", accs[1]),
+            format!("{:.3}", accs[2]),
+            best_k(&s.trace, &[1, 2, 3]).to_string(),
+        ]);
+    }
+    a.note("paper: k=1 best on both traces due to missing records (DART 0.77, DNET 0.66)");
+
+    let mut b = Table::new(
+        "fig6b",
+        "Per-node accuracy of the order-1 predictor (Fig. 6b)",
+        &["trace", "min", "q1", "mean", "q3", "max"],
+    );
+    for s in &scenarios {
+        let eval = evaluate_order_k(&s.trace, 1);
+        let f = accuracy_five_num(&eval).expect("nodes produced predictions");
+        b.row(vec![
+            s.name.to_string(),
+            format!("{:.3}", f.min),
+            format!("{:.3}", f.q1),
+            format!("{:.3}", f.mean),
+            format!("{:.3}", f.q3),
+            format!("{:.3}", f.max),
+        ]);
+    }
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order1_is_best_on_both_traces() {
+        let tables = fig6();
+        let a = &tables[0];
+        for row in 0..a.len() {
+            assert_eq!(a.cell(row, 4), "1", "k=1 must win on {}", a.cell(row, 0));
+            let k1: f64 = a.cell(row, 1).parse().unwrap();
+            let k3: f64 = a.cell(row, 3).parse().unwrap();
+            assert!(k1 > k3);
+        }
+        // Campus above bus, as in the paper.
+        let campus_k1: f64 = a.cell(0, 1).parse().unwrap();
+        let bus_k1: f64 = a.cell(1, 1).parse().unwrap();
+        assert!(campus_k1 > bus_k1);
+    }
+
+    #[test]
+    fn five_num_is_ordered() {
+        let tables = fig6();
+        let b = &tables[1];
+        for row in 0..b.len() {
+            let vals: Vec<f64> = (1..=5).map(|c| b.cell(row, c).parse().unwrap()).collect();
+            assert!(vals[0] <= vals[1] && vals[1] <= vals[3] && vals[3] <= vals[4]);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Plain-text result tables: aligned for the terminal, CSV for downstream
+//! plotting. No serialization crate needed — rows are strings.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One result table (a figure series or a paper table).
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub id: String,
+    pub title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table with an id (`fig11a`), a human title, and headers.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Append a free-text note rendered under the table.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor (row, column), for tests.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Column index by header name.
+    pub fn column(&self, header: &str) -> Option<usize> {
+        self.headers.iter().position(|h| h == header)
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.id, self.title);
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            let mut first = true;
+            for (cell, w) in cells.iter().zip(widths) {
+                if !first {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+                first = false;
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        out
+    }
+
+    /// Render as CSV (headers first; quotes around cells with commas).
+    pub fn to_csv(&self) -> String {
+        let quote = |c: &str| -> String {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Write `<dir>/<id>.txt` and `<dir>/<id>.csv`.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{}.txt", self.id)), self.render())?;
+        fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())?;
+        Ok(())
+    }
+}
+
+/// Format seconds as fractional minutes (the paper's delay unit in the
+/// deployment figures) with no trailing noise.
+pub fn minutes(secs: f64) -> String {
+    format!("{:.1}", secs / 60.0)
+}
+
+/// Format a probability/rate with three decimals.
+pub fn rate(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t1", "demo", &["x", "value"]);
+        t.row(vec!["1".into(), "0.5".into()]);
+        t.row(vec!["10".into(), "0.75".into()]);
+        t.note("a note");
+        t
+    }
+
+    #[test]
+    fn renders_aligned() {
+        let r = sample().render();
+        assert!(r.contains("## t1 — demo"));
+        assert!(r.contains("note: a note"));
+        let lines: Vec<&str> = r.lines().collect();
+        // Header then separator then two rows then note.
+        assert_eq!(lines.len(), 6);
+        assert!(lines[3].trim_start().starts_with('1')); // first data row after title/header/separator
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("t2", "csv", &["a", "b"]);
+        t.row(vec!["x,y".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\",plain"));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.cell(1, 1), "0.75");
+        assert_eq!(t.column("value"), Some(1));
+        assert_eq!(t.column("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("t3", "bad", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn save_roundtrip() {
+        let dir = std::env::temp_dir().join("dtnflow-report-test");
+        sample().save(&dir).unwrap();
+        let txt = std::fs::read_to_string(dir.join("t1.txt")).unwrap();
+        assert!(txt.contains("demo"));
+        let csv = std::fs::read_to_string(dir.join("t1.csv")).unwrap();
+        assert!(csv.starts_with("x,value"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(minutes(90.0), "1.5");
+        assert_eq!(rate(0.5), "0.500");
+    }
+}

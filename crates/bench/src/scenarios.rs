@@ -1,0 +1,107 @@
+//! Canonical experiment scenarios: the two trace substitutes plus the
+//! deployment, each with its paper-matched simulation settings and an
+//! optional workload-destination exclusion list (the bus garage is not a
+//! popular place and would never be selected as a landmark, §IV-A.1).
+
+use dtnflow_core::config::SimConfig;
+use dtnflow_core::ids::LandmarkId;
+use dtnflow_mobility::synth::bus::{BusConfig, BusModel};
+use dtnflow_mobility::synth::campus::{CampusConfig, CampusModel};
+use dtnflow_mobility::synth::deployment::{DeploymentConfig, DeploymentModel, LIBRARY};
+use dtnflow_mobility::Trace;
+use dtnflow_sim::Workload;
+
+/// A named, reproducible experiment scenario.
+pub struct Scenario {
+    pub name: &'static str,
+    pub trace: Trace,
+    pub base_cfg: SimConfig,
+    /// Landmarks excluded from workload src/dst (infrastructure-only).
+    pub excluded: Vec<LandmarkId>,
+}
+
+impl Scenario {
+    /// The DART substitute: campus trace + DART settings.
+    pub fn campus() -> Scenario {
+        Scenario {
+            name: "campus",
+            trace: CampusModel::new(CampusConfig::default()).generate(),
+            base_cfg: SimConfig::dart(),
+            excluded: vec![],
+        }
+    }
+
+    /// The DNET substitute: bus trace + DNET settings; the garage is
+    /// excluded from the workload.
+    pub fn bus() -> Scenario {
+        let bc = BusConfig::default();
+        let garage = bc.garage();
+        Scenario {
+            name: "bus",
+            trace: BusModel::new(bc).generate(),
+            base_cfg: SimConfig::dnet(),
+            excluded: vec![garage],
+        }
+    }
+
+    /// The §V-C deployment: nine phones, eight buildings, all packets to
+    /// the library.
+    pub fn deployment() -> Scenario {
+        Scenario {
+            name: "deployment",
+            trace: DeploymentModel::new(DeploymentConfig::default()).generate(),
+            base_cfg: SimConfig::deployment(),
+            excluded: vec![],
+        }
+    }
+
+    /// The deployment sink landmark.
+    pub fn deployment_sink() -> LandmarkId {
+        LIBRARY
+    }
+
+    /// A workload for this scenario under the given per-run config.
+    pub fn workload(&self, cfg: &SimConfig) -> Workload {
+        Workload::uniform_excluding(
+            cfg,
+            self.trace.num_landmarks(),
+            self.trace.duration(),
+            &self.excluded,
+        )
+    }
+
+    /// The per-run config with a given seed.
+    pub fn cfg(&self, seed: u64) -> SimConfig {
+        self.base_cfg.clone().with_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_build_and_are_consistent() {
+        let c = Scenario::campus();
+        assert_eq!(c.trace.num_landmarks(), 40);
+        assert!(c.excluded.is_empty());
+        let b = Scenario::bus();
+        assert_eq!(b.excluded.len(), 1);
+        assert_eq!(b.excluded[0].index(), b.trace.num_landmarks() - 1);
+        let d = Scenario::deployment();
+        assert_eq!(d.trace.num_nodes(), 9);
+    }
+
+    #[test]
+    fn workload_respects_exclusions() {
+        let b = Scenario::bus();
+        let mut cfg = b.cfg(1);
+        cfg.packets_per_landmark_per_day = 5.0;
+        let wl = b.workload(&cfg);
+        let garage = b.excluded[0];
+        assert!(wl
+            .events()
+            .iter()
+            .all(|e| e.src != garage && e.dst != garage));
+    }
+}

@@ -1,0 +1,164 @@
+//! Minimal planar geometry used for landmark placement, subarea (Voronoi)
+//! division and the geographic baselines.
+
+/// A point in a flat 2-D coordinate system (meters).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point from coordinates in meters.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the sqrt when comparing).
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+/// An axis-aligned rectangle, used as the overall network area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl Rect {
+    /// Construct a rectangle; panics if `min` is not component-wise ≤ `max`.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "rectangle min must be <= max"
+        );
+        Rect { min, max }
+    }
+
+    /// Rectangle `[0,w] x [0,h]`.
+    pub fn from_size(w: f64, h: f64) -> Self {
+        Rect::new(Point::new(0.0, 0.0), Point::new(w, h))
+    }
+
+    /// Width in meters.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height in meters.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Whether `p` lies inside (inclusive of the boundary).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamp `p` into the rectangle.
+    #[inline]
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Smallest rectangle containing every point; `None` when empty.
+    pub fn bounding(points: &[Point]) -> Option<Rect> {
+        let first = *points.first()?;
+        let mut r = Rect {
+            min: first,
+            max: first,
+        };
+        for p in &points[1..] {
+            r.min.x = r.min.x.min(p.x);
+            r.min.y = r.min.y.min(p.y);
+            r.max.x = r.max.x.max(p.x);
+            r.max.y = r.max.y.max(p.y);
+        }
+        Some(r)
+    }
+}
+
+/// Index of the point in `sites` nearest to `p` (ties broken by lowest
+/// index, making Voronoi assignment deterministic). Panics on empty `sites`.
+pub fn nearest_site(sites: &[Point], p: Point) -> usize {
+    assert!(!sites.is_empty(), "nearest_site needs at least one site");
+    let mut best = 0usize;
+    let mut best_d = sites[0].distance_sq(p);
+    for (i, s) in sites.iter().enumerate().skip(1) {
+        let d = s.distance_sq(p);
+        if d < best_d {
+            best = i;
+            best_d = d;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(b) - 25.0).abs() < 1e-12);
+        assert_eq!(a.midpoint(b), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn rect_contains_and_clamps() {
+        let r = Rect::from_size(10.0, 5.0);
+        assert!(r.contains(Point::new(10.0, 5.0)));
+        assert!(!r.contains(Point::new(10.1, 5.0)));
+        assert_eq!(r.clamp(Point::new(-1.0, 99.0)), Point::new(0.0, 5.0));
+        assert!((r.width() - 10.0).abs() < 1e-12);
+        assert!((r.height() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box() {
+        let pts = [
+            Point::new(1.0, 2.0),
+            Point::new(-3.0, 5.0),
+            Point::new(0.0, -1.0),
+        ];
+        let r = Rect::bounding(&pts).unwrap();
+        assert_eq!(r.min, Point::new(-3.0, -1.0));
+        assert_eq!(r.max, Point::new(1.0, 5.0));
+        assert!(Rect::bounding(&[]).is_none());
+    }
+
+    #[test]
+    fn nearest_site_breaks_ties_low_index() {
+        let sites = [Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+        // Exactly between the two sites: the lower index wins.
+        assert_eq!(nearest_site(&sites, Point::new(1.0, 0.0)), 0);
+        assert_eq!(nearest_site(&sites, Point::new(1.7, 0.0)), 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! Run-level metrics matching the paper's evaluation metrics (§V-A.1):
+//! success rate, average delay, forwarding cost and overall (total) cost.
+
+use crate::time::SimDuration;
+
+/// Counters accumulated while a simulation runs.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Packets generated after warm-up.
+    pub generated: u64,
+    /// Packets delivered to their destination landmark within TTL.
+    pub delivered: u64,
+    /// Packets dropped because their TTL elapsed.
+    pub expired: u64,
+    /// End-to-end delays of delivered packets, in seconds.
+    pub delays: Vec<u64>,
+    /// Packet forwarding operations (every node↔node or node↔landmark
+    /// packet transfer counts one).
+    pub forwarding_ops: u64,
+    /// Routing-information forwarding cost, in forwarding-op equivalents
+    /// (a table with `n` entries costs `n / entries_per_packet`).
+    pub maintenance_ops: f64,
+}
+
+impl RunMetrics {
+    /// Record a delivery with the given end-to-end delay.
+    pub fn record_delivery(&mut self, delay: SimDuration) {
+        self.delivered += 1;
+        self.delays.push(delay.secs());
+    }
+
+    /// Record a TTL expiry.
+    pub fn record_expiry(&mut self) {
+        self.expired += 1;
+    }
+
+    /// Record one packet forwarding operation.
+    pub fn record_forward(&mut self) {
+        self.forwarding_ops += 1;
+    }
+
+    /// Record the exchange of a routing/utility table with `entries`
+    /// entries, where `entries_per_packet` entries fit one packet-equivalent.
+    pub fn record_table_exchange(&mut self, entries: usize, entries_per_packet: usize) {
+        assert!(entries_per_packet > 0, "entries_per_packet must be > 0");
+        self.maintenance_ops += entries as f64 / entries_per_packet as f64;
+    }
+
+    /// Fraction of generated packets delivered within TTL.
+    pub fn success_rate(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.generated as f64
+        }
+    }
+
+    /// Mean delay of delivered packets, seconds. Zero when none delivered.
+    pub fn average_delay_secs(&self) -> f64 {
+        if self.delays.is_empty() {
+            0.0
+        } else {
+            self.delays.iter().map(|&d| d as f64).sum::<f64>() / self.delays.len() as f64
+        }
+    }
+
+    /// Overall average delay over *all* generated packets, counting each
+    /// undelivered packet as `undelivered_as` (the paper's "O. Delay" in
+    /// Table VII uses the experiment duration).
+    pub fn overall_average_delay_secs(&self, undelivered_as: SimDuration) -> f64 {
+        if self.generated == 0 {
+            return 0.0;
+        }
+        let undelivered = self.generated - self.delivered;
+        let total: f64 = self.delays.iter().map(|&d| d as f64).sum::<f64>()
+            + undelivered as f64 * undelivered_as.secs() as f64;
+        total / self.generated as f64
+    }
+
+    /// Forwarding cost plus maintenance cost (the paper's "total cost").
+    pub fn total_cost(&self) -> f64 {
+        self.forwarding_ops as f64 + self.maintenance_ops
+    }
+
+    /// Five-number summary of delivery delays (min, q1, mean, q3, max), as
+    /// plotted in Figs. 6(b) and 16(a). `None` when nothing was delivered.
+    pub fn delay_summary(&self) -> Option<FiveNum> {
+        FiveNum::of(&self.delays.iter().map(|&d| d as f64).collect::<Vec<_>>())
+    }
+
+    /// Condense into a plain-old-data summary row.
+    pub fn summary(&self) -> MetricsSummary {
+        MetricsSummary {
+            generated: self.generated,
+            delivered: self.delivered,
+            expired: self.expired,
+            success_rate: self.success_rate(),
+            average_delay_secs: self.average_delay_secs(),
+            forwarding_ops: self.forwarding_ops,
+            maintenance_ops: self.maintenance_ops,
+            total_cost: self.total_cost(),
+        }
+    }
+}
+
+/// Flat summary of a run, suitable for table rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSummary {
+    pub generated: u64,
+    pub delivered: u64,
+    pub expired: u64,
+    pub success_rate: f64,
+    pub average_delay_secs: f64,
+    pub forwarding_ops: u64,
+    pub maintenance_ops: f64,
+    pub total_cost: f64,
+}
+
+/// Minimum, first quartile, mean, third quartile and maximum of a sample —
+/// the summary the paper plots for prediction accuracy and delays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNum {
+    pub min: f64,
+    pub q1: f64,
+    pub mean: f64,
+    pub q3: f64,
+    pub max: f64,
+}
+
+impl FiveNum {
+    /// Compute the summary; `None` on an empty sample. NaNs are rejected.
+    pub fn of(sample: &[f64]) -> Option<FiveNum> {
+        if sample.is_empty() {
+            return None;
+        }
+        assert!(
+            sample.iter().all(|v| !v.is_nan()),
+            "sample must not contain NaN"
+        );
+        let mut s = sample.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        Some(FiveNum {
+            min: s[0],
+            q1: quantile_sorted(&s, 0.25),
+            mean,
+            q3: quantile_sorted(&s, 0.75),
+            max: s[s.len() - 1],
+        })
+    }
+}
+
+/// Linear-interpolation quantile of an ascending-sorted slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::HOUR;
+
+    #[test]
+    fn success_rate_and_delay() {
+        let mut m = RunMetrics::default();
+        m.generated = 4;
+        m.record_delivery(HOUR);
+        m.record_delivery(HOUR.mul(3));
+        m.record_expiry();
+        assert!((m.success_rate() - 0.5).abs() < 1e-12);
+        assert!((m.average_delay_secs() - 7_200.0).abs() < 1e-9);
+        assert_eq!(m.expired, 1);
+    }
+
+    #[test]
+    fn overall_delay_counts_failures() {
+        let mut m = RunMetrics::default();
+        m.generated = 2;
+        m.record_delivery(HOUR);
+        let o = m.overall_average_delay_secs(HOUR.mul(10));
+        assert!((o - (3_600.0 + 36_000.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn costs_accumulate() {
+        let mut m = RunMetrics::default();
+        m.record_forward();
+        m.record_forward();
+        m.record_table_exchange(100, 50);
+        assert_eq!(m.forwarding_ops, 2);
+        assert!((m.maintenance_ops - 2.0).abs() < 1e-12);
+        assert!((m.total_cost() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = RunMetrics::default();
+        assert_eq!(m.success_rate(), 0.0);
+        assert_eq!(m.average_delay_secs(), 0.0);
+        assert!(m.delay_summary().is_none());
+        assert_eq!(m.overall_average_delay_secs(HOUR), 0.0);
+    }
+
+    #[test]
+    fn five_num_summary() {
+        let f = FiveNum::of(&[4.0, 1.0, 3.0, 2.0, 5.0]).unwrap();
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.max, 5.0);
+        assert!((f.mean - 3.0).abs() < 1e-12);
+        assert!((f.q1 - 2.0).abs() < 1e-12);
+        assert!((f.q3 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = [0.0, 10.0];
+        assert!((quantile_sorted(&s, 0.5) - 5.0).abs() < 1e-12);
+        assert_eq!(quantile_sorted(&[7.0], 0.9), 7.0);
+        assert_eq!(quantile_sorted(&s, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&s, 1.0), 10.0);
+    }
+
+    #[test]
+    fn summary_row_matches_counters() {
+        let mut m = RunMetrics::default();
+        m.generated = 10;
+        m.record_delivery(HOUR);
+        m.record_forward();
+        let s = m.summary();
+        assert_eq!(s.generated, 10);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.forwarding_ops, 1);
+        assert!((s.success_rate - 0.1).abs() < 1e-12);
+    }
+}

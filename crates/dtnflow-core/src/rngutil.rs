@@ -1,0 +1,152 @@
+//! Deterministic random sampling helpers shared by the synthetic trace
+//! generators and workloads.
+//!
+//! All simulation randomness flows through seeded [`rand::rngs::StdRng`]
+//! instances so every experiment is reproducible from its seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Create a deterministic RNG from an experiment seed and a stream label,
+/// so independent subsystems (workload, mobility, …) never share a stream.
+pub fn rng_for(seed: u64, stream: &str) -> StdRng {
+    // FNV-1a over the stream label, mixed into the seed.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in stream.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(seed ^ h)
+}
+
+/// Sample a standard normal deviate via Box–Muller (avoids an extra
+/// distribution crate).
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Draw u1 in (0, 1] to keep ln() finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample a log-normal deviate with the given *linear-scale* median and
+/// shape `sigma` (the σ of the underlying normal).
+pub fn log_normal(rng: &mut impl Rng, median: f64, sigma: f64) -> f64 {
+    assert!(median > 0.0, "log-normal median must be positive");
+    assert!(sigma >= 0.0, "log-normal sigma must be non-negative");
+    median * (sigma * standard_normal(rng)).exp()
+}
+
+/// Pick an index with probability proportional to `weights[i]`. Weights may
+/// be zero but must be non-negative, finite, and not all zero.
+pub fn weighted_choice(rng: &mut impl Rng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "weights must be non-negative with a positive finite sum"
+    );
+    let mut target = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        debug_assert!(w >= 0.0, "negative weight");
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    // Floating-point slack: fall back to the last positive weight.
+    weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .expect("at least one positive weight")
+}
+
+/// Zipf-like popularity weights for `n` items with exponent `s`:
+/// `w_i = 1 / (i + 1)^s`. Used to give landmarks the skewed visiting
+/// popularity observed in the traces (O1).
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(s >= 0.0, "zipf exponent must be non-negative");
+    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect()
+}
+
+/// Sample an exponential deviate with the given mean.
+pub fn exponential(rng: &mut impl Rng, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential mean must be positive");
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_streams_are_deterministic_and_distinct() {
+        let mut a1 = rng_for(42, "workload");
+        let mut a2 = rng_for(42, "workload");
+        let mut b = rng_for(42, "mobility");
+        let x1: u64 = a1.random();
+        let x2: u64 = a2.random();
+        let y: u64 = b.random();
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+    }
+
+    #[test]
+    fn normal_has_roughly_zero_mean_unit_variance() {
+        let mut rng = rng_for(1, "normal");
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median_is_respected() {
+        let mut rng = rng_for(2, "lognormal");
+        let n = 20_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| log_normal(&mut rng, 100.0, 0.5)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        assert!((median - 100.0).abs() < 10.0, "median {median}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = rng_for(3, "wchoice");
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..8_000 {
+            counts[weighted_choice(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite sum")]
+    fn weighted_choice_rejects_all_zero() {
+        let mut rng = rng_for(4, "wzero");
+        weighted_choice(&mut rng, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_weights_decay() {
+        let w = zipf_weights(4, 1.0);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+        // s = 0 gives uniform weights.
+        assert!(zipf_weights(3, 0.0).iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn exponential_mean_is_respected() {
+        let mut rng = rng_for(5, "exp");
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 50.0)).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 2.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Simulation time.
+//!
+//! Time is measured in whole seconds since the start of the trace.
+//! [`SimTime`] is an absolute instant, [`SimDuration`] a span. Both are
+//! newtypes over `u64` with saturating arithmetic so that "infinitely far in
+//! the future" computations never wrap.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// One second, the base unit.
+pub const SECOND: SimDuration = SimDuration(1);
+/// Sixty seconds.
+pub const MINUTE: SimDuration = SimDuration(60);
+/// Sixty minutes.
+pub const HOUR: SimDuration = SimDuration(3_600);
+/// Twenty-four hours.
+pub const DAY: SimDuration = SimDuration(86_400);
+
+/// An absolute instant in simulation time (seconds since trace start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulation time in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The origin of the simulation clock.
+    pub const ZERO: SimTime = SimTime(0);
+    /// An instant later than every representable one.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Seconds since trace start.
+    #[inline]
+    pub fn secs(self) -> u64 {
+        self.0
+    }
+
+    /// Elapsed span since `earlier`; zero if `earlier` is in the future.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Which fixed-width window of length `unit` this instant falls in.
+    /// Used to map instants to the paper's "time units" (§IV-C.1).
+    #[inline]
+    pub fn unit_index(self, unit: SimDuration) -> u64 {
+        assert!(unit.0 > 0, "time unit must be positive");
+        self.0 / unit.0
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// A span longer than every representable one (acts as infinity).
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Length in seconds.
+    #[inline]
+    pub fn secs(self) -> u64 {
+        self.0
+    }
+
+    /// Length in fractional minutes.
+    #[inline]
+    pub fn as_minutes(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    /// Length in fractional hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / 3_600.0
+    }
+
+    /// Length in fractional days.
+    #[inline]
+    pub fn as_days(self) -> f64 {
+        self.0 as f64 / 86_400.0
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s)
+    }
+
+    /// Construct from fractional days (rounded to whole seconds).
+    #[inline]
+    pub fn from_days(d: f64) -> Self {
+        assert!(d >= 0.0 && d.is_finite(), "duration must be non-negative");
+        SimDuration((d * 86_400.0).round() as u64)
+    }
+
+    /// Construct from fractional hours (rounded to whole seconds).
+    #[inline]
+    pub fn from_hours(h: f64) -> Self {
+        assert!(h >= 0.0 && h.is_finite(), "duration must be non-negative");
+        SimDuration((h * 3_600.0).round() as u64)
+    }
+
+    /// Saturating scalar multiplication. Not the `Mul` trait: this
+    /// saturates instead of overflowing, and a distinct name keeps that
+    /// visible at call sites.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn mul(self, k: u64) -> Self {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// Scale by a non-negative float, saturating at the representable max.
+    #[inline]
+    pub fn mul_f64(self, k: f64) -> Self {
+        assert!(k >= 0.0 && !k.is_nan(), "scale must be non-negative");
+        let v = self.0 as f64 * k;
+        if v >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(v.round() as u64)
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDuration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.0 / 86_400;
+        let rem = self.0 % 86_400;
+        let h = rem / 3_600;
+        let m = (rem % 3_600) / 60;
+        let s = rem % 60;
+        write!(f, "d{d}+{h:02}:{m:02}:{s:02}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 86_400 {
+            write!(f, "{:.2}d", self.as_days())
+        } else if self.0 >= 3_600 {
+            write!(f, "{:.2}h", self.as_hours())
+        } else if self.0 >= 60 {
+            write!(f, "{:.1}m", self.as_minutes())
+        } else {
+            write!(f, "{}s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(SimTime::MAX + DAY, SimTime::MAX);
+        assert_eq!(SimTime(5).since(SimTime(9)), SimDuration::ZERO);
+        assert_eq!(SimDuration::MAX.mul(3), SimDuration::MAX);
+    }
+
+    #[test]
+    fn unit_index_partitions_time() {
+        let unit = DAY.mul(3);
+        assert_eq!(SimTime::ZERO.unit_index(unit), 0);
+        assert_eq!(SimTime(unit.0 - 1).unit_index(unit), 0);
+        assert_eq!(SimTime(unit.0).unit_index(unit), 1);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimDuration::from_days(1.0), DAY);
+        assert_eq!(SimDuration::from_hours(2.0), SimDuration(7_200));
+        assert!((DAY.as_hours() - 24.0).abs() < 1e-12);
+        assert!((HOUR.as_minutes() - 60.0).abs() < 1e-12);
+        assert!((MINUTE.as_days() - 1.0 / 1_440.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(SimTime(90_061).to_string(), "d1+01:01:01");
+        assert_eq!(SimDuration(30).to_string(), "30s");
+        assert_eq!(SimDuration(90).to_string(), "1.5m");
+        assert_eq!(DAY.mul(2).to_string(), "2.00d");
+    }
+
+    #[test]
+    fn mul_f64_scales_and_saturates() {
+        assert_eq!(HOUR.mul_f64(2.0), SimDuration(7_200));
+        assert_eq!(SimDuration::MAX.mul_f64(2.0), SimDuration::MAX);
+        assert_eq!(HOUR.mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn subtraction_of_instants_gives_span() {
+        assert_eq!(SimTime(100) - SimTime(40), SimDuration(60));
+    }
+}

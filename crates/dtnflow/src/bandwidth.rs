@@ -1,0 +1,195 @@
+//! Per-landmark transit-link bandwidth measurement (paper §IV-C.1,
+//! Table III, Eq. 4).
+//!
+//! A landmark `j` directly measures its *incoming* links: every node
+//! arriving at `j` reports its previous landmark `i`, so `j` counts the
+//! per-unit transits `n(i→j)` and smooths them with Eq. 4,
+//! `B = α·n + (1−α)·B_prev`.
+//!
+//! The *outgoing* bandwidth `B(j→i)` is measured at `i`, not at `j`. Two
+//! mechanisms give `j` an estimate: a fresh report of `i`'s measurement,
+//! carried from `i` back to `j` by a node that `i` predicts will leave for
+//! `j`; and, absent a fresh report, the O3 symmetry assumption
+//! `B(j→i) ≈ B(i→j)` using `j`'s own incoming measurement.
+
+use crate::config::{FlowConfig, LinkDelayModel};
+use dtnflow_core::config::SimConfig;
+use dtnflow_core::ids::LandmarkId;
+
+/// One landmark's view of its transit links.
+#[derive(Debug, Clone)]
+pub struct BandwidthTable {
+    /// This unit's incoming transit counts, per source landmark.
+    counts: Vec<u32>,
+    /// Smoothed incoming bandwidth `B(i→me)` per source landmark (Eq. 4).
+    incoming: Vec<f64>,
+    /// Reported outgoing bandwidth `B(me→j)` per target landmark, with the
+    /// time-unit sequence of the report (freshness guard).
+    reported: Vec<Option<(f64, u64)>>,
+    alpha: f64,
+}
+
+impl BandwidthTable {
+    /// Empty table for a network of `num_landmarks` landmarks.
+    pub fn new(num_landmarks: usize, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        BandwidthTable {
+            counts: vec![0; num_landmarks],
+            incoming: vec![0.0; num_landmarks],
+            reported: vec![None; num_landmarks],
+            alpha,
+        }
+    }
+
+    /// A node arrived here, reporting `from` as its previous landmark.
+    pub fn record_arrival_from(&mut self, from: LandmarkId) {
+        self.counts[from.index()] += 1;
+    }
+
+    /// Close the current time unit: fold this unit's counts into the
+    /// smoothed incoming bandwidths (Eq. 4) and reset the counters.
+    pub fn end_of_unit(&mut self) {
+        for (b, c) in self.incoming.iter_mut().zip(self.counts.iter_mut()) {
+            *b = self.alpha * (*c as f64) + (1.0 - self.alpha) * *b;
+            *c = 0;
+        }
+    }
+
+    /// The smoothed incoming bandwidth `B(from → me)`.
+    pub fn incoming(&self, from: LandmarkId) -> f64 {
+        self.incoming[from.index()]
+    }
+
+    /// Apply a carried report of our outgoing bandwidth `B(me → to)`
+    /// measured at `to`, stamped with the measuring unit. Stale reports
+    /// (sequence not newer than the stored one) are discarded, as in the
+    /// paper. Returns whether the report was accepted.
+    pub fn apply_report(&mut self, to: LandmarkId, value: f64, unit_seq: u64) -> bool {
+        match self.reported[to.index()] {
+            Some((_, seq)) if seq >= unit_seq => false,
+            _ => {
+                self.reported[to.index()] = Some((value, unit_seq));
+                true
+            }
+        }
+    }
+
+    /// Best available estimate of the outgoing bandwidth `B(me → to)`:
+    /// a received report when present, else the symmetric assumption
+    /// (our incoming measurement of `to → me`).
+    pub fn outgoing(&self, to: LandmarkId) -> f64 {
+        match self.reported[to.index()] {
+            Some((v, _)) => v,
+            None => self.incoming[to.index()],
+        }
+    }
+
+    /// All landmarks with usable outgoing bandwidth (the neighbour set of
+    /// the distance-vector protocol).
+    pub fn neighbors(&self, min_bandwidth: f64) -> Vec<LandmarkId> {
+        (0..self.incoming.len())
+            .map(LandmarkId::from)
+            .filter(|&l| self.outgoing(l) >= min_bandwidth)
+            .collect()
+    }
+
+    /// Expected per-hop delay of the link `me → to` in seconds, under the
+    /// configured delay model; `f64::INFINITY` when the link is unusable.
+    pub fn link_delay(&self, to: LandmarkId, flow: &FlowConfig, sim: &SimConfig) -> f64 {
+        let b = self.outgoing(to);
+        if b < flow.min_bandwidth {
+            return f64::INFINITY;
+        }
+        let t = sim.time_unit.secs() as f64;
+        match flow.delay_model {
+            LinkDelayModel::TransitInterval => t / b,
+            LinkDelayModel::Throughput => {
+                t * sim.packet_size as f64 / (b * sim.node_memory as f64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lm(i: u16) -> LandmarkId {
+        LandmarkId(i)
+    }
+
+    #[test]
+    fn ewma_follows_eq4() {
+        let mut t = BandwidthTable::new(3, 0.5);
+        t.record_arrival_from(lm(1));
+        t.record_arrival_from(lm(1));
+        t.end_of_unit();
+        assert!((t.incoming(lm(1)) - 1.0).abs() < 1e-12); // 0.5*2 + 0.5*0
+        t.record_arrival_from(lm(1));
+        t.end_of_unit();
+        assert!((t.incoming(lm(1)) - 1.0).abs() < 1e-12); // 0.5*1 + 0.5*1
+        t.end_of_unit();
+        assert!((t.incoming(lm(1)) - 0.5).abs() < 1e-12); // decays
+        assert_eq!(t.incoming(lm(2)), 0.0);
+    }
+
+    #[test]
+    fn reports_override_symmetry_and_staleness_is_rejected() {
+        let mut t = BandwidthTable::new(2, 0.5);
+        t.record_arrival_from(lm(1));
+        t.record_arrival_from(lm(1));
+        t.end_of_unit();
+        // No report: symmetric fallback uses incoming(1) = 1.0.
+        assert!((t.outgoing(lm(1)) - 1.0).abs() < 1e-12);
+        assert!(t.apply_report(lm(1), 3.0, 5));
+        assert!((t.outgoing(lm(1)) - 3.0).abs() < 1e-12);
+        // Stale (same or older unit) reports are discarded.
+        assert!(!t.apply_report(lm(1), 9.0, 5));
+        assert!(!t.apply_report(lm(1), 9.0, 4));
+        assert!((t.outgoing(lm(1)) - 3.0).abs() < 1e-12);
+        assert!(t.apply_report(lm(1), 2.0, 6));
+        assert!((t.outgoing(lm(1)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_filter_by_bandwidth() {
+        let mut t = BandwidthTable::new(3, 1.0);
+        t.record_arrival_from(lm(1));
+        t.end_of_unit();
+        t.apply_report(lm(2), 0.01, 1);
+        let n = t.neighbors(0.05);
+        assert_eq!(n, vec![lm(1)]);
+    }
+
+    #[test]
+    fn link_delay_models() {
+        let mut t = BandwidthTable::new(2, 1.0);
+        t.record_arrival_from(lm(1));
+        t.record_arrival_from(lm(1));
+        t.end_of_unit(); // B = 2
+        let sim = SimConfig::default(); // T = 3 days, S = 1 kB, M = 2000 kB
+        let mut flow = FlowConfig::default();
+        let d = t.link_delay(lm(1), &flow, &sim);
+        assert!((d - 259_200.0 / 2.0).abs() < 1e-9);
+        flow.delay_model = LinkDelayModel::Throughput;
+        let d2 = t.link_delay(lm(1), &flow, &sim);
+        assert!((d2 - 259_200.0 * 1_024.0 / (2.0 * 2_048_000.0)).abs() < 1e-9);
+        // Dead link is infinite under both models.
+        assert!(t.link_delay(lm(0), &flow, &sim).is_infinite());
+    }
+
+    #[test]
+    fn asymmetric_links_need_reports() {
+        // One-way road: traffic flows 1 -> me only. The symmetric fallback
+        // wrongly claims me -> 1 capacity; a report fixes it.
+        let mut t = BandwidthTable::new(2, 1.0);
+        for _ in 0..5 {
+            t.record_arrival_from(lm(1));
+        }
+        t.end_of_unit();
+        assert!((t.outgoing(lm(1)) - 5.0).abs() < 1e-12); // wrong (symmetry)
+        t.apply_report(lm(1), 0.0, 1); // the truth from the other side
+        assert_eq!(t.outgoing(lm(1)), 0.0);
+        assert!(t.neighbors(0.05).is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! The DTN-FLOW router (paper §IV).
+//!
+//! DTN-FLOW equips each subarea's landmark with a station that acts as a
+//! router: it measures the transit-link bandwidth to its neighbours
+//! (§IV-C.1), builds a distance-vector routing table shipped around by
+//! mobile nodes (§IV-C.2), and forwards each packet to the connected node
+//! most likely to transit to the packet's next-hop landmark (§IV-D).
+//!
+//! * [`bandwidth::BandwidthTable`] — Table III, Eq. 4;
+//! * [`routing_table::RoutingTable`] — Tables IV/V, Fig. 7;
+//! * [`config::FlowConfig`] — all knobs, including the §IV-E extensions;
+//! * [`router::FlowRouter`] — the `dtnflow_sim::Router` implementation;
+//! * [`observer`] — routing-table coverage/stability snapshots (Fig. 8);
+//! * [`hybrid::HybridFlowRouter`] — the §VI future-work extension adding
+//!   opportunistic node-to-node handoffs on top of DTN-FLOW.
+
+pub mod bandwidth;
+pub mod hybrid;
+pub mod config;
+pub mod observer;
+pub mod router;
+pub mod routing_table;
+
+pub use bandwidth::BandwidthTable;
+pub use hybrid::HybridFlowRouter;
+pub use config::{DeadEndConfig, FlowConfig, LinkDelayModel, LoadBalanceConfig, LoopInjection};
+pub use observer::ObservationRow;
+pub use router::FlowRouter;
+pub use routing_table::{RouteEntry, RoutingTable, StoredVector};

@@ -1,0 +1,1360 @@
+//! The DTN-FLOW router: the paper's §IV algorithm wired into the
+//! simulator's event hooks.
+//!
+//! Responsibilities per event:
+//!
+//! * **arrival** — measure the transit for the bandwidth table, settle the
+//!   node's previous prediction (accuracy tracking, §IV-D.4), deliver the
+//!   carried routing table / bandwidth report / loop corrections, make the
+//!   node's next prediction, run the uplink (packets the node should hand
+//!   to this station, §IV-D.1/3 step 5), then the downlink (packets this
+//!   station should hand to the node, §IV-D.3 steps 2–4), and arm the
+//!   dead-end timer (§IV-E.1);
+//! * **departure** — record the completed stay and snapshot the carried
+//!   routing table + reverse-bandwidth report (§IV-C.1/2);
+//! * **time unit** — Eq. 4 bandwidth smoothing, routing-table recompute,
+//!   load-balance rate bookkeeping (§IV-E.3), station re-bucketing, and
+//!   any scheduled loop injections (the Table VII experiment).
+
+use crate::bandwidth::BandwidthTable;
+use crate::config::{FlowConfig, LoopInjection};
+use crate::observer::{ObservationRow, TableObserver};
+use crate::routing_table::{RoutingTable, StoredVector};
+use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
+use dtnflow_core::packet::PacketLoc;
+use dtnflow_core::time::SimDuration;
+use dtnflow_predictor::{AccuracyTracker, MarkovPredictor, VisitHistory};
+use dtnflow_sim::{Router, TransferError, World};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Routing-table snapshot + control info a node carries between landmarks.
+#[derive(Debug, Clone)]
+struct Carried {
+    from: LandmarkId,
+    seq: u64,
+    vector: Vec<f64>,
+    entries: usize,
+    /// Reverse-bandwidth report: `(addressee, B(addressee→from), unit)`.
+    report: Option<(LandmarkId, f64, u64)>,
+    corrections: Vec<Correction>,
+}
+
+/// A §IV-E.2 loop-correction notice, flooded among the loop members.
+/// As it travels, each member appends its *current* delay claim for the
+/// destination, so receivers get fresh distance-vector entries immediately
+/// instead of waiting for the next periodic exchange ("immediately send
+/// their updated distance vector … repeatedly until the next-hop landmark
+/// remains unchanged").
+#[derive(Debug, Clone, PartialEq)]
+struct Correction {
+    dest: LandmarkId,
+    members: Vec<LandmarkId>,
+    hops_left: u32,
+    /// `(landmark, its current delay to dest)` — freshest claim per member.
+    claims: Vec<(u16, f64)>,
+}
+
+/// Per-mobile-node router state.
+struct NodeState {
+    predictor: MarkovPredictor,
+    accuracy: AccuracyTracker,
+    history: VisitHistory,
+    /// The prediction currently in force: (made at, predicted next, prob).
+    predicted: Option<(LandmarkId, LandmarkId, f64)>,
+    /// Where the node is and since when (while connected).
+    arrival: Option<(LandmarkId, dtnflow_core::time::SimTime)>,
+    last_landmark: Option<LandmarkId>,
+    carried: Option<Carried>,
+    /// Bumped on every arrive/depart; stale dead-end timers no-op.
+    episode: u64,
+}
+
+/// Per-landmark router state.
+struct LandmarkState {
+    bw: BandwidthTable,
+    rt: RoutingTable,
+    /// Station packets waiting for a carrier toward a next-hop landmark.
+    by_next_hop: HashMap<u16, BTreeSet<PacketId>>,
+    /// Station packets indexed by final destination (direct-delivery
+    /// opportunities, §IV-D.2).
+    by_dst: HashMap<u16, BTreeSet<PacketId>>,
+    /// Station packets addressed to a mobile node (§IV-E.4).
+    by_dst_node: HashMap<u32, BTreeSet<PacketId>>,
+    pending_corrections: Vec<(u64, Correction)>,
+    seen_corrections: HashSet<(u16, u16)>,
+    /// Per-next-hop packet counts this unit (load balancing, §IV-E.3).
+    lb_incoming: Vec<u64>,
+    lb_outgoing: Vec<u64>,
+    overloaded: Vec<bool>,
+    unit_seq: u64,
+}
+
+/// Routing metadata DTN-FLOW stamps on a packet when forwarding it
+/// (§IV-D.3 step 3: next-hop landmark id + expected overall delay).
+#[derive(Debug, Clone, Copy)]
+struct PktMeta {
+    next_hop: Option<LandmarkId>,
+    expected: f64,
+}
+
+impl Default for PktMeta {
+    fn default() -> Self {
+        PktMeta {
+            next_hop: None,
+            expected: f64::INFINITY,
+        }
+    }
+}
+
+/// Extension-event counters, for tests and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    pub dead_ends_detected: u64,
+    pub loops_detected: u64,
+    pub lb_reroutes: u64,
+    pub tables_received: u64,
+    pub reports_applied: u64,
+}
+
+/// The DTN-FLOW router.
+pub struct FlowRouter {
+    cfg: FlowConfig,
+    nodes: Vec<NodeState>,
+    landmarks: Vec<LandmarkState>,
+    meta: Vec<PktMeta>,
+    observer: TableObserver,
+    current_unit: u64,
+    injections: Vec<LoopInjection>,
+    /// Frequently-visited landmarks registered per node (§IV-E.4).
+    registrations: Vec<Vec<LandmarkId>>,
+    stats: FlowStats,
+}
+
+impl FlowRouter {
+    /// Create a DTN-FLOW router for a network of the given size.
+    pub fn new(cfg: FlowConfig, num_nodes: usize, num_landmarks: usize) -> Self {
+        cfg.validate();
+        let nodes = (0..num_nodes)
+            .map(|_| NodeState {
+                predictor: MarkovPredictor::new(cfg.order_k),
+                accuracy: AccuracyTracker::with_factors(
+                    num_landmarks,
+                    cfg.accuracy.init,
+                    cfg.accuracy.up,
+                    cfg.accuracy.down,
+                    cfg.accuracy.floor,
+                ),
+                history: VisitHistory::new(num_landmarks),
+                predicted: None,
+                arrival: None,
+                last_landmark: None,
+                carried: None,
+                episode: 0,
+            })
+            .collect();
+        let landmarks = (0..num_landmarks)
+            .map(|l| LandmarkState {
+                bw: BandwidthTable::new(num_landmarks, cfg.bandwidth_alpha),
+                rt: RoutingTable::new(LandmarkId::from(l), num_landmarks),
+                by_next_hop: HashMap::new(),
+                by_dst: HashMap::new(),
+                by_dst_node: HashMap::new(),
+                pending_corrections: Vec::new(),
+                seen_corrections: HashSet::new(),
+                lb_incoming: vec![0; num_landmarks],
+                lb_outgoing: vec![0; num_landmarks],
+                overloaded: vec![false; num_landmarks],
+                unit_seq: 0,
+            })
+            .collect();
+        let injections = cfg.inject_loops.clone();
+        FlowRouter {
+            cfg,
+            nodes,
+            landmarks,
+            meta: Vec::new(),
+            observer: TableObserver::new(),
+            current_unit: 0,
+            injections,
+            registrations: vec![Vec::new(); num_nodes],
+            stats: FlowStats::default(),
+        }
+    }
+
+    /// Extension-event counters.
+    pub fn stats(&self) -> FlowStats {
+        self.stats
+    }
+
+    /// Fig. 8 observation rows collected so far.
+    pub fn observations(&self) -> &[ObservationRow] {
+        self.observer.rows()
+    }
+
+    /// The current routing-table rows of a landmark (Table X).
+    pub fn routing_rows(&self, lm: LandmarkId) -> Vec<(LandmarkId, LandmarkId, f64)> {
+        self.landmarks[lm.index()].rt.rows()
+    }
+
+    /// The effective outgoing bandwidth estimate `B(from→to)` (Fig. 16b).
+    pub fn bandwidth(&self, from: LandmarkId, to: LandmarkId) -> f64 {
+        self.landmarks[from.index()].bw.outgoing(to)
+    }
+
+    /// A node's current prediction, if any: (predicted landmark, prob).
+    pub fn prediction(&self, node: NodeId) -> Option<(LandmarkId, f64)> {
+        self.nodes[node.index()]
+            .predicted
+            .map(|(_, to, p)| (to, p))
+    }
+
+    /// The frequently-visited landmarks currently registered for a node.
+    pub fn registered_landmarks(&self, node: NodeId) -> &[LandmarkId] {
+        &self.registrations[node.index()]
+    }
+
+    /// §IV-E.4: send a packet from `src`'s subarea to a mobile node, by
+    /// copying it to each of the destination node's registered frequent
+    /// landmarks. Returns the created packet copies (empty if the node has
+    /// no registration yet).
+    pub fn send_to_node(
+        &mut self,
+        world: &mut World,
+        src: LandmarkId,
+        dst_node: NodeId,
+    ) -> Vec<PacketId> {
+        let vias = self.registrations[dst_node.index()].clone();
+        let mut out = Vec::with_capacity(vias.len());
+        for via in vias {
+            let pkt = world.create_node_packet(src, via, dst_node, true);
+            self.station_accept(world, src, pkt, None);
+            out.push(pkt);
+        }
+        out
+    }
+
+    // ---- crate-internal services (used by the hybrid extension) ----------
+
+    /// The overall transit score `p_a(lm) · p_pred(lm → toward)` of a node
+    /// currently at `lm`; zero when the node is elsewhere or has never
+    /// made that transit.
+    pub(crate) fn transit_score(&self, node: NodeId, lm: LandmarkId, toward: LandmarkId) -> f64 {
+        let ns = &self.nodes[node.index()];
+        if ns.predictor.current() != Some(lm) {
+            return 0.0;
+        }
+        ns.accuracy.overall(lm, ns.predictor.probability(toward))
+    }
+
+    /// The next-hop landmark stamped on a packet, if any.
+    pub(crate) fn stamped_next_hop(&self, pkt: PacketId) -> Option<LandmarkId> {
+        self.meta_of(pkt).next_hop
+    }
+
+    // ---- internals --------------------------------------------------------
+
+    fn meta_of(&self, pkt: PacketId) -> PktMeta {
+        self.meta.get(pkt.index()).copied().unwrap_or_default()
+    }
+
+    fn set_meta(&mut self, pkt: PacketId, m: PktMeta) {
+        if self.meta.len() <= pkt.index() {
+            self.meta.resize(pkt.index() + 1, PktMeta::default());
+        }
+        self.meta[pkt.index()] = m;
+    }
+
+    fn recompute_tables(&mut self, lm: LandmarkId, world: &World) {
+        let flow = &self.cfg;
+        let sim = world.config();
+        let st = &mut self.landmarks[lm.index()];
+        let bw = &st.bw;
+        st.rt.recompute(&|to| bw.link_delay(to, flow, sim));
+    }
+
+    /// A packet landed at (or was generated at) station `lm`: choose its
+    /// next hop (load-balance aware), stamp it, index it, and try to hand
+    /// it to a suitable connected node right away (§IV-D.2/3).
+    fn station_accept(
+        &mut self,
+        world: &mut World,
+        lm: LandmarkId,
+        pkt: PacketId,
+        exclude: Option<NodeId>,
+    ) {
+        let p = world.packet(pkt);
+        let dst = p.dst;
+        let dst_node = p.dst_node;
+        debug_assert_eq!(p.loc, PacketLoc::AtStation(lm));
+
+        let st = &self.landmarks[lm.index()];
+        let entry = st.rt.entry(dst);
+        let mut next = entry.next;
+        let mut expected = entry.delay;
+        if let Some(lb) = &self.cfg.load_balance {
+            if let (Some(nh), Some(bk)) = (next, entry.backup) {
+                if st.overloaded[nh.index()]
+                    && !st.overloaded[bk.index()]
+                    && entry.backup_delay <= lb.max_detour * entry.delay
+                {
+                    next = Some(bk);
+                    expected = entry.backup_delay;
+                    self.stats.lb_reroutes += 1;
+                }
+            }
+        }
+        if dst == lm {
+            // A node-addressed packet already at its via landmark: it just
+            // waits for the destination node.
+            next = None;
+            expected = 0.0;
+        }
+        self.set_meta(
+            pkt,
+            PktMeta {
+                next_hop: next,
+                expected,
+            },
+        );
+
+        let st = &mut self.landmarks[lm.index()];
+        st.by_dst.entry(dst.0).or_default().insert(pkt);
+        if let Some(nh) = next {
+            st.by_next_hop.entry(nh.0).or_default().insert(pkt);
+            st.lb_incoming[nh.index()] += 1;
+        }
+        if let Some(n) = dst_node {
+            st.by_dst_node.entry(n.0).or_default().insert(pkt);
+        }
+
+        self.try_assign_packet(world, lm, pkt, exclude);
+    }
+
+    /// Find the best connected carrier for one station packet: a node
+    /// predicted to transit to the packet's destination (direct delivery)
+    /// or, failing that, to its next-hop landmark — ranked by the overall
+    /// transit probability `p_a · p_pred` (§IV-D.4).
+    fn try_assign_packet(
+        &mut self,
+        world: &mut World,
+        lm: LandmarkId,
+        pkt: PacketId,
+        exclude: Option<NodeId>,
+    ) {
+        let meta = self.meta_of(pkt);
+        let p = world.packet(pkt);
+        if p.loc != PacketLoc::AtStation(lm) {
+            return;
+        }
+        let dst = p.dst;
+        let remaining = p.remaining_ttl(world.now()).secs() as f64;
+
+        // Rank connected nodes by their overall probability of transiting
+        // to the packet's destination (direct delivery, §IV-D.2) or to its
+        // next-hop landmark (§IV-D.3 step 4). Any node with a nonzero
+        // predicted probability is a candidate — the paper picks the best
+        // connected node, not only nodes whose single most likely next
+        // landmark matches.
+        let mut best: Option<(bool, f64, NodeId, LandmarkId)> = None;
+        for &n in world.nodes_at(lm) {
+            if Some(n) == exclude || !world.node_has_space(n) {
+                continue;
+            }
+            let ns = &self.nodes[n.index()];
+            if ns.predictor.current() != Some(lm) {
+                continue;
+            }
+            let acc = ns.accuracy.get(lm);
+            for (direct, target) in [(true, Some(dst)), (false, meta.next_hop)] {
+                let Some(target) = target else { continue };
+                if target == lm {
+                    continue;
+                }
+                if !direct && meta.expected >= remaining {
+                    continue; // infeasible within TTL (§IV-D.5 step 4)
+                }
+                let p = ns.predictor.probability(target);
+                if p <= 0.0 {
+                    continue;
+                }
+                let score = acc * p;
+                let cand = (direct, score, n, target);
+                let better = match &best {
+                    None => true,
+                    Some((bd, bs, bn, _)) => {
+                        (cand.0, cand.1) > (*bd, *bs)
+                            || ((cand.0, cand.1) == (*bd, *bs) && n < *bn)
+                    }
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        if let Some((_, _, n, to)) = best {
+            self.hand_to_carrier(world, lm, pkt, n, to);
+        }
+    }
+
+    /// Transfer a station packet to a chosen carrier and stamp it.
+    fn hand_to_carrier(
+        &mut self,
+        world: &mut World,
+        lm: LandmarkId,
+        pkt: PacketId,
+        carrier: NodeId,
+        toward: LandmarkId,
+    ) -> bool {
+        let dst = world.packet(pkt).dst;
+        let expected = self.landmarks[lm.index()].rt.delay_to(dst);
+        match world.transfer_to_node(pkt, carrier) {
+            Ok(()) => {
+                self.unindex(lm, pkt, dst, world.packet(pkt).dst_node);
+                let st = &mut self.landmarks[lm.index()];
+                st.lb_outgoing[toward.index()] += 1;
+                self.set_meta(
+                    pkt,
+                    PktMeta {
+                        next_hop: Some(toward),
+                        expected,
+                    },
+                );
+                true
+            }
+            Err(TransferError::Expired) => {
+                self.unindex(lm, pkt, dst, None);
+                false
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn unindex(&mut self, lm: LandmarkId, pkt: PacketId, dst: LandmarkId, dst_node: Option<NodeId>) {
+        let meta = self.meta_of(pkt);
+        let st = &mut self.landmarks[lm.index()];
+        if let Some(set) = st.by_dst.get_mut(&dst.0) {
+            set.remove(&pkt);
+        }
+        if let Some(nh) = meta.next_hop {
+            if let Some(set) = st.by_next_hop.get_mut(&nh.0) {
+                set.remove(&pkt);
+            }
+        }
+        if let Some(n) = dst_node {
+            if let Some(set) = st.by_dst_node.get_mut(&n.0) {
+                set.remove(&pkt);
+            }
+        }
+    }
+
+    /// Downlink at node arrival: give the node up to `upload_cap` station
+    /// packets it can usefully carry — direct-delivery packets first, then
+    /// packets routed toward its predicted landmark, in minimum-remaining-
+    /// TTL order (§IV-D.5 step 4; TTL order equals id order because every
+    /// packet shares one TTL).
+    fn assign_to_node(&mut self, world: &mut World, lm: LandmarkId, node: NodeId) {
+        // The node can carry packets toward *any* landmark it has a
+        // positive predicted probability of transiting to — its whole
+        // successor distribution, best first. Within each target, direct-
+        // delivery packets (dst == target) precede routed packets
+        // (next hop == target), in minimum-remaining-TTL order (equal to
+        // id order, since every packet shares one TTL).
+        let (dist, at_lm) = {
+            let ns = &self.nodes[node.index()];
+            (ns.predictor.distribution(), ns.predictor.current())
+        };
+        if at_lm != Some(lm) || dist.is_empty() {
+            return;
+        }
+        // `upload_cap` (K = 50) is the §IV-D.5 *per-round* granularity and
+        // only applies when the radio is actually contended; with an
+        // unconstrained radio the transfer is bounded by node memory, as
+        // in the paper's trace experiments.
+        let cap = if world.config().radio_budget_per_unit.is_some() {
+            world.config().upload_cap
+        } else {
+            usize::MAX
+        };
+        let mut assigned = 0usize;
+        let now = world.now();
+
+        // Phase 0 honours the §IV-D.5 priority: packets whose expected
+        // delay fits their remaining TTL go first. Phase 1 is best-effort
+        // mop-up — a packet past its feasible window still rides along if
+        // capacity remains, rather than freezing at the station.
+        for phase in 0..2 {
+            for &(h, p) in &dist {
+                if h == lm {
+                    continue;
+                }
+                if assigned >= cap || !world.node_has_space(node) {
+                    return;
+                }
+                // Bulk-load proportionally to the transit confidence: a
+                // carrier that only sometimes heads to `h` takes only a
+                // slice of the queue, leaving the rest for better-matched
+                // carriers instead of stranding mis-transited packets.
+                let free_slots =
+                    (world.node_free_bytes(node) / world.config().packet_size) as usize;
+                let mut bucket_quota = ((free_slots as f64) * p).ceil() as usize;
+                for direct in [true, false] {
+                    if phase == 1 && direct {
+                        continue; // direct packets were never deferred
+                    }
+                    let st = &self.landmarks[lm.index()];
+                    let index = if direct { &st.by_dst } else { &st.by_next_hop };
+                    let Some(set) = index.get(&h.0) else { continue };
+                    let candidates: Vec<PacketId> = set.iter().copied().collect();
+                    for pkt in candidates {
+                        if assigned >= cap || bucket_quota == 0 || !world.node_has_space(node)
+                        {
+                            break;
+                        }
+                        let p = world.packet(pkt);
+                        // Lazily drop stale index entries.
+                        if p.loc != PacketLoc::AtStation(lm) {
+                            let dst = p.dst;
+                            let dn = p.dst_node;
+                            self.unindex(lm, pkt, dst, dn);
+                            continue;
+                        }
+                        if !direct {
+                            if p.dst == h {
+                                continue; // handled by the direct pass
+                            }
+                            let meta = self.meta_of(pkt);
+                            let remaining = p.remaining_ttl(now).secs() as f64;
+                            let feasible = meta.expected < remaining;
+                            if feasible != (phase == 0) {
+                                continue;
+                            }
+                        }
+                        if self.hand_to_carrier(world, lm, pkt, node, h) {
+                            assigned += 1;
+                            bucket_quota -= 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A packet closed a loop at `lm`: raise and apply a correction
+    /// (§IV-E.2).
+    fn handle_loop(&mut self, world: &mut World, lm: LandmarkId, pkt: PacketId) {
+        self.stats.loops_detected += 1;
+        if !self.cfg.loop_correction {
+            return;
+        }
+        let p = world.packet(pkt);
+        let dest = p.dst;
+        let mut members: Vec<LandmarkId> = p.loop_members(lm).to_vec();
+        members.sort();
+        members.dedup();
+        if members.len() < 2 {
+            return;
+        }
+        let correction = Correction {
+            dest,
+            members,
+            hops_left: 8,
+            claims: Vec::new(),
+        };
+        self.apply_correction(world, lm, correction);
+    }
+
+    /// Apply a correction at `lm`.
+    ///
+    /// 1. Any claims already in the notice are installed as fresh
+    ///    distance-vector entries for the destination (this is the
+    ///    "updated distance vector" exchange of §IV-E.2).
+    /// 2. The *first* time a member landmark sees this loop in a unit, it
+    ///    distrusts the other members' stored claims for the destination —
+    ///    this is what actually removes the stale entry sustaining the
+    ///    loop.
+    /// 3. The member appends its own (now recomputed) delay claim and the
+    ///    notice is queued for further relaying with a hop budget.
+    fn apply_correction(&mut self, world: &World, lm: LandmarkId, mut c: Correction) {
+        let dest = c.dest;
+        let mut changed = false;
+        for &(j, v) in &c.claims {
+            if j != lm.0 {
+                let seq = self.landmarks[lm.index()].unit_seq;
+                self.landmarks[lm.index()]
+                    .rt
+                    .set_claim(LandmarkId(j), dest, v, seq);
+                changed = true;
+            }
+        }
+        let key = (dest.0, c.members.first().map(|m| m.0).unwrap_or(0));
+        let first_time = self.landmarks[lm.index()].seen_corrections.insert(key);
+        if first_time && c.members.contains(&lm) {
+            let others: Vec<LandmarkId> =
+                c.members.iter().copied().filter(|&m| m != lm).collect();
+            self.landmarks[lm.index()].rt.distrust(dest, &others);
+            changed = true;
+        }
+        if changed {
+            self.recompute_tables(lm, world);
+        }
+        if c.members.contains(&lm) {
+            let my_delay = self.landmarks[lm.index()].rt.delay_to(dest);
+            c.claims.retain(|&(j, _)| j != lm.0);
+            c.claims.push((lm.0, my_delay));
+        }
+        if first_time && c.hops_left > 0 {
+            let unit = self.current_unit;
+            self.landmarks[lm.index()].pending_corrections.push((
+                unit,
+                Correction {
+                    hops_left: c.hops_left - 1,
+                    ..c
+                },
+            ));
+        }
+    }
+
+    /// Rebuild a landmark's station indices after a routing-table refresh.
+    fn rebucket(&mut self, world: &World, lm: LandmarkId) {
+        let packets: Vec<PacketId> = world.station_packets(lm).collect();
+        {
+            let st = &mut self.landmarks[lm.index()];
+            st.by_next_hop.clear();
+            st.by_dst.clear();
+            st.by_dst_node.clear();
+        }
+        for pkt in packets {
+            let p = world.packet(pkt);
+            let dst = p.dst;
+            let dst_node = p.dst_node;
+            let st = &self.landmarks[lm.index()];
+            let entry = st.rt.entry(dst);
+            let mut next = entry.next;
+            let mut expected = entry.delay;
+            if let Some(lb) = &self.cfg.load_balance {
+                if let (Some(nh), Some(bk)) = (next, entry.backup) {
+                    if st.overloaded[nh.index()]
+                        && !st.overloaded[bk.index()]
+                        && entry.backup_delay <= lb.max_detour * entry.delay
+                    {
+                        next = Some(bk);
+                        expected = entry.backup_delay;
+                    }
+                }
+            }
+            if dst == lm {
+                next = None;
+                expected = 0.0;
+            }
+            self.set_meta(
+                pkt,
+                PktMeta {
+                    next_hop: next,
+                    expected,
+                },
+            );
+            let st = &mut self.landmarks[lm.index()];
+            st.by_dst.entry(dst.0).or_default().insert(pkt);
+            if let Some(nh) = next {
+                st.by_next_hop.entry(nh.0).or_default().insert(pkt);
+            }
+            if let Some(n) = dst_node {
+                st.by_dst_node.entry(n.0).or_default().insert(pkt);
+            }
+        }
+    }
+
+    fn timer_token(node: NodeId, episode: u64) -> u64 {
+        (episode << 24) | node.0 as u64
+    }
+
+    fn decode_token(token: u64) -> (NodeId, u64) {
+        (NodeId((token & 0xFF_FFFF) as u32), token >> 24)
+    }
+}
+
+impl Router for FlowRouter {
+    fn name(&self) -> &'static str {
+        "DTN-FLOW"
+    }
+
+    fn uses_stations(&self) -> bool {
+        true
+    }
+
+    fn on_arrive(&mut self, world: &mut World, node: NodeId, lm: LandmarkId) {
+        let now = world.now();
+
+        // 1. Transit bookkeeping: bandwidth measurement + prediction
+        //    settlement.
+        let (prev, predicted) = {
+            let ns = &self.nodes[node.index()];
+            (ns.last_landmark, ns.predicted)
+        };
+        let is_transit = prev.is_some() && prev != Some(lm);
+        if is_transit {
+            let from = prev.expect("transit has a source");
+            self.landmarks[lm.index()].bw.record_arrival_from(from);
+            if let Some((made_at, to, _)) = predicted {
+                if made_at == from {
+                    self.nodes[node.index()].accuracy.record(from, to == lm);
+                }
+            }
+        }
+
+        // 2. Deliver carried routing info.
+        if let Some(carried) = self.nodes[node.index()].carried.take() {
+            if carried.from != lm {
+                let accepted = self.landmarks[lm.index()].rt.receive(
+                    carried.from,
+                    StoredVector {
+                        seq: carried.seq,
+                        delays: carried.vector,
+                    },
+                );
+                world.record_table_exchange(carried.entries);
+                self.stats.tables_received += 1;
+                if let Some((addressee, value, seq)) = carried.report {
+                    if addressee == lm
+                        && self.landmarks[lm.index()]
+                            .bw
+                            .apply_report(carried.from, value, seq)
+                    {
+                        self.stats.reports_applied += 1;
+                    }
+                }
+                if accepted {
+                    self.recompute_tables(lm, world);
+                }
+                for (_, c) in carried
+                    .corrections
+                    .iter()
+                    .map(|c| (0u64, c.clone()))
+                    .collect::<Vec<_>>()
+                {
+                    self.apply_correction(world, lm, c);
+                }
+            }
+        }
+
+        // 3. Update the node's predictor and make the next prediction.
+        {
+            let ns = &mut self.nodes[node.index()];
+            ns.arrival = Some((lm, now));
+            ns.episode += 1;
+            ns.predictor.observe(lm);
+            ns.predicted = ns.predictor.predict().map(|(to, p)| (lm, to, p));
+        }
+
+        // 4. Uplink: hand over deliverable/improvable packets (§IV-D.1).
+        let carried_pkts: Vec<PacketId> = world.node_packets(node).collect();
+        for pkt in carried_pkts {
+            let p = world.packet(pkt);
+            let dst = p.dst;
+            let meta = self.meta_of(pkt);
+            let here_delay = self.landmarks[lm.index()].rt.delay_to(dst);
+            let upload = dst == lm
+                || meta.next_hop == Some(lm)
+                || here_delay < meta.expected * (1.0 + self.cfg.mis_transit_tolerance);
+            if !upload {
+                continue;
+            }
+            match world.transfer_to_station(pkt, lm) {
+                Ok(out) => {
+                    if out.loop_closed {
+                        self.handle_loop(world, lm, pkt);
+                    }
+                    if !out.delivered {
+                        self.station_accept(world, lm, pkt, Some(node));
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+
+        // 5. §IV-E.4 deliveries: station packets addressed to this node.
+        let addressed: Vec<PacketId> = self.landmarks[lm.index()]
+            .by_dst_node
+            .get(&node.0)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for pkt in addressed {
+            let dst = world.packet(pkt).dst;
+            if world.deliver_to_dst_node(pkt, node).is_ok() {
+                self.unindex(lm, pkt, dst, Some(node));
+            }
+        }
+
+        // 6. Downlink: load the node with packets it can usefully carry.
+        self.assign_to_node(world, lm, node);
+
+        // 7. Dead-end timer (§IV-E.1).
+        if let Some(de) = self.cfg.dead_end {
+            let ns = &self.nodes[node.index()];
+            if ns.history.len() >= de.min_stays {
+                let overall = ns.history.avg_stay_overall().map(|d| d.secs());
+                let here = ns.history.avg_stay_at(lm).map(|d| d.secs());
+                let base = match (overall, here) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                if let Some(avg) = base {
+                    let thr = SimDuration::from_secs(
+                        ((avg as f64) * de.gamma).round() as u64 + 1,
+                    );
+                    world.schedule_timer(
+                        now + thr,
+                        Self::timer_token(node, self.nodes[node.index()].episode),
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_depart(&mut self, world: &mut World, node: NodeId, lm: LandmarkId) {
+        // Last-call downlink: packets that reached this station during the
+        // node's stay leave with it if they match its prediction.
+        self.assign_to_node(world, lm, node);
+        let now = world.now();
+        {
+            let ns = &mut self.nodes[node.index()];
+            if let Some((at, since)) = ns.arrival.take() {
+                debug_assert_eq!(at, lm);
+                if now > since {
+                    ns.history.record(lm, since, now);
+                }
+            }
+            ns.last_landmark = Some(lm);
+            ns.episode += 1;
+        }
+        // Snapshot the carried routing table + reverse-bandwidth report.
+        let predicted_to = self.nodes[node.index()].predicted.and_then(|(at, to, _)| {
+            (at == lm).then_some(to)
+        });
+        let st = &self.landmarks[lm.index()];
+        let report = predicted_to.map(|h| (h, st.bw.incoming(h), st.unit_seq));
+        let corrections = st
+            .pending_corrections
+            .iter()
+            .map(|(_, c)| c.clone())
+            .collect();
+        self.nodes[node.index()].carried = Some(Carried {
+            from: lm,
+            seq: st.unit_seq,
+            vector: st.rt.snapshot(),
+            entries: st.rt.table_size(),
+            report,
+            corrections,
+        });
+        let _ = world;
+    }
+
+    fn on_packet_generated(&mut self, world: &mut World, pkt: PacketId) {
+        let PacketLoc::AtStation(src) = world.packet(pkt).loc else {
+            unreachable!("station-mode packets are born at their source station");
+        };
+        self.station_accept(world, src, pkt, None);
+    }
+
+    fn on_time_unit(&mut self, world: &mut World, unit: u64) {
+        self.current_unit = unit;
+
+        // Scheduled loop injections (Table VII experiment).
+        let due: Vec<LoopInjection> = self
+            .injections
+            .iter()
+            .filter(|i| i.at_unit == unit)
+            .cloned()
+            .collect();
+        for inj in due {
+            let k = inj.members.len();
+            for (idx, &m) in inj.members.iter().enumerate() {
+                let next = inj.members[(idx + 1) % k];
+                self.landmarks[m.index()]
+                    .rt
+                    .set_claim(next, inj.dest, 1.0, unit);
+            }
+        }
+
+        for l in 0..self.landmarks.len() {
+            let lm = LandmarkId::from(l);
+            {
+                let st = &mut self.landmarks[l];
+                st.bw.end_of_unit();
+                st.unit_seq = unit;
+                st.seen_corrections.clear();
+                st.pending_corrections
+                    .retain(|(born, _)| unit.saturating_sub(*born) <= 1);
+                // Load-balance rates: overloaded when incoming exceeds
+                // theta x outgoing with real pressure behind it.
+                if let Some(lb) = &self.cfg.load_balance {
+                    for h in 0..st.overloaded.len() {
+                        st.overloaded[h] = st.lb_incoming[h] >= lb.min_incoming
+                            && st.lb_incoming[h] as f64 > lb.theta * st.lb_outgoing[h] as f64;
+                    }
+                }
+                st.lb_incoming.iter_mut().for_each(|c| *c = 0);
+                st.lb_outgoing.iter_mut().for_each(|c| *c = 0);
+            }
+            self.recompute_tables(lm, world);
+            self.rebucket(world, lm);
+        }
+
+        // Refresh §IV-E.4 registrations.
+        for n in 0..self.nodes.len() {
+            self.registrations[n] = self.nodes[n]
+                .history
+                .frequent_landmarks(self.cfg.frequent_landmarks);
+        }
+    }
+
+    fn on_observe(&mut self, _world: &mut World, idx: usize) {
+        let per_landmark = self
+            .landmarks
+            .iter()
+            .map(|st| (st.rt.coverage(), st.rt.next_hops()))
+            .collect();
+        self.observer.observe(idx, per_landmark);
+    }
+
+    fn on_timer(&mut self, world: &mut World, token: u64) {
+        let Some(de) = self.cfg.dead_end else { return };
+        let (node, episode) = Self::decode_token(token);
+        if node.index() >= self.nodes.len() {
+            return;
+        }
+        {
+            let ns = &self.nodes[node.index()];
+            if ns.episode != episode {
+                return; // the stay this timer was armed for has ended
+            }
+        }
+        let Some((lm, since)) = self.nodes[node.index()].arrival else {
+            return;
+        };
+        let elapsed = world.now().since(since);
+        let stuck = self.nodes[node.index()].history.is_dead_end(
+            lm,
+            elapsed,
+            de.gamma,
+            de.min_stays,
+        );
+        if !stuck {
+            return;
+        }
+        self.stats.dead_ends_detected += 1;
+        // Hand packets back to the landmark so other nodes can take over
+        // (§IV-E.1) — but only those the landmark can route onward
+        // (the station "utilizes its routing table to decide the next-hop
+        // landmark ... and forwards them to the nodes that can carry them
+        // out"); a station with no route would just strand the packet.
+        let pkts: Vec<PacketId> = world
+            .node_packets(node)
+            .filter(|&p| {
+                let dst = world.packet(p).dst;
+                dst == lm || self.landmarks[lm.index()].rt.delay_to(dst).is_finite()
+            })
+            .collect();
+        for pkt in pkts {
+            match world.transfer_to_station(pkt, lm) {
+                Ok(out) => {
+                    if out.loop_closed {
+                        self.handle_loop(world, lm, pkt);
+                    }
+                    if !out.delivered {
+                        self.station_accept(world, lm, pkt, Some(node));
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtnflow_core::config::SimConfig;
+    use dtnflow_core::geometry::Point;
+    use dtnflow_core::time::{SimTime, DAY};
+    use dtnflow_mobility::{Trace, Visit};
+    use dtnflow_sim::run;
+
+    /// A three-landmark corridor: node 0 shuttles l0<->l1, node 1 shuttles
+    /// l1<->l2, daily. No node ever visits both ends, so only inter-
+    /// landmark relaying can deliver l0->l2 packets.
+    fn corridor_trace(days: u64) -> Trace {
+        let mut visits = Vec::new();
+        for d in 0..days {
+            let base = d * 86_400;
+            // Node 0: l0 morning, l1 noon, l0 evening.
+            visits.push(Visit::new(
+                NodeId(0),
+                LandmarkId(0),
+                SimTime(base + 1_000),
+                SimTime(base + 10_000),
+            ));
+            visits.push(Visit::new(
+                NodeId(0),
+                LandmarkId(1),
+                SimTime(base + 20_000),
+                SimTime(base + 30_000),
+            ));
+            visits.push(Visit::new(
+                NodeId(0),
+                LandmarkId(0),
+                SimTime(base + 40_000),
+                SimTime(base + 50_000),
+            ));
+            // Node 1: l1 late morning, l2 afternoon, l1 night — offset so
+            // it picks up what node 0 dropped at l1.
+            visits.push(Visit::new(
+                NodeId(1),
+                LandmarkId(1),
+                SimTime(base + 32_000),
+                SimTime(base + 42_000),
+            ));
+            visits.push(Visit::new(
+                NodeId(1),
+                LandmarkId(2),
+                SimTime(base + 52_000),
+                SimTime(base + 62_000),
+            ));
+            visits.push(Visit::new(
+                NodeId(1),
+                LandmarkId(1),
+                SimTime(base + 72_000),
+                SimTime(base + 82_000),
+            ));
+        }
+        let positions = (0..3).map(|i| Point::new(i as f64 * 500.0, 0.0)).collect();
+        Trace::new("corridor", 2, 3, positions, visits).unwrap()
+    }
+
+    fn corridor_cfg() -> SimConfig {
+        SimConfig {
+            packets_per_landmark_per_day: 6.0,
+            ttl: DAY.mul(6),
+            time_unit: DAY,
+            seed: 11,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn relays_across_landmarks_without_end_to_end_carriers() {
+        let trace = corridor_trace(16);
+        let cfg = corridor_cfg();
+        let mut router = FlowRouter::new(FlowConfig::default(), 2, 3);
+        let out = run(&trace, &cfg, &mut router);
+        assert!(out.metrics.generated > 0);
+        // l0 -> l2 (and reverse) packets require the two-hop relay; a
+        // healthy DTN-FLOW delivers most packets.
+        assert!(
+            out.metrics.success_rate() > 0.6,
+            "success {}",
+            out.metrics.success_rate()
+        );
+        // Multi-hop deliveries exist: some packet crossed l0 -> l1 -> l2.
+        let crossed = out.packets.iter().any(|p| {
+            matches!(p.loc, PacketLoc::Delivered(_)) && p.visited.len() >= 2
+        });
+        assert!(crossed, "expected at least one relayed delivery");
+        assert!(out.metrics.maintenance_ops > 0.0, "tables were exchanged");
+    }
+
+    #[test]
+    fn bandwidth_tables_learn_the_corridor() {
+        let trace = corridor_trace(16);
+        let cfg = corridor_cfg();
+        let mut router = FlowRouter::new(FlowConfig::default(), 2, 3);
+        let _ = run(&trace, &cfg, &mut router);
+        // l0 sees ~2 transits/day to l1 (node 0 shuttling), none to l2.
+        let b01 = router.bandwidth(LandmarkId(0), LandmarkId(1));
+        let b02 = router.bandwidth(LandmarkId(0), LandmarkId(2));
+        assert!(b01 > 0.5, "b01 {b01}");
+        assert!(b02 < 0.05, "b02 {b02}");
+    }
+
+    #[test]
+    fn routing_tables_point_down_the_corridor() {
+        let trace = corridor_trace(16);
+        let cfg = corridor_cfg();
+        let mut router = FlowRouter::new(FlowConfig::default(), 2, 3);
+        let _ = run(&trace, &cfg, &mut router);
+        let rows = router.routing_rows(LandmarkId(0));
+        let to_l2 = rows.iter().find(|(d, _, _)| *d == LandmarkId(2));
+        let (_, next, delay) = to_l2.expect("l0 must know a route to l2");
+        assert_eq!(*next, LandmarkId(1), "l0 routes to l2 via l1");
+        assert!(delay.is_finite());
+    }
+
+    #[test]
+    fn predictions_become_confident_on_periodic_movement() {
+        let trace = corridor_trace(16);
+        let cfg = corridor_cfg();
+        let mut router = FlowRouter::new(FlowConfig::default(), 2, 3);
+        let _ = run(&trace, &cfg, &mut router);
+        // Node 0 ends at l0 (last visit), so prediction is l1 next.
+        let (to, prob) = router.prediction(NodeId(0)).expect("prediction exists");
+        assert_eq!(to, LandmarkId(1));
+        assert!(prob > 0.9, "prob {prob}");
+    }
+
+    #[test]
+    fn observer_rows_cover_and_stabilize() {
+        let trace = corridor_trace(16);
+        let mut cfg = corridor_cfg();
+        cfg.observe_points = 10;
+        let mut router = FlowRouter::new(FlowConfig::default(), 2, 3);
+        let _ = run(&trace, &cfg, &mut router);
+        let rows = router.observations();
+        assert_eq!(rows.len(), 10);
+        let last = rows.last().unwrap();
+        assert!(last.avg_coverage > 0.9, "coverage {}", last.avg_coverage);
+        assert!(last.avg_stability > 0.9, "stability {}", last.avg_stability);
+    }
+
+    #[test]
+    fn dead_end_detection_rescues_packets() {
+        // Node 0 shuttles for a while, then gets stuck at l1 for days.
+        let mut visits = Vec::new();
+        for d in 0..10u64 {
+            let base = d * 86_400;
+            visits.push(Visit::new(
+                NodeId(0),
+                LandmarkId(0),
+                SimTime(base + 1_000),
+                SimTime(base + 10_000),
+            ));
+            visits.push(Visit::new(
+                NodeId(0),
+                LandmarkId(1),
+                SimTime(base + 20_000),
+                SimTime(base + 30_000),
+            ));
+            // Node 1 also shuttles l1 <-> l0, slightly offset.
+            visits.push(Visit::new(
+                NodeId(1),
+                LandmarkId(1),
+                SimTime(base + 32_000),
+                SimTime(base + 40_000),
+            ));
+            visits.push(Visit::new(
+                NodeId(1),
+                LandmarkId(0),
+                SimTime(base + 50_000),
+                SimTime(base + 60_000),
+            ));
+        }
+        // Day 10: node 0 arrives at l1 and never leaves (maintenance).
+        visits.push(Visit::new(
+            NodeId(0),
+            LandmarkId(1),
+            SimTime(10 * 86_400),
+            SimTime(14 * 86_400),
+        ));
+        // Node 1 keeps shuttling during the stall.
+        for d in 10..14u64 {
+            let base = d * 86_400;
+            visits.push(Visit::new(
+                NodeId(1),
+                LandmarkId(1),
+                SimTime(base + 32_000),
+                SimTime(base + 40_000),
+            ));
+            visits.push(Visit::new(
+                NodeId(1),
+                LandmarkId(0),
+                SimTime(base + 50_000),
+                SimTime(base + 60_000),
+            ));
+        }
+        let positions = (0..2).map(|i| Point::new(i as f64 * 500.0, 0.0)).collect();
+        let trace = Trace::new("stall", 2, 2, positions, visits).unwrap();
+        let cfg = SimConfig {
+            packets_per_landmark_per_day: 4.0,
+            ttl: DAY.mul(3),
+            time_unit: DAY,
+            seed: 5,
+            ..SimConfig::default()
+        };
+        let flow = FlowConfig {
+            dead_end: Some(crate::config::DeadEndConfig {
+                gamma: 2.0,
+                min_stays: 5,
+            }),
+            ..FlowConfig::default()
+        };
+        let mut router = FlowRouter::new(flow, 2, 2);
+        let _ = run(&trace, &cfg, &mut router);
+        assert!(
+            router.stats().dead_ends_detected > 0,
+            "the four-day stall must be detected"
+        );
+    }
+
+    /// Like the corridor, but the l0<->l1 leg runs at twice the bandwidth
+    /// of l1<->l2, so a falsified near-zero claim makes the cheap backward
+    /// link attractive and a real routing loop forms (the Fig. 9
+    /// scenario: via-l0 = ½T + ε beats the direct 1T link at l1).
+    fn asymmetric_corridor_trace(days: u64) -> Trace {
+        let mut visits = Vec::new();
+        for d in 0..days {
+            let base = d * 86_400;
+            // Node 0: two l0<->l1 round trips per day.
+            for (k, s) in [(0u64, 1_000u64), (1, 43_000)] {
+                let o = base + s + k; // k keeps instants distinct
+                visits.push(Visit::new(
+                    NodeId(0),
+                    LandmarkId(0),
+                    SimTime(o),
+                    SimTime(o + 6_000),
+                ));
+                visits.push(Visit::new(
+                    NodeId(0),
+                    LandmarkId(1),
+                    SimTime(o + 10_000),
+                    SimTime(o + 16_000),
+                ));
+                visits.push(Visit::new(
+                    NodeId(0),
+                    LandmarkId(0),
+                    SimTime(o + 20_000),
+                    SimTime(o + 26_000),
+                ));
+            }
+            // Node 1: one l1<->l2 round trip per day.
+            visits.push(Visit::new(
+                NodeId(1),
+                LandmarkId(1),
+                SimTime(base + 30_000),
+                SimTime(base + 36_000),
+            ));
+            visits.push(Visit::new(
+                NodeId(1),
+                LandmarkId(2),
+                SimTime(base + 40_000),
+                SimTime(base + 46_000),
+            ));
+            visits.push(Visit::new(
+                NodeId(1),
+                LandmarkId(1),
+                SimTime(base + 50_000),
+                SimTime(base + 56_000),
+            ));
+        }
+        let positions = (0..3).map(|i| Point::new(i as f64 * 500.0, 0.0)).collect();
+        Trace::new("asym-corridor", 2, 3, positions, visits).unwrap()
+    }
+
+    #[test]
+    fn injected_loop_is_detected_and_corrected() {
+        let trace = asymmetric_corridor_trace(16);
+        let cfg = corridor_cfg();
+        let inject = vec![LoopInjection {
+            at_unit: 6,
+            members: vec![LandmarkId(0), LandmarkId(1)],
+            dest: LandmarkId(2),
+        }];
+        let flow = FlowConfig {
+            loop_correction: true,
+            inject_loops: inject.clone(),
+            ..FlowConfig::default()
+        };
+        let mut with = FlowRouter::new(flow, 2, 3);
+        let out_with = run(&trace, &cfg, &mut with);
+        assert!(
+            with.stats().loops_detected > 0,
+            "looping packets must be noticed"
+        );
+        // Corrected run still delivers most packets.
+        assert!(
+            out_with.metrics.success_rate() > 0.5,
+            "success {}",
+            out_with.metrics.success_rate()
+        );
+        // Without correction the loops are never acted upon: the router
+        // keeps bouncing packets (detections keep accumulating) and
+        // success suffers relative to the corrected run.
+        let flow_org = FlowConfig {
+            loop_correction: false,
+            inject_loops: inject,
+            ..FlowConfig::default()
+        };
+        let mut org = FlowRouter::new(flow_org, 2, 3);
+        let out_org = run(&trace, &cfg, &mut org);
+        assert!(
+            out_with.metrics.success_rate() >= out_org.metrics.success_rate(),
+            "correction must not hurt: with {} vs org {}",
+            out_with.metrics.success_rate(),
+            out_org.metrics.success_rate()
+        );
+    }
+
+    #[test]
+    fn send_to_node_uses_registrations() {
+        let trace = corridor_trace(16);
+        let cfg = corridor_cfg();
+
+        struct Wrapper {
+            inner: FlowRouter,
+            sent: bool,
+            created: Vec<PacketId>,
+        }
+        impl Router for Wrapper {
+            fn name(&self) -> &'static str {
+                "wrapper"
+            }
+            fn uses_stations(&self) -> bool {
+                true
+            }
+            fn on_arrive(&mut self, w: &mut World, n: NodeId, l: LandmarkId) {
+                self.inner.on_arrive(w, n, l);
+            }
+            fn on_depart(&mut self, w: &mut World, n: NodeId, l: LandmarkId) {
+                self.inner.on_depart(w, n, l);
+            }
+            fn on_packet_generated(&mut self, w: &mut World, p: PacketId) {
+                self.inner.on_packet_generated(w, p);
+            }
+            fn on_time_unit(&mut self, w: &mut World, u: u64) {
+                self.inner.on_time_unit(w, u);
+                // Mid-run, send a packet from l2's subarea to node 0
+                // (who frequents l0/l1, never l2).
+                if u == 8 && !self.sent {
+                    self.sent = true;
+                    self.created =
+                        self.inner.send_to_node(w, LandmarkId(2), NodeId(0));
+                }
+            }
+            fn on_timer(&mut self, w: &mut World, t: u64) {
+                self.inner.on_timer(w, t);
+            }
+        }
+
+        let mut router = Wrapper {
+            inner: FlowRouter::new(FlowConfig::default(), 2, 3),
+            sent: false,
+            created: Vec::new(),
+        };
+        let out = run(&trace, &cfg, &mut router);
+        assert!(!router.created.is_empty(), "copies were created");
+        // At least one copy reached node 0.
+        let delivered = router
+            .created
+            .iter()
+            .any(|&p| matches!(out.packets[p.index()].loc, PacketLoc::Delivered(_)));
+        assert!(delivered, "node-addressed packet must reach node 0");
+        // Registrations for node 0 are its frequent haunts.
+        let regs = router.inner.registered_landmarks(NodeId(0));
+        assert!(regs.contains(&LandmarkId(0)) || regs.contains(&LandmarkId(1)));
+    }
+
+    #[test]
+    fn timer_token_roundtrip() {
+        let (n, e) = FlowRouter::decode_token(FlowRouter::timer_token(NodeId(123), 456));
+        assert_eq!(n, NodeId(123));
+        assert_eq!(e, 456);
+    }
+}

@@ -1,0 +1,14 @@
+//! Landmark selection and subarea division (paper §IV-A).
+//!
+//! Given raw place-visit statistics, the network planner (1) takes the most
+//! frequently visited places as landmark candidates, (2) removes, for every
+//! candidate pair closer than `D` meters, the less-visited one, and
+//! (3) splits the area into one subarea per landmark — each point belongs
+//! to the nearest landmark (a Voronoi partition, which satisfies all three
+//! division rules of §IV-A.2).
+
+pub mod division;
+pub mod selection;
+
+pub use division::{SubareaDivision, SubareaGrid};
+pub use selection::{select_landmarks, PlaceStat, SelectionConfig};

@@ -1,0 +1,145 @@
+//! Landmark selection (paper §IV-A.1): popular places become landmarks,
+//! subject to a minimum pairwise distance `D`.
+
+use dtnflow_core::geometry::Point;
+
+/// A candidate place with its observed visit frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaceStat {
+    pub position: Point,
+    pub visits: u64,
+}
+
+/// Selection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionConfig {
+    /// Keep at most this many landmarks (the top popular places).
+    pub max_landmarks: usize,
+    /// Minimum allowed distance between two landmarks, meters (`D`).
+    pub min_distance: f64,
+    /// Ignore places with fewer visits than this.
+    pub min_visits: u64,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        SelectionConfig {
+            max_landmarks: usize::MAX,
+            min_distance: 100.0,
+            min_visits: 1,
+        }
+    }
+}
+
+/// Select landmarks from place statistics.
+///
+/// Algorithm, as in the paper: form the candidate list of popular places;
+/// then for every pair of candidates closer than `D`, remove the one with
+/// the lower visit frequency; finally keep the `max_landmarks` most
+/// popular survivors. Returns indices into `places`, ordered by descending
+/// popularity (ties by index for determinism).
+pub fn select_landmarks(places: &[PlaceStat], cfg: &SelectionConfig) -> Vec<usize> {
+    assert!(cfg.min_distance >= 0.0, "min distance must be non-negative");
+    // Candidates sorted by popularity, most visited first.
+    let mut order: Vec<usize> = (0..places.len())
+        .filter(|&i| places[i].visits >= cfg.min_visits)
+        .collect();
+    order.sort_by(|&a, &b| places[b].visits.cmp(&places[a].visits).then(a.cmp(&b)));
+
+    // Greedy pruning in popularity order: a place survives only if no
+    // already-kept, more popular place is within D. This removes exactly
+    // the less-visited member of every conflicting pair.
+    let mut kept: Vec<usize> = Vec::new();
+    for &i in &order {
+        if kept.len() >= cfg.max_landmarks {
+            break;
+        }
+        let pos = places[i].position;
+        if kept
+            .iter()
+            .all(|&j| places[j].position.distance(pos) >= cfg.min_distance)
+        {
+            kept.push(i);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn place(x: f64, y: f64, visits: u64) -> PlaceStat {
+        PlaceStat {
+            position: Point::new(x, y),
+            visits,
+        }
+    }
+
+    #[test]
+    fn keeps_most_popular_of_close_pair() {
+        let places = [
+            place(0.0, 0.0, 100),
+            place(50.0, 0.0, 80), // within 100 m of the first: pruned
+            place(500.0, 0.0, 60),
+        ];
+        let cfg = SelectionConfig::default();
+        let sel = select_landmarks(&places, &cfg);
+        assert_eq!(sel, vec![0, 2]);
+    }
+
+    #[test]
+    fn all_survivors_respect_min_distance() {
+        let places: Vec<PlaceStat> = (0..30)
+            .map(|i| place((i as f64) * 40.0, 0.0, 100 - i as u64))
+            .collect();
+        let cfg = SelectionConfig {
+            min_distance: 100.0,
+            ..SelectionConfig::default()
+        };
+        let sel = select_landmarks(&places, &cfg);
+        for (a, &i) in sel.iter().enumerate() {
+            for &j in &sel[a + 1..] {
+                assert!(places[i].position.distance(places[j].position) >= 100.0);
+            }
+        }
+        assert!(!sel.is_empty());
+    }
+
+    #[test]
+    fn respects_max_landmarks_and_min_visits() {
+        let places = [
+            place(0.0, 0.0, 100),
+            place(500.0, 0.0, 90),
+            place(1_000.0, 0.0, 2),
+            place(1_500.0, 0.0, 80),
+        ];
+        let cfg = SelectionConfig {
+            max_landmarks: 2,
+            min_visits: 10,
+            ..SelectionConfig::default()
+        };
+        let sel = select_landmarks(&places, &cfg);
+        assert_eq!(sel, vec![0, 1]);
+    }
+
+    #[test]
+    fn popularity_order_in_result() {
+        let places = [place(0.0, 0.0, 10), place(500.0, 0.0, 90)];
+        let sel = select_landmarks(&places, &SelectionConfig::default());
+        assert_eq!(sel, vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(select_landmarks(&[], &SelectionConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn tie_in_popularity_breaks_by_index() {
+        let places = [place(0.0, 0.0, 50), place(10.0, 0.0, 50)];
+        let sel = select_landmarks(&places, &SelectionConfig::default());
+        // Both are within 100 m; the lower index is considered first.
+        assert_eq!(sel, vec![0]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Plain-text trace serialization.
+//!
+//! Lets externally collected traces (DART/DNET-style association logs) be
+//! loaded into the simulator, and synthetic traces be saved for inspection.
+//!
+//! Format (line-oriented, `#` comments allowed):
+//!
+//! ```text
+//! dtn-trace v1
+//! name campus
+//! nodes 320
+//! landmarks 159
+//! pos 0 12.5 340.0
+//! ...one pos line per landmark...
+//! v 17 4 1000 1600      # node landmark start end  (seconds)
+//! ```
+
+use crate::trace::{Trace, Visit};
+use dtnflow_core::geometry::Point;
+use dtnflow_core::ids::{LandmarkId, NodeId};
+use dtnflow_core::time::SimTime;
+use std::fmt::Write as _;
+
+/// Why parsing failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Missing or wrong magic line.
+    BadHeader,
+    /// A malformed line, with its 1-based number and a description.
+    BadLine { line: usize, what: String },
+    /// The parsed records failed trace validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing `dtn-trace v1` header"),
+            ParseError::BadLine { line, what } => write!(f, "line {line}: {what}"),
+            ParseError::Invalid(e) => write!(f, "invalid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize a trace to the v1 text format.
+pub fn to_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("dtn-trace v1\n");
+    let _ = writeln!(out, "name {}", trace.name());
+    let _ = writeln!(out, "nodes {}", trace.num_nodes());
+    let _ = writeln!(out, "landmarks {}", trace.num_landmarks());
+    for (i, p) in trace.positions().iter().enumerate() {
+        let _ = writeln!(out, "pos {i} {} {}", p.x, p.y);
+    }
+    for v in trace.visits() {
+        let _ = writeln!(
+            out,
+            "v {} {} {} {}",
+            v.node.index(),
+            v.landmark.index(),
+            v.start.secs(),
+            v.end.secs()
+        );
+    }
+    out
+}
+
+/// Parse the v1 text format back into a validated [`Trace`].
+pub fn from_text(text: &str) -> Result<Trace, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let header = lines
+        .next()
+        .map(|(_, l)| l.trim())
+        .ok_or(ParseError::BadHeader)?;
+    if header != "dtn-trace v1" {
+        return Err(ParseError::BadHeader);
+    }
+
+    let mut name = String::from("unnamed");
+    let mut nodes = 0usize;
+    let mut landmarks = 0usize;
+    let mut positions: Vec<(usize, Point)> = Vec::new();
+    let mut visits: Vec<Visit> = Vec::new();
+
+    let bad = |line: usize, what: &str| ParseError::BadLine {
+        line: line + 1,
+        what: what.to_string(),
+    };
+
+    for (ln, raw) in lines {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let tag = it.next().expect("non-empty line has a first token");
+        match tag {
+            "name" => {
+                name = it.collect::<Vec<_>>().join(" ");
+                if name.is_empty() {
+                    return Err(bad(ln, "name requires a value"));
+                }
+            }
+            "nodes" => {
+                nodes = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(ln, "nodes requires a count"))?;
+            }
+            "landmarks" => {
+                landmarks = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(ln, "landmarks requires a count"))?;
+            }
+            "pos" => {
+                let i: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(ln, "pos requires an index"))?;
+                let x: f64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(ln, "pos requires x"))?;
+                let y: f64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(ln, "pos requires y"))?;
+                positions.push((i, Point::new(x, y)));
+            }
+            "v" => {
+                let mut next_u64 = || -> Option<u64> { it.next().and_then(|s| s.parse().ok()) };
+                let (n, l, s, e) = (next_u64(), next_u64(), next_u64(), next_u64());
+                match (n, l, s, e) {
+                    (Some(n), Some(l), Some(s), Some(e)) => visits.push(Visit::new(
+                        NodeId::from(n as usize),
+                        LandmarkId::from(l as usize),
+                        SimTime(s),
+                        SimTime(e),
+                    )),
+                    _ => return Err(bad(ln, "v requires: node landmark start end")),
+                }
+            }
+            other => return Err(bad(ln, &format!("unknown tag `{other}`"))),
+        }
+    }
+
+    positions.sort_by_key(|&(i, _)| i);
+    let expect: Vec<usize> = (0..landmarks).collect();
+    let got: Vec<usize> = positions.iter().map(|&(i, _)| i).collect();
+    if got != expect {
+        return Err(ParseError::Invalid(format!(
+            "positions must cover 0..{landmarks} exactly once"
+        )));
+    }
+    let pos: Vec<Point> = positions.into_iter().map(|(_, p)| p).collect();
+
+    Trace::new(name, nodes, landmarks, pos, visits)
+        .map_err(|e| ParseError::Invalid(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::new(
+            "sample trace",
+            2,
+            2,
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 20.0)],
+            vec![
+                Visit::new(NodeId(0), LandmarkId(0), SimTime(0), SimTime(100)),
+                Visit::new(NodeId(1), LandmarkId(1), SimTime(50), SimTime(150)),
+                Visit::new(NodeId(0), LandmarkId(1), SimTime(200), SimTime(300)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample();
+        let text = to_text(&t);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.name(), t.name());
+        assert_eq!(back.num_nodes(), t.num_nodes());
+        assert_eq!(back.num_landmarks(), t.num_landmarks());
+        assert_eq!(back.positions(), t.positions());
+        assert_eq!(back.visits(), t.visits());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "dtn-trace v1\n# header comment\nname x\n\nnodes 1\nlandmarks 1\npos 0 0 0\nv 0 0 0 10 # trailing comment\n";
+        let t = from_text(text).unwrap();
+        assert_eq!(t.visits().len(), 1);
+        assert_eq!(t.name(), "x");
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert_eq!(from_text("nope\n"), Err(ParseError::BadHeader));
+        assert_eq!(from_text(""), Err(ParseError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let text = "dtn-trace v1\nv 0 0 0\n";
+        match from_text(text) {
+            Err(ParseError::BadLine { line: 2, .. }) => {}
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+        let text = "dtn-trace v1\nfrobnicate 1\n";
+        assert!(matches!(from_text(text), Err(ParseError::BadLine { .. })));
+    }
+
+    #[test]
+    fn rejects_missing_positions() {
+        let text = "dtn-trace v1\nname x\nnodes 1\nlandmarks 2\npos 0 0 0\nv 0 0 0 10\n";
+        assert!(matches!(from_text(text), Err(ParseError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_invalid_visits() {
+        // end <= start fails trace validation.
+        let text = "dtn-trace v1\nname x\nnodes 1\nlandmarks 1\npos 0 0 0\nv 0 0 10 10\n";
+        assert!(matches!(from_text(text), Err(ParseError::Invalid(_))));
+    }
+}

@@ -1,0 +1,27 @@
+//! Mobility traces for the DTN-FLOW reproduction.
+//!
+//! A *trace* is the ground truth every router consumes: a list of
+//! [`Visit`]s — intervals during which a mobile node was associated with a
+//! landmark — exactly the information the paper extracts from the DART and
+//! DNET datasets (§III-B.1).
+//!
+//! The crate provides:
+//!
+//! * [`Visit`]/[`Trace`] — validated, indexed visit records with transit
+//!   extraction;
+//! * [`prep`] — the paper's preprocessing pipeline (merge neighbouring
+//!   records, drop short connections, drop sparse nodes);
+//! * [`stats`] — the trace analyses behind observations O1–O4 and
+//!   Figs. 2–4 / Table I;
+//! * [`synth`] — seeded synthetic generators substituting for the DART
+//!   campus trace, the DNET bus trace and the §V-C campus deployment;
+//! * [`io`] — a plain-text trace format with parser, so externally
+//!   collected traces can be loaded.
+
+pub mod io;
+pub mod prep;
+pub mod stats;
+pub mod synth;
+pub mod trace;
+
+pub use trace::{Trace, TraceError, Transit, Visit};

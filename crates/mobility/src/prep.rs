@@ -1,0 +1,212 @@
+//! The paper's trace preprocessing pipeline (§III-B.1).
+//!
+//! Raw association logs are noisy: a device flaps between records at the
+//! same place, very short connections are spurious, and barely-logged nodes
+//! carry no usable pattern. The paper therefore (1) merges neighbouring
+//! records referring to the same node and landmark, (2) removes short
+//! connections (< 200 s for DART), and (3) removes nodes with few records
+//! (< 500 for DART). This module reproduces that pipeline on raw
+//! [`Visit`] lists.
+
+use crate::trace::Visit;
+use dtnflow_core::ids::NodeId;
+use dtnflow_core::time::SimDuration;
+
+/// Configuration of the preprocessing pipeline.
+#[derive(Debug, Clone)]
+pub struct PrepConfig {
+    /// Merge two same-node same-landmark records separated by at most this
+    /// gap. The paper merges "neighboring records"; we use 5 minutes.
+    pub merge_gap: SimDuration,
+    /// Drop visits shorter than this (DART: 200 s).
+    pub min_visit: SimDuration,
+    /// Drop nodes with fewer remaining records than this (DART: 500;
+    /// set 0 to keep everyone).
+    pub min_records: usize,
+}
+
+impl Default for PrepConfig {
+    fn default() -> Self {
+        PrepConfig {
+            merge_gap: SimDuration::from_secs(300),
+            min_visit: SimDuration::from_secs(200),
+            min_records: 0,
+        }
+    }
+}
+
+/// Outcome of preprocessing: cleaned visits plus what was removed.
+#[derive(Debug, Clone)]
+pub struct PrepReport {
+    pub visits: Vec<Visit>,
+    pub merged: usize,
+    pub dropped_short: usize,
+    pub dropped_nodes: usize,
+}
+
+/// Run the full pipeline: merge, drop short, drop sparse nodes.
+/// Node ids are preserved (not re-densified); callers that need dense ids
+/// can use [`compact_node_ids`].
+pub fn preprocess(mut visits: Vec<Visit>, cfg: &PrepConfig) -> PrepReport {
+    visits.sort_by_key(|v| (v.node, v.start, v.end));
+
+    // 1. Merge neighbouring same-node same-landmark records.
+    let mut merged_visits: Vec<Visit> = Vec::with_capacity(visits.len());
+    let mut merged = 0usize;
+    for v in visits {
+        match merged_visits.last_mut() {
+            Some(last)
+                if last.node == v.node
+                    && last.landmark == v.landmark
+                    && v.start.since(last.end) <= cfg.merge_gap =>
+            {
+                last.end = last.end.max(v.end);
+                merged += 1;
+            }
+            _ => merged_visits.push(v),
+        }
+    }
+
+    // 2. Drop short connections.
+    let before = merged_visits.len();
+    merged_visits.retain(|v| v.duration() >= cfg.min_visit);
+    let dropped_short = before - merged_visits.len();
+
+    // 3. Drop nodes with few records.
+    let mut dropped_nodes = 0usize;
+    if cfg.min_records > 0 {
+        let max_node = merged_visits
+            .iter()
+            .map(|v| v.node.index())
+            .max()
+            .unwrap_or(0);
+        let mut counts = vec![0usize; max_node + 1];
+        for v in &merged_visits {
+            counts[v.node.index()] += 1;
+        }
+        dropped_nodes = counts
+            .iter()
+            .filter(|&&c| c > 0 && c < cfg.min_records)
+            .count();
+        merged_visits.retain(|v| counts[v.node.index()] >= cfg.min_records);
+    }
+
+    PrepReport {
+        visits: merged_visits,
+        merged,
+        dropped_short,
+        dropped_nodes,
+    }
+}
+
+/// Re-densify node ids after preprocessing removed some nodes: returns the
+/// rewritten visits plus the mapping `new index -> old NodeId`.
+pub fn compact_node_ids(visits: &[Visit]) -> (Vec<Visit>, Vec<NodeId>) {
+    let mut seen: Vec<NodeId> = visits.iter().map(|v| v.node).collect();
+    seen.sort();
+    seen.dedup();
+    let rewritten = visits
+        .iter()
+        .map(|v| Visit {
+            node: NodeId::from(
+                seen.binary_search(&v.node)
+                    .expect("node present in mapping"),
+            ),
+            ..*v
+        })
+        .collect();
+    (rewritten, seen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtnflow_core::ids::LandmarkId;
+    use dtnflow_core::time::SimTime;
+
+    fn v(n: u32, l: u16, s: u64, e: u64) -> Visit {
+        Visit::new(NodeId(n), LandmarkId(l), SimTime(s), SimTime(e))
+    }
+
+    #[test]
+    fn merges_neighbouring_same_landmark_records() {
+        let cfg = PrepConfig {
+            merge_gap: SimDuration::from_secs(100),
+            min_visit: SimDuration::ZERO,
+            min_records: 0,
+        };
+        let r = preprocess(
+            vec![v(0, 1, 0, 500), v(0, 1, 550, 900), v(0, 2, 1_000, 1_300)],
+            &cfg,
+        );
+        assert_eq!(r.merged, 1);
+        assert_eq!(r.visits.len(), 2);
+        assert_eq!(r.visits[0].end, SimTime(900));
+    }
+
+    #[test]
+    fn does_not_merge_across_gap_or_landmark() {
+        let cfg = PrepConfig {
+            merge_gap: SimDuration::from_secs(10),
+            min_visit: SimDuration::ZERO,
+            min_records: 0,
+        };
+        let r = preprocess(vec![v(0, 1, 0, 100), v(0, 1, 200, 300)], &cfg);
+        assert_eq!(r.merged, 0);
+        assert_eq!(r.visits.len(), 2);
+        let r2 = preprocess(vec![v(0, 1, 0, 100), v(0, 2, 105, 300)], &cfg);
+        assert_eq!(r2.merged, 0);
+    }
+
+    #[test]
+    fn drops_short_connections() {
+        let cfg = PrepConfig {
+            merge_gap: SimDuration::ZERO,
+            min_visit: SimDuration::from_secs(200),
+            min_records: 0,
+        };
+        let r = preprocess(vec![v(0, 1, 0, 100), v(0, 2, 200, 500)], &cfg);
+        assert_eq!(r.dropped_short, 1);
+        assert_eq!(r.visits.len(), 1);
+        assert_eq!(r.visits[0].landmark, LandmarkId(2));
+    }
+
+    #[test]
+    fn drops_sparse_nodes() {
+        let cfg = PrepConfig {
+            merge_gap: SimDuration::ZERO,
+            min_visit: SimDuration::ZERO,
+            min_records: 2,
+        };
+        let r = preprocess(
+            vec![v(0, 1, 0, 100), v(0, 2, 200, 300), v(1, 1, 0, 100)],
+            &cfg,
+        );
+        assert_eq!(r.dropped_nodes, 1);
+        assert!(r.visits.iter().all(|x| x.node == NodeId(0)));
+    }
+
+    #[test]
+    fn compaction_renumbers_densely() {
+        let visits = vec![v(5, 0, 0, 10), v(9, 0, 0, 10), v(5, 1, 20, 30)];
+        let (rw, map) = compact_node_ids(&visits);
+        assert_eq!(map, vec![NodeId(5), NodeId(9)]);
+        assert_eq!(rw[0].node, NodeId(0));
+        assert_eq!(rw[1].node, NodeId(1));
+        assert_eq!(rw[2].node, NodeId(0));
+    }
+
+    #[test]
+    fn merge_interacts_with_short_drop() {
+        // Two sub-threshold fragments merge into one visit that survives.
+        let cfg = PrepConfig {
+            merge_gap: SimDuration::from_secs(50),
+            min_visit: SimDuration::from_secs(200),
+            min_records: 0,
+        };
+        let r = preprocess(vec![v(0, 1, 0, 150), v(0, 1, 160, 310)], &cfg);
+        assert_eq!(r.merged, 1);
+        assert_eq!(r.dropped_short, 0);
+        assert_eq!(r.visits.len(), 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! Trace analyses backing the paper's observations O1–O4 and the artifacts
+//! Table I, Fig. 2 (visiting distribution), Fig. 3 (transit-link bandwidth
+//! distribution), and Fig. 4 (bandwidth over time).
+
+use crate::trace::Trace;
+use dtnflow_core::ids::LandmarkId;
+use dtnflow_core::time::SimDuration;
+
+/// Key characteristics of a trace (the rows of Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceCharacteristics {
+    pub name: String,
+    pub nodes: usize,
+    pub landmarks: usize,
+    pub duration_days: f64,
+    pub visits: usize,
+    pub transits: usize,
+    /// Average transits per node per day.
+    pub transit_rate: f64,
+}
+
+/// Compute the Table I row for a trace.
+pub fn characteristics(trace: &Trace) -> TraceCharacteristics {
+    let transits = trace.transits().len();
+    let days = trace.duration().as_days();
+    TraceCharacteristics {
+        name: trace.name().to_string(),
+        nodes: trace.num_nodes(),
+        landmarks: trace.num_landmarks(),
+        duration_days: days,
+        visits: trace.visits().len(),
+        transits,
+        transit_rate: if days > 0.0 {
+            transits as f64 / trace.num_nodes() as f64 / days
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Per-landmark, per-node visit counts: `counts[landmark][node]`.
+pub fn visit_counts(trace: &Trace) -> Vec<Vec<u32>> {
+    let mut counts = vec![vec![0u32; trace.num_nodes()]; trace.num_landmarks()];
+    for v in trace.visits() {
+        counts[v.landmark.index()][v.node.index()] += 1;
+    }
+    counts
+}
+
+/// Landmarks ordered by total visits, most popular first.
+pub fn landmark_popularity(trace: &Trace) -> Vec<(LandmarkId, u64)> {
+    let counts = visit_counts(trace);
+    let mut pop: Vec<(LandmarkId, u64)> = counts
+        .iter()
+        .enumerate()
+        .map(|(l, per_node)| {
+            (
+                LandmarkId::from(l),
+                per_node.iter().map(|&c| c as u64).sum(),
+            )
+        })
+        .collect();
+    pop.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pop
+}
+
+/// Fig. 2: for one landmark, the per-node visit counts sorted descending.
+/// O1 states that only a small portion of nodes visit it frequently.
+pub fn visiting_distribution(trace: &Trace, lm: LandmarkId) -> Vec<u32> {
+    let mut per_node = visit_counts(trace)[lm.index()].clone();
+    per_node.sort_unstable_by(|a, b| b.cmp(a));
+    per_node
+}
+
+/// The fraction of a landmark's visits contributed by its most frequent
+/// `top_frac` of nodes — a scalar form of O1 (close to 1.0 = highly skewed).
+pub fn visit_concentration(trace: &Trace, lm: LandmarkId, top_frac: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&top_frac));
+    let dist = visiting_distribution(trace, lm);
+    let total: u64 = dist.iter().map(|&c| c as u64).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let k = ((dist.len() as f64 * top_frac).ceil() as usize).max(1);
+    let top: u64 = dist.iter().take(k).map(|&c| c as u64).sum();
+    top as f64 / total as f64
+}
+
+/// Average transit-link bandwidths: `b(i→j)` = transits from `i` to `j`
+/// per time unit, the paper's Eq.-free definition in §III-A.1.
+#[derive(Debug, Clone)]
+pub struct BandwidthMatrix {
+    n: usize,
+    b: Vec<f64>,
+}
+
+impl BandwidthMatrix {
+    /// Bandwidth of the directed link `from → to` (transits per unit).
+    #[inline]
+    pub fn get(&self, from: LandmarkId, to: LandmarkId) -> f64 {
+        self.b[from.index() * self.n + to.index()]
+    }
+
+    /// Number of landmarks.
+    pub fn num_landmarks(&self) -> usize {
+        self.n
+    }
+
+    /// All links with positive bandwidth, descending (Fig. 3's x-axis).
+    pub fn ordered_links(&self) -> Vec<(LandmarkId, LandmarkId, f64)> {
+        let mut links: Vec<(LandmarkId, LandmarkId, f64)> = Vec::new();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let v = self.b[i * self.n + j];
+                if v > 0.0 {
+                    links.push((LandmarkId::from(i), LandmarkId::from(j), v));
+                }
+            }
+        }
+        links.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        links
+    }
+
+    /// Pearson correlation between `b(i→j)` and `b(j→i)` over unordered
+    /// pairs where either direction is positive. O3 predicts a value near 1.
+    pub fn matching_link_symmetry(&self) -> f64 {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let a = self.b[i * self.n + j];
+                let b = self.b[j * self.n + i];
+                if a > 0.0 || b > 0.0 {
+                    xs.push(a);
+                    ys.push(b);
+                }
+            }
+        }
+        pearson(&xs, &ys)
+    }
+}
+
+/// Pearson correlation coefficient; 0.0 for degenerate inputs.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for k in 0..n {
+        let dx = xs[k] - mx;
+        let dy = ys[k] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Average link bandwidths over the whole trace, in transits per `unit`.
+pub fn link_bandwidths(trace: &Trace, unit: SimDuration) -> BandwidthMatrix {
+    assert!(unit.secs() > 0, "time unit must be positive");
+    let n = trace.num_landmarks();
+    let mut counts = vec![0u64; n * n];
+    for t in trace.transits() {
+        counts[t.from.index() * n + t.to.index()] += 1;
+    }
+    let units = (trace.duration().secs() as f64 / unit.secs() as f64).max(1.0);
+    BandwidthMatrix {
+        n,
+        b: counts.iter().map(|&c| c as f64 / units).collect(),
+    }
+}
+
+/// Fig. 4: per-time-unit transit counts for every link.
+#[derive(Debug, Clone)]
+pub struct BandwidthTimeline {
+    n: usize,
+    units: usize,
+    /// `counts[unit][from * n + to]`
+    counts: Vec<Vec<u32>>,
+}
+
+impl BandwidthTimeline {
+    /// Number of time units covered.
+    pub fn num_units(&self) -> usize {
+        self.units
+    }
+
+    /// The per-unit series for one link.
+    pub fn series(&self, from: LandmarkId, to: LandmarkId) -> Vec<u32> {
+        self.counts
+            .iter()
+            .map(|u| u[from.index() * self.n + to.index()])
+            .collect()
+    }
+
+    /// The `k` links with the highest total transits (Fig. 4 shows 3).
+    pub fn top_links(&self, k: usize) -> Vec<(LandmarkId, LandmarkId, u64)> {
+        let mut totals = vec![0u64; self.n * self.n];
+        for u in &self.counts {
+            for (i, &c) in u.iter().enumerate() {
+                totals[i] += c as u64;
+            }
+        }
+        let mut links: Vec<(LandmarkId, LandmarkId, u64)> = totals
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t > 0)
+            .map(|(i, &t)| (LandmarkId::from(i / self.n), LandmarkId::from(i % self.n), t))
+            .collect();
+        links.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        links.truncate(k);
+        links
+    }
+
+    /// Coefficient of variation (std-dev / mean) of one link's series —
+    /// small values support O4 (a unit's measurement reflects the average).
+    pub fn stability(&self, from: LandmarkId, to: LandmarkId) -> f64 {
+        let s = self.series(from, to);
+        let n = s.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = s.iter().map(|&c| c as f64).sum::<f64>() / n as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = s
+            .iter()
+            .map(|&c| (c as f64 - mean) * (c as f64 - mean))
+            .sum::<f64>()
+            / n as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// Count transits per link per time unit (a transit is attributed to the
+/// unit of its arrival instant, the moment the receiving landmark measures
+/// it, §IV-C.1).
+pub fn bandwidth_timeline(trace: &Trace, unit: SimDuration) -> BandwidthTimeline {
+    assert!(unit.secs() > 0, "time unit must be positive");
+    let n = trace.num_landmarks();
+    let units = (trace.duration().secs()).div_ceil(unit.secs()).max(1) as usize;
+    let mut counts = vec![vec![0u32; n * n]; units];
+    for t in trace.transits() {
+        let u = (t.arrive.unit_index(unit) as usize).min(units - 1);
+        counts[u][t.from.index() * n + t.to.index()] += 1;
+    }
+    BandwidthTimeline { n, units, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Visit;
+    use dtnflow_core::geometry::Point;
+    use dtnflow_core::ids::NodeId;
+    use dtnflow_core::time::SimTime;
+
+    fn v(n: u32, l: u16, s: u64, e: u64) -> Visit {
+        Visit::new(NodeId(n), LandmarkId(l), SimTime(s), SimTime(e))
+    }
+
+    fn trace() -> Trace {
+        // Node 0: l0 -> l1 -> l0 ; node 1: l0 -> l1. Duration 1000 s.
+        Trace::new(
+            "test",
+            2,
+            2,
+            vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)],
+            vec![
+                v(0, 0, 0, 100),
+                v(0, 1, 200, 300),
+                v(0, 0, 400, 500),
+                v(1, 0, 0, 100),
+                v(1, 1, 900, 1_000),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn characteristics_row() {
+        let c = characteristics(&trace());
+        assert_eq!(c.nodes, 2);
+        assert_eq!(c.landmarks, 2);
+        assert_eq!(c.visits, 5);
+        // node 0: l0->l1->l0 (2 transits); node 1: l0->l1 (1 transit).
+        assert_eq!(c.transits, 3);
+        assert!(c.duration_days > 0.0);
+    }
+
+    #[test]
+    fn visit_counts_and_popularity() {
+        let t = trace();
+        let counts = visit_counts(&t);
+        assert_eq!(counts[0][0], 2);
+        assert_eq!(counts[1][1], 1);
+        let pop = landmark_popularity(&t);
+        assert_eq!(pop[0].0, LandmarkId(0));
+        assert_eq!(pop[0].1, 3);
+    }
+
+    #[test]
+    fn visiting_distribution_sorted_desc() {
+        let d = visiting_distribution(&trace(), LandmarkId(0));
+        assert_eq!(d, vec![2, 1]);
+    }
+
+    #[test]
+    fn concentration_of_skewed_landmark() {
+        let t = trace();
+        // Top half of nodes (1 of 2) contribute 2/3 of l0's visits.
+        let c = visit_concentration(&t, LandmarkId(0), 0.5);
+        assert!((c - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_matrix_counts_per_unit() {
+        let t = trace();
+        let unit = SimDuration::from_secs(500); // 2 units over 1000 s
+        let b = link_bandwidths(&t, unit);
+        // l0->l1 has 2 transits over 2 units = 1.0 per unit.
+        assert!((b.get(LandmarkId(0), LandmarkId(1)) - 1.0).abs() < 1e-12);
+        assert!((b.get(LandmarkId(1), LandmarkId(0)) - 0.5).abs() < 1e-12);
+        let links = b.ordered_links();
+        assert_eq!(links[0].2, 1.0);
+        assert_eq!(links.len(), 2);
+    }
+
+    #[test]
+    fn timeline_attributes_transits_to_arrival_unit() {
+        let t = trace();
+        let unit = SimDuration::from_secs(500);
+        let tl = bandwidth_timeline(&t, unit);
+        assert_eq!(tl.num_units(), 2);
+        // node0 arrives at l1 at t=200 (unit 0); node1 at t=900 (unit 1).
+        assert_eq!(tl.series(LandmarkId(0), LandmarkId(1)), vec![1, 1]);
+        assert_eq!(tl.series(LandmarkId(1), LandmarkId(0)), vec![1, 0]);
+        let top = tl.top_links(1);
+        assert_eq!(top[0].0, LandmarkId(0));
+        assert_eq!(top[0].2, 2);
+    }
+
+    #[test]
+    fn stability_of_constant_series_is_zero() {
+        let t = trace();
+        let tl = bandwidth_timeline(&t, SimDuration::from_secs(500));
+        assert_eq!(tl.stability(LandmarkId(0), LandmarkId(1)), 0.0);
+        assert!(tl.stability(LandmarkId(1), LandmarkId(0)) > 0.0);
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0], &[1.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn symmetry_correlation_for_symmetric_matrix() {
+        // Perfectly symmetric transits with cross-pair variance
+        // (pair l0-l1 carries twice the traffic of pair l1-l2).
+        let t = Trace::new(
+            "sym",
+            3,
+            3,
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 0.0),
+            ],
+            vec![
+                v(0, 0, 0, 10),
+                v(0, 1, 20, 30),
+                v(0, 0, 40, 50),
+                v(1, 1, 0, 10),
+                v(1, 2, 20, 30),
+                v(1, 1, 40, 50),
+                v(2, 0, 0, 10),
+                v(2, 1, 20, 30),
+                v(2, 0, 40, 50),
+            ],
+        )
+        .unwrap();
+        let b = link_bandwidths(&t, SimDuration::from_secs(50));
+        assert!(b.matching_link_symmetry() > 0.99);
+    }
+}

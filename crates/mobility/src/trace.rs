@@ -1,0 +1,392 @@
+//! Visit records and validated traces.
+
+use dtnflow_core::geometry::Point;
+use dtnflow_core::ids::{LandmarkId, NodeId};
+use dtnflow_core::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// One association interval: `node` was connected to the station of
+/// `landmark` from `start` (inclusive) to `end` (exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Visit {
+    pub node: NodeId,
+    pub landmark: LandmarkId,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl Visit {
+    /// Construct a visit; panics if `end <= start` (zero-length visits are
+    /// rejected at trace construction instead, with a proper error).
+    pub fn new(node: NodeId, landmark: LandmarkId, start: SimTime, end: SimTime) -> Self {
+        Visit {
+            node,
+            landmark,
+            start,
+            end,
+        }
+    }
+
+    /// Length of the stay.
+    #[inline]
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// A node moving from one landmark to a *different* landmark: the atom of
+/// DTN-FLOW's forwarding capacity (§III-A.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transit {
+    pub node: NodeId,
+    pub from: LandmarkId,
+    pub to: LandmarkId,
+    /// When the node disconnected from `from`.
+    pub depart: SimTime,
+    /// When the node connected to `to`.
+    pub arrive: SimTime,
+}
+
+/// Why a trace failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// `end <= start` on some visit.
+    EmptyVisit { index: usize },
+    /// A node id out of `0..num_nodes`.
+    NodeOutOfRange { index: usize },
+    /// A landmark id out of `0..num_landmarks`.
+    LandmarkOutOfRange { index: usize },
+    /// Two visits of the same node overlap in time.
+    OverlappingVisits { node: NodeId },
+    /// Number of positions differs from number of landmarks.
+    PositionCountMismatch { positions: usize, landmarks: usize },
+    /// The trace has no landmarks or no nodes.
+    Degenerate,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::EmptyVisit { index } => write!(f, "visit {index} has end <= start"),
+            TraceError::NodeOutOfRange { index } => {
+                write!(f, "visit {index} references an out-of-range node")
+            }
+            TraceError::LandmarkOutOfRange { index } => {
+                write!(f, "visit {index} references an out-of-range landmark")
+            }
+            TraceError::OverlappingVisits { node } => {
+                write!(f, "visits of node {node} overlap in time")
+            }
+            TraceError::PositionCountMismatch {
+                positions,
+                landmarks,
+            } => write!(
+                f,
+                "{positions} landmark positions given for {landmarks} landmarks"
+            ),
+            TraceError::Degenerate => write!(f, "trace needs at least one node and landmark"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A validated mobility trace: visits sorted by start time, indexed per
+/// node, with landmark positions for the geometry-aware components.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    name: String,
+    num_nodes: usize,
+    num_landmarks: usize,
+    positions: Vec<Point>,
+    visits: Vec<Visit>,
+    /// Per node: indices into `visits`, ascending by start.
+    per_node: Vec<Vec<u32>>,
+    duration: SimDuration,
+}
+
+impl Trace {
+    /// Build and validate a trace. Visits are sorted internally; they may
+    /// be given in any order. The trace duration is the latest visit end.
+    pub fn new(
+        name: impl Into<String>,
+        num_nodes: usize,
+        num_landmarks: usize,
+        positions: Vec<Point>,
+        mut visits: Vec<Visit>,
+    ) -> Result<Self, TraceError> {
+        if num_nodes == 0 || num_landmarks == 0 {
+            return Err(TraceError::Degenerate);
+        }
+        if positions.len() != num_landmarks {
+            return Err(TraceError::PositionCountMismatch {
+                positions: positions.len(),
+                landmarks: num_landmarks,
+            });
+        }
+        visits.sort_by_key(|v| (v.start, v.node, v.end));
+        for (i, v) in visits.iter().enumerate() {
+            if v.end <= v.start {
+                return Err(TraceError::EmptyVisit { index: i });
+            }
+            if v.node.index() >= num_nodes {
+                return Err(TraceError::NodeOutOfRange { index: i });
+            }
+            if v.landmark.index() >= num_landmarks {
+                return Err(TraceError::LandmarkOutOfRange { index: i });
+            }
+        }
+        let mut per_node: Vec<Vec<u32>> = vec![Vec::new(); num_nodes];
+        for (i, v) in visits.iter().enumerate() {
+            per_node[v.node.index()].push(i as u32);
+        }
+        for (n, idxs) in per_node.iter().enumerate() {
+            for w in idxs.windows(2) {
+                let a = &visits[w[0] as usize];
+                let b = &visits[w[1] as usize];
+                if b.start < a.end {
+                    return Err(TraceError::OverlappingVisits {
+                        node: NodeId::from(n),
+                    });
+                }
+            }
+        }
+        let duration = visits
+            .iter()
+            .map(|v| v.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .since(SimTime::ZERO);
+        Ok(Trace {
+            name: name.into(),
+            num_nodes,
+            num_landmarks,
+            positions,
+            visits,
+            per_node,
+            duration,
+        })
+    }
+
+    /// Human-readable trace name ("campus", "bus", …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of mobile nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of landmarks.
+    pub fn num_landmarks(&self) -> usize {
+        self.num_landmarks
+    }
+
+    /// Landmark positions (meters), indexed by landmark.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// All visits, ascending by start time.
+    pub fn visits(&self) -> &[Visit] {
+        &self.visits
+    }
+
+    /// Trace length: the latest visit end.
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// The visits of one node, ascending by start time.
+    pub fn node_visits(&self, node: NodeId) -> impl Iterator<Item = &Visit> + '_ {
+        self.per_node[node.index()]
+            .iter()
+            .map(move |&i| &self.visits[i as usize])
+    }
+
+    /// The landmark sequence of one node (its visit history, Table II).
+    pub fn node_landmark_seq(&self, node: NodeId) -> Vec<LandmarkId> {
+        self.node_visits(node).map(|v| v.landmark).collect()
+    }
+
+    /// All transits of one node: consecutive visits to *different*
+    /// landmarks (the paper merges consecutive same-landmark records
+    /// during preprocessing, so repeats are skipped here as well).
+    pub fn node_transits(&self, node: NodeId) -> Vec<Transit> {
+        let idxs = &self.per_node[node.index()];
+        let mut out = Vec::new();
+        for w in idxs.windows(2) {
+            let a = &self.visits[w[0] as usize];
+            let b = &self.visits[w[1] as usize];
+            if a.landmark != b.landmark {
+                out.push(Transit {
+                    node,
+                    from: a.landmark,
+                    to: b.landmark,
+                    depart: a.end,
+                    arrive: b.start,
+                });
+            }
+        }
+        out
+    }
+
+    /// Every transit in the trace, ascending by arrival time.
+    pub fn transits(&self) -> Vec<Transit> {
+        let mut all: Vec<Transit> = (0..self.num_nodes)
+            .flat_map(|n| self.node_transits(NodeId::from(n)))
+            .collect();
+        all.sort_by_key(|t| (t.arrive, t.node, t.depart));
+        all
+    }
+
+    /// Restrict the trace to `[0, until)`, truncating visits that straddle
+    /// the boundary. Used to build warm-up prefixes.
+    pub fn prefix(&self, until: SimTime) -> Trace {
+        let visits = self
+            .visits
+            .iter()
+            .filter(|v| v.start < until)
+            .map(|v| Visit {
+                end: v.end.min(until),
+                ..*v
+            })
+            .filter(|v| v.end > v.start)
+            .collect();
+        Trace::new(
+            self.name.clone(),
+            self.num_nodes,
+            self.num_landmarks,
+            self.positions.clone(),
+            visits,
+        )
+        .expect("prefix of a valid trace is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lm(i: u16) -> LandmarkId {
+        LandmarkId(i)
+    }
+
+    fn v(n: u32, l: u16, s: u64, e: u64) -> Visit {
+        Visit::new(NodeId(n), lm(l), SimTime(s), SimTime(e))
+    }
+
+    fn positions(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn builds_and_sorts() {
+        let t = Trace::new(
+            "t",
+            2,
+            3,
+            positions(3),
+            vec![v(0, 1, 50, 60), v(0, 0, 0, 10), v(1, 2, 5, 9)],
+        )
+        .unwrap();
+        assert_eq!(t.visits()[0].start, SimTime(0));
+        assert_eq!(t.duration(), SimDuration(60));
+        assert_eq!(t.node_landmark_seq(NodeId(0)), vec![lm(0), lm(1)]);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert_eq!(
+            Trace::new("t", 1, 1, positions(1), vec![v(0, 0, 10, 10)]),
+            Err(TraceError::EmptyVisit { index: 0 })
+        );
+        assert_eq!(
+            Trace::new("t", 1, 1, positions(1), vec![v(1, 0, 0, 5)]),
+            Err(TraceError::NodeOutOfRange { index: 0 })
+        );
+        assert_eq!(
+            Trace::new("t", 1, 1, positions(1), vec![v(0, 2, 0, 5)]),
+            Err(TraceError::LandmarkOutOfRange { index: 0 })
+        );
+        assert_eq!(
+            Trace::new(
+                "t",
+                1,
+                2,
+                positions(2),
+                vec![v(0, 0, 0, 10), v(0, 1, 5, 15)]
+            ),
+            Err(TraceError::OverlappingVisits { node: NodeId(0) })
+        );
+        assert_eq!(
+            Trace::new("t", 0, 1, positions(1), vec![]),
+            Err(TraceError::Degenerate)
+        );
+        assert_eq!(
+            Trace::new("t", 1, 2, positions(1), vec![]),
+            Err(TraceError::PositionCountMismatch {
+                positions: 1,
+                landmarks: 2
+            })
+        );
+    }
+
+    #[test]
+    fn transits_skip_same_landmark_repeats() {
+        let t = Trace::new(
+            "t",
+            1,
+            3,
+            positions(3),
+            vec![v(0, 0, 0, 10), v(0, 0, 20, 30), v(0, 2, 40, 50)],
+        )
+        .unwrap();
+        let ts = t.node_transits(NodeId(0));
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].from, lm(0));
+        assert_eq!(ts[0].to, lm(2));
+        assert_eq!(ts[0].depart, SimTime(30));
+        assert_eq!(ts[0].arrive, SimTime(40));
+    }
+
+    #[test]
+    fn global_transits_sorted_by_arrival() {
+        let t = Trace::new(
+            "t",
+            2,
+            2,
+            positions(2),
+            vec![
+                v(0, 0, 0, 10),
+                v(0, 1, 90, 100),
+                v(1, 1, 0, 10),
+                v(1, 0, 40, 50),
+            ],
+        )
+        .unwrap();
+        let all = t.transits();
+        assert_eq!(all.len(), 2);
+        assert!(all[0].arrive <= all[1].arrive);
+        assert_eq!(all[0].node, NodeId(1));
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let t = Trace::new(
+            "t",
+            1,
+            2,
+            positions(2),
+            vec![v(0, 0, 0, 10), v(0, 1, 20, 40)],
+        )
+        .unwrap();
+        let p = t.prefix(SimTime(30));
+        assert_eq!(p.visits().len(), 2);
+        assert_eq!(p.visits()[1].end, SimTime(30));
+        assert_eq!(p.duration(), SimDuration(30));
+        let q = t.prefix(SimTime(15));
+        assert_eq!(q.visits().len(), 1);
+    }
+}

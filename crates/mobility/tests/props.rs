@@ -1,0 +1,160 @@
+//! Property tests for trace construction, preprocessing and statistics.
+
+use dtnflow_core::geometry::Point;
+use dtnflow_core::ids::{LandmarkId, NodeId};
+use dtnflow_core::time::{SimDuration, SimTime};
+use dtnflow_mobility::prep::{compact_node_ids, preprocess, PrepConfig};
+use dtnflow_mobility::{io, stats, Trace, Visit};
+use proptest::prelude::*;
+
+/// Raw, possibly messy visit lists (per-node non-overlap enforced by
+/// construction so Trace::new accepts them).
+fn arb_visits() -> impl Strategy<Value = (usize, usize, Vec<Visit>)> {
+    (2usize..5, 2usize..6, proptest::collection::vec((0u64..3_000, 1u64..2_000, 0usize..64), 0..60))
+        .prop_map(|(nodes, landmarks, raw)| {
+            let mut visits = Vec::new();
+            let mut clocks = vec![0u64; nodes];
+            for (i, &(gap, dur, pick)) in raw.iter().enumerate() {
+                let n = i % nodes;
+                let lm = pick % landmarks;
+                let start = clocks[n] + gap;
+                let end = start + dur;
+                clocks[n] = end;
+                visits.push(Visit::new(
+                    NodeId::from(n),
+                    LandmarkId::from(lm),
+                    SimTime(start),
+                    SimTime(end),
+                ));
+            }
+            (nodes, landmarks, visits)
+        })
+}
+
+fn positions(n: usize) -> Vec<Point> {
+    (0..n).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect()
+}
+
+proptest! {
+    #[test]
+    fn trace_construction_sorts_and_preserves((nodes, landmarks, visits) in arb_visits()) {
+        let t = Trace::new("prop", nodes, landmarks, positions(landmarks), visits.clone())
+            .expect("constructed visits are valid");
+        prop_assert_eq!(t.visits().len(), visits.len());
+        prop_assert!(t.visits().windows(2).all(|w| w[0].start <= w[1].start));
+        // Per-node iteration covers exactly that node's visits, in order.
+        let mut total = 0;
+        for n in 0..nodes {
+            let nv: Vec<_> = t.node_visits(NodeId::from(n)).collect();
+            total += nv.len();
+            prop_assert!(nv.windows(2).all(|w| w[0].end <= w[1].start));
+        }
+        prop_assert_eq!(total, visits.len());
+    }
+
+    #[test]
+    fn transits_match_deduped_sequences((nodes, landmarks, visits) in arb_visits()) {
+        let t = Trace::new("prop", nodes, landmarks, positions(landmarks), visits).unwrap();
+        for n in 0..nodes {
+            let node = NodeId::from(n);
+            let seq = t.node_landmark_seq(node);
+            let expected = seq.windows(2).filter(|w| w[0] != w[1]).count();
+            prop_assert_eq!(t.node_transits(node).len(), expected);
+        }
+        // Global transit list is the concatenation, re-sorted.
+        let total: usize = (0..nodes).map(|n| t.node_transits(NodeId::from(n)).len()).sum();
+        prop_assert_eq!(t.transits().len(), total);
+    }
+
+    #[test]
+    fn text_roundtrip_is_identity((nodes, landmarks, visits) in arb_visits()) {
+        let t = Trace::new("prop trace", nodes, landmarks, positions(landmarks), visits).unwrap();
+        let back = io::from_text(&io::to_text(&t)).expect("roundtrip");
+        prop_assert_eq!(back.visits(), t.visits());
+        prop_assert_eq!(back.num_nodes(), t.num_nodes());
+        prop_assert_eq!(back.num_landmarks(), t.num_landmarks());
+    }
+
+    #[test]
+    fn preprocess_never_increases_visits(
+        (_nodes, landmarks, visits) in arb_visits(),
+        merge_gap in 0u64..1_000,
+        min_visit in 0u64..2_000,
+    ) {
+        let cfg = PrepConfig {
+            merge_gap: SimDuration(merge_gap),
+            min_visit: SimDuration(min_visit),
+            min_records: 0,
+        };
+        let before = visits.len();
+        let r = preprocess(visits, &cfg);
+        prop_assert!(r.visits.len() <= before);
+        prop_assert_eq!(r.merged + r.dropped_short + r.visits.len(), before);
+        // Survivors respect the minimum duration and landmark bounds.
+        for v in &r.visits {
+            prop_assert!(v.duration() >= cfg.min_visit);
+            prop_assert!(v.landmark.index() < landmarks);
+        }
+    }
+
+    #[test]
+    fn compaction_is_dense_and_order_preserving((_n, landmarks, visits) in arb_visits()) {
+        let (rewritten, mapping) = compact_node_ids(&visits);
+        prop_assert_eq!(rewritten.len(), visits.len());
+        // Dense ids 0..mapping.len(), and the mapping is strictly sorted.
+        prop_assert!(mapping.windows(2).all(|w| w[0] < w[1]));
+        for (orig, new) in visits.iter().zip(&rewritten) {
+            prop_assert_eq!(mapping[new.node.index()], orig.node);
+            prop_assert_eq!(new.landmark, orig.landmark);
+            prop_assert!(new.landmark.index() < landmarks);
+        }
+    }
+
+    #[test]
+    fn bandwidth_matrix_totals_match_transits(
+        (nodes, landmarks, visits) in arb_visits(),
+        unit in 100u64..5_000,
+    ) {
+        let t = Trace::new("prop", nodes, landmarks, positions(landmarks), visits).unwrap();
+        let b = stats::link_bandwidths(&t, SimDuration(unit));
+        let units = (t.duration().secs() as f64 / unit as f64).max(1.0);
+        let total_bw: f64 = (0..landmarks)
+            .flat_map(|i| (0..landmarks).map(move |j| (i, j)))
+            .map(|(i, j)| b.get(LandmarkId::from(i), LandmarkId::from(j)))
+            .sum();
+        let expected = t.transits().len() as f64 / units;
+        prop_assert!((total_bw - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn timeline_sums_match_transits(
+        (nodes, landmarks, visits) in arb_visits(),
+        unit in 100u64..5_000,
+    ) {
+        let t = Trace::new("prop", nodes, landmarks, positions(landmarks), visits).unwrap();
+        let tl = stats::bandwidth_timeline(&t, SimDuration(unit));
+        let mut total = 0u64;
+        for i in 0..landmarks {
+            for j in 0..landmarks {
+                total += tl
+                    .series(LandmarkId::from(i), LandmarkId::from(j))
+                    .iter()
+                    .map(|&c| c as u64)
+                    .sum::<u64>();
+            }
+        }
+        prop_assert_eq!(total as usize, t.transits().len());
+    }
+
+    #[test]
+    fn prefix_is_a_valid_subtrace((nodes, landmarks, visits) in arb_visits(), frac in 0.1f64..1.0) {
+        let t = Trace::new("prop", nodes, landmarks, positions(landmarks), visits).unwrap();
+        let until = SimTime((t.duration().secs() as f64 * frac) as u64);
+        let p = t.prefix(until);
+        prop_assert!(p.visits().len() <= t.visits().len());
+        for v in p.visits() {
+            prop_assert!(v.end <= until);
+            prop_assert!(v.start < until);
+        }
+    }
+}

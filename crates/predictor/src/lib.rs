@@ -1,0 +1,27 @@
+//! Node transit prediction (paper §IV-B).
+//!
+//! DTN-FLOW forwards a packet to the node most likely to *transit* to the
+//! packet's next-hop landmark. That likelihood comes from an order-k
+//! Markov predictor over each node's landmark visiting history (Eq. 1–3),
+//! combined at forwarding time with a per-landmark prediction-accuracy
+//! estimate (§IV-D.4).
+//!
+//! * [`history::VisitHistory`] — the per-node landmark visiting history
+//!   table (Table II) with stay-time statistics for dead-end detection;
+//! * [`markov::MarkovPredictor`] — the order-k Markov predictor;
+//! * [`accuracy::AccuracyTracker`] — multiplicative accuracy estimates;
+//! * [`eval`] — offline evaluation on traces (Fig. 6, k-selection);
+//! * [`fallback::FallbackPredictor`] — a back-off variant that answers
+//!   from the highest order whose context has been seen.
+
+pub mod accuracy;
+pub mod fallback;
+pub mod eval;
+pub mod history;
+pub mod markov;
+
+pub use accuracy::AccuracyTracker;
+pub use fallback::{evaluate_fallback, FallbackPredictor};
+pub use eval::{accuracy_five_num, best_k, evaluate_order_k, EvalResult};
+pub use history::VisitHistory;
+pub use markov::MarkovPredictor;

@@ -1,0 +1,281 @@
+//! The order-k Markov transit predictor (paper Eq. 1–3).
+//!
+//! A node's transit history is a landmark sequence `L = l(1) l(2) … l(n)`
+//! (consecutive duplicates collapsed — a repeat is a continued stay, not a
+//! transit). The order-k predictor estimates
+//!
+//! ```text
+//! P(next = c | history) = N(s ⊕ c) / N(s)          (Eq. 1–3)
+//! ```
+//!
+//! where `s` is the most recent k-landmark context, `N(x)` counts
+//! occurrences of the subsequence `x` in the history, and `⊕` is
+//! concatenation. The prediction is the `c` maximizing this probability.
+
+use dtnflow_core::ids::LandmarkId;
+use std::collections::HashMap;
+
+/// Maximum supported order: contexts are packed into a `u64` key with 16
+/// bits per landmark.
+pub const MAX_ORDER: usize = 4;
+
+/// Per-context statistics: total occurrences and per-successor counts.
+#[derive(Debug, Clone, Default)]
+struct CtxStats {
+    total: u32,
+    next: HashMap<u16, u32>,
+}
+
+/// An online order-k Markov predictor over landmark visits.
+#[derive(Debug, Clone)]
+pub struct MarkovPredictor {
+    k: usize,
+    /// The last up-to-k observed landmarks, oldest first.
+    recent: Vec<LandmarkId>,
+    counts: HashMap<u64, CtxStats>,
+    observations: usize,
+}
+
+/// Pack a context of up to [`MAX_ORDER`] landmarks into a map key.
+/// Landmark ids are offset by one so an empty slot (0) is distinguishable.
+fn pack(ctx: &[LandmarkId]) -> u64 {
+    debug_assert!(ctx.len() <= MAX_ORDER);
+    let mut key = 0u64;
+    for lm in ctx {
+        key = (key << 16) | (lm.0 as u64 + 1);
+    }
+    key
+}
+
+impl MarkovPredictor {
+    /// Create an order-k predictor. `k` must be in `1..=MAX_ORDER`.
+    pub fn new(k: usize) -> Self {
+        assert!(
+            (1..=MAX_ORDER).contains(&k),
+            "order must be in 1..={MAX_ORDER}"
+        );
+        MarkovPredictor {
+            k,
+            recent: Vec::with_capacity(k),
+            counts: HashMap::new(),
+            observations: 0,
+        }
+    }
+
+    /// The predictor's order.
+    pub fn order(&self) -> usize {
+        self.k
+    }
+
+    /// Number of landmark observations fed so far (after dedup).
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Feed the next visited landmark. A repeat of the current landmark is
+    /// ignored (it is a continued stay, not a transit).
+    pub fn observe(&mut self, lm: LandmarkId) {
+        if self.recent.last() == Some(&lm) {
+            return;
+        }
+        if self.recent.len() == self.k {
+            let key = pack(&self.recent);
+            let stats = self.counts.entry(key).or_default();
+            stats.total += 1;
+            *stats.next.entry(lm.0).or_insert(0) += 1;
+        }
+        self.recent.push(lm);
+        if self.recent.len() > self.k {
+            self.recent.remove(0);
+        }
+        self.observations += 1;
+    }
+
+    /// The current context (last k landmarks, oldest first), if complete.
+    pub fn context(&self) -> Option<&[LandmarkId]> {
+        (self.recent.len() == self.k).then_some(self.recent.as_slice())
+    }
+
+    /// The landmark the node is currently at (the most recent observation).
+    pub fn current(&self) -> Option<LandmarkId> {
+        self.recent.last().copied()
+    }
+
+    /// Probability that the next transit goes to `next`, given the current
+    /// context (Eq. 1). Zero when the context is incomplete or unseen.
+    pub fn probability(&self, next: LandmarkId) -> f64 {
+        let Some(ctx) = self.context() else {
+            return 0.0;
+        };
+        self.probability_from(ctx, next)
+    }
+
+    /// `P(next | ctx)` for an explicit context.
+    pub fn probability_from(&self, ctx: &[LandmarkId], next: LandmarkId) -> f64 {
+        assert_eq!(ctx.len(), self.k, "context must have length k");
+        match self.counts.get(&pack(ctx)) {
+            Some(stats) if stats.total > 0 => {
+                *stats.next.get(&next.0).unwrap_or(&0) as f64 / stats.total as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// The most likely next landmark with its probability, from the
+    /// current context. `None` if the context is incomplete or was never
+    /// seen before (the "missed k-hop pattern" case of §IV-B.2).
+    pub fn predict(&self) -> Option<(LandmarkId, f64)> {
+        self.context()
+            .and_then(|ctx| self.predict_from(ctx))
+    }
+
+    /// The most likely successor of an explicit context. Ties break toward
+    /// the lowest landmark id for determinism.
+    pub fn predict_from(&self, ctx: &[LandmarkId]) -> Option<(LandmarkId, f64)> {
+        assert_eq!(ctx.len(), self.k, "context must have length k");
+        let stats = self.counts.get(&pack(ctx))?;
+        if stats.total == 0 {
+            return None;
+        }
+        let (&lm, &cnt) = stats
+            .next
+            .iter()
+            .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then(lb.cmp(la)))?;
+        Some((LandmarkId(lm), cnt as f64 / stats.total as f64))
+    }
+
+    /// The full successor distribution of the current context, descending
+    /// by probability. Empty when nothing is known.
+    pub fn distribution(&self) -> Vec<(LandmarkId, f64)> {
+        let Some(ctx) = self.context() else {
+            return Vec::new();
+        };
+        let Some(stats) = self.counts.get(&pack(ctx)) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(LandmarkId, f64)> = stats
+            .next
+            .iter()
+            .map(|(&lm, &c)| (LandmarkId(lm), c as f64 / stats.total as f64))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lm(i: u16) -> LandmarkId {
+        LandmarkId(i)
+    }
+
+    fn feed(p: &mut MarkovPredictor, seq: &[u16]) {
+        for &s in seq {
+            p.observe(lm(s));
+        }
+    }
+
+    /// The paper's worked example (§IV-B.1): history
+    /// l1 l2 l3 l2 l1 l2 with an order-1 predictor, currently at l2:
+    /// P(l1)=2/5? The paper computes over 5 two-landmark windows:
+    /// l1l2, l2l3, l3l2, l2l1, l1l2 -> from l2: l3 once, l1 once of 2.
+    #[test]
+    fn order1_matches_paper_example_structure() {
+        let mut p = MarkovPredictor::new(1);
+        feed(&mut p, &[1, 2, 3, 2, 1, 2]);
+        // Contexts seen from l2: successors l3 (once) and l1 (once).
+        assert!((p.probability_from(&[lm(2)], lm(3)) - 0.5).abs() < 1e-12);
+        assert!((p.probability_from(&[lm(2)], lm(1)) - 0.5).abs() < 1e-12);
+        assert_eq!(p.probability_from(&[lm(2)], lm(4)), 0.0);
+        // From l1 the only successor ever seen is l2.
+        assert!((p.probability_from(&[lm(1)], lm(2)) - 1.0).abs() < 1e-12);
+        // Tie at l2 breaks to the lowest id.
+        assert_eq!(p.predict().unwrap().0, lm(1));
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let mut p = MarkovPredictor::new(1);
+        feed(&mut p, &[1, 1, 2, 2, 2, 3]);
+        assert_eq!(p.observations(), 3);
+        assert!((p.probability_from(&[lm(1)], lm(2)) - 1.0).abs() < 1e-12);
+        assert!((p.probability_from(&[lm(2)], lm(3)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order2_uses_two_landmark_context() {
+        let mut p = MarkovPredictor::new(2);
+        // After (1,2) the node goes to 3; after (4,2) it goes to 5.
+        feed(&mut p, &[1, 2, 3, 4, 2, 5, 1, 2, 3, 4, 2, 5, 1, 2]);
+        assert_eq!(p.predict_from(&[lm(1), lm(2)]).unwrap().0, lm(3));
+        assert_eq!(p.predict_from(&[lm(4), lm(2)]).unwrap().0, lm(5));
+        // An order-1 predictor cannot separate the two contexts.
+        let mut q = MarkovPredictor::new(1);
+        feed(&mut q, &[1, 2, 3, 4, 2, 5, 1, 2, 3, 4, 2, 5, 1, 2]);
+        let (_, prob) = q.predict_from(&[lm(2)]).unwrap();
+        assert!(prob < 0.6);
+    }
+
+    #[test]
+    fn unseen_context_yields_none() {
+        let mut p = MarkovPredictor::new(1);
+        feed(&mut p, &[1, 2]);
+        assert!(p.predict_from(&[lm(9)]).is_none());
+        // Current context is l2, which has no successor yet.
+        assert!(p.predict().is_none());
+    }
+
+    #[test]
+    fn incomplete_context_yields_none() {
+        let p = MarkovPredictor::new(2);
+        assert!(p.predict().is_none());
+        assert_eq!(p.probability(lm(1)), 0.0);
+        let mut p = MarkovPredictor::new(2);
+        p.observe(lm(1));
+        assert!(p.context().is_none());
+        assert_eq!(p.current(), Some(lm(1)));
+    }
+
+    #[test]
+    fn distribution_sums_to_one_and_sorts() {
+        let mut p = MarkovPredictor::new(1);
+        feed(&mut p, &[2, 1, 2, 1, 2, 3, 2, 1, 2]);
+        // From l2: successors 1 (x3), 3 (x1).
+        let d = p.distribution();
+        assert_eq!(d[0].0, lm(1));
+        let total: f64 = d.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((d[0].1 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_update_online() {
+        let mut p = MarkovPredictor::new(1);
+        feed(&mut p, &[1, 2, 1, 2]);
+        assert!((p.probability_from(&[lm(1)], lm(2)) - 1.0).abs() < 1e-12);
+        feed(&mut p, &[3]); // now 2 -> 3 observed once
+        assert!((p.probability_from(&[lm(2)], lm(1)) - 0.5).abs() < 1e-12);
+        assert!((p.probability_from(&[lm(2)], lm(3)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be")]
+    fn rejects_order_zero() {
+        MarkovPredictor::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be")]
+    fn rejects_order_beyond_max() {
+        MarkovPredictor::new(MAX_ORDER + 1);
+    }
+
+    #[test]
+    fn pack_distinguishes_contexts() {
+        assert_ne!(pack(&[lm(0)]), pack(&[lm(1)]));
+        assert_ne!(pack(&[lm(0), lm(1)]), pack(&[lm(1), lm(0)]));
+        assert_ne!(pack(&[lm(0)]), pack(&[lm(0), lm(0)]));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for the Markov predictor, accuracy tracking and the
+//! visit history.
+
+use dtnflow_core::ids::LandmarkId;
+use dtnflow_core::time::SimTime;
+use dtnflow_predictor::{AccuracyTracker, MarkovPredictor, VisitHistory};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn observation_count_equals_deduped_length(
+        seq in proptest::collection::vec(0u16..8, 0..300),
+        k in 1usize..4,
+    ) {
+        let mut p = MarkovPredictor::new(k);
+        for &s in &seq {
+            p.observe(LandmarkId(s));
+        }
+        let mut dedup = 0usize;
+        let mut last = None;
+        for &s in &seq {
+            if last != Some(s) {
+                dedup += 1;
+                last = Some(s);
+            }
+        }
+        prop_assert_eq!(p.observations(), dedup);
+        // Current landmark is the last deduped element.
+        prop_assert_eq!(p.current().map(|l| l.0), last);
+    }
+
+    #[test]
+    fn probability_is_empirical_frequency(
+        seq in proptest::collection::vec(0u16..4, 4..300),
+    ) {
+        let mut p = MarkovPredictor::new(1);
+        let mut dedup: Vec<u16> = Vec::new();
+        for &s in &seq {
+            if dedup.last() != Some(&s) {
+                dedup.push(s);
+            }
+            p.observe(LandmarkId(s));
+        }
+        // Pick the most common context and check frequencies by hand.
+        for ctx in 0u16..4 {
+            let total = dedup.windows(2).filter(|w| w[0] == ctx).count();
+            for next in 0u16..4 {
+                let cnt = dedup.windows(2).filter(|w| w[0] == ctx && w[1] == next).count();
+                let expect = if total == 0 { 0.0 } else { cnt as f64 / total as f64 };
+                let got = p.probability_from(&[LandmarkId(ctx)], LandmarkId(next));
+                prop_assert!((got - expect).abs() < 1e-12, "ctx {ctx} next {next}: {got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn higher_order_contexts_nest(
+        seq in proptest::collection::vec(0u16..5, 10..200),
+    ) {
+        // The order-2 predictor's total mass out of any context equals 1
+        // wherever it predicts at all, same as order-1.
+        for k in 1usize..=3 {
+            let mut p = MarkovPredictor::new(k);
+            for &s in &seq {
+                p.observe(LandmarkId(s));
+            }
+            let dist = p.distribution();
+            let total: f64 = dist.iter().map(|&(_, q)| q).sum();
+            prop_assert!(total == 0.0 || (total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn accuracy_tracker_stays_in_bounds(
+        outcomes in proptest::collection::vec((0u16..4, any::<bool>()), 0..200),
+    ) {
+        let mut t = AccuracyTracker::new(4);
+        for &(lm, ok) in &outcomes {
+            t.record(LandmarkId(lm), ok);
+            let a = t.get(LandmarkId(lm));
+            prop_assert!((0.05..=1.0).contains(&a), "accuracy {a}");
+        }
+        // Overall is the product and therefore also bounded.
+        for lm in 0u16..4 {
+            prop_assert!(t.overall(LandmarkId(lm), 0.7) <= 0.7 + 1e-12);
+            prop_assert!(t.overall(LandmarkId(lm), 0.0) == 0.0);
+        }
+    }
+
+    #[test]
+    fn accuracy_more_successes_never_lower(
+        lm in 0u16..3,
+        base in proptest::collection::vec(any::<bool>(), 0..50),
+    ) {
+        // Appending one success never lowers the estimate; one failure
+        // never raises it.
+        let run = |extra: Option<bool>| {
+            let mut t = AccuracyTracker::new(3);
+            for &b in &base {
+                t.record(LandmarkId(lm), b);
+            }
+            if let Some(b) = extra {
+                t.record(LandmarkId(lm), b);
+            }
+            t.get(LandmarkId(lm))
+        };
+        let baseline = run(None);
+        prop_assert!(run(Some(true)) >= baseline - 1e-12);
+        prop_assert!(run(Some(false)) <= baseline + 1e-12);
+    }
+
+    #[test]
+    fn history_frequent_landmarks_sorted_by_count(
+        stays in proptest::collection::vec((0u16..5, 10u64..500), 1..60),
+    ) {
+        let mut h = VisitHistory::new(5);
+        let mut t = 0u64;
+        let mut counts = [0u32; 5];
+        for &(lm, d) in &stays {
+            h.record(LandmarkId(lm), SimTime(t), SimTime(t + d));
+            counts[lm as usize] += 1;
+            t += d + 1;
+        }
+        let freq = h.frequent_landmarks(5);
+        // Counts along the returned order are non-increasing.
+        let cs: Vec<u32> = freq.iter().map(|l| counts[l.index()]).collect();
+        prop_assert!(cs.windows(2).all(|w| w[0] >= w[1]));
+        // And every landmark with a visit appears.
+        let visited = counts.iter().filter(|&&c| c > 0).count();
+        prop_assert_eq!(freq.len(), visited);
+        prop_assert_eq!(h.len(), stays.len());
+    }
+
+    #[test]
+    fn dead_end_threshold_scales_with_gamma(
+        stays in proptest::collection::vec((0u16..3, 100u64..1_000), 12..40),
+        elapsed in 1u64..1_000_000,
+    ) {
+        let mut h = VisitHistory::new(3);
+        let mut t = 0u64;
+        for &(lm, d) in &stays {
+            h.record(LandmarkId(lm), SimTime(t), SimTime(t + d));
+            t += d + 1;
+        }
+        let e = dtnflow_core::time::SimDuration(elapsed);
+        // If it is a dead end at gamma 5, it must also be at gamma 2.
+        if h.is_dead_end(LandmarkId(0), e, 5.0, 10) {
+            prop_assert!(h.is_dead_end(LandmarkId(0), e, 2.0, 10));
+        }
+        // Below min_stays nothing ever triggers.
+        prop_assert!(!h.is_dead_end(LandmarkId(0), e, 2.0, stays.len() + 1));
+    }
+}

@@ -1,0 +1,451 @@
+//! The event loop: merges trace events, workload generations, time-unit
+//! boundaries, observation points and router timers into one deterministic
+//! timeline and dispatches them to the [`Router`].
+
+use crate::router::Router;
+use crate::workload::Workload;
+use crate::world::World;
+use dtnflow_core::config::SimConfig;
+use dtnflow_core::ids::{LandmarkId, NodeId};
+use dtnflow_core::metrics::RunMetrics;
+use dtnflow_core::packet::Packet;
+use dtnflow_core::time::SimTime;
+use dtnflow_mobility::Trace;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What one simulation run produced.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// The §V-A.1 metrics.
+    pub metrics: RunMetrics,
+    /// Every packet with its final state and visited-landmark path
+    /// (for loop/path diagnostics).
+    pub packets: Vec<Packet>,
+}
+
+/// Event kinds, ordered by dispatch priority within a timestamp: unit
+/// boundaries first (bandwidth snapshots), then departures (a node leaves
+/// before another arrives at the same instant), arrivals, generations,
+/// timers, and observations last (they snapshot the settled state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    TimeUnit(u64),
+    Depart(NodeId, LandmarkId),
+    Arrive(NodeId, LandmarkId),
+    Generate(LandmarkId, LandmarkId),
+    Timer(u64),
+    Observe(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    at: SimTime,
+    kind: EventKind,
+    seq: u64,
+}
+
+/// Run a router over a trace with the standard uniform workload.
+pub fn run<R: Router + ?Sized>(trace: &Trace, cfg: &SimConfig, router: &mut R) -> SimOutcome {
+    let workload = Workload::uniform(cfg, trace.num_landmarks(), trace.duration());
+    run_with_workload(trace, cfg, &workload, router)
+}
+
+/// Run a router over a trace with an explicit workload.
+pub fn run_with_workload<R: Router + ?Sized>(
+    trace: &Trace,
+    cfg: &SimConfig,
+    workload: &Workload,
+    router: &mut R,
+) -> SimOutcome {
+    let mut world = World::new(cfg.clone(), trace.num_nodes(), trace.num_landmarks());
+    let station_mode = router.uses_stations();
+
+    // Pre-sorted static event list.
+    let mut events: Vec<Event> = Vec::with_capacity(trace.visits().len() * 2 + workload.len());
+    let mut seq = 0u64;
+    let mut push = |at: SimTime, kind: EventKind, seq: &mut u64| {
+        events.push(Event {
+            at,
+            kind,
+            seq: *seq,
+        });
+        *seq += 1;
+    };
+    for v in trace.visits() {
+        push(v.start, EventKind::Arrive(v.node, v.landmark), &mut seq);
+        push(v.end, EventKind::Depart(v.node, v.landmark), &mut seq);
+    }
+    for g in workload.events() {
+        push(g.at, EventKind::Generate(g.src, g.dst), &mut seq);
+    }
+    let duration = trace.duration();
+    let unit = cfg.time_unit;
+    let mut u = 0u64;
+    let mut t = SimTime::ZERO;
+    while t.secs() <= duration.secs() {
+        push(t, EventKind::TimeUnit(u), &mut seq);
+        u += 1;
+        t += unit;
+    }
+    if cfg.observe_points > 0 {
+        for i in 0..cfg.observe_points {
+            let at = SimTime(
+                (duration.secs() as f64 * (i + 1) as f64 / cfg.observe_points as f64) as u64,
+            );
+            push(at, EventKind::Observe(i), &mut seq);
+        }
+    }
+    events.sort_unstable();
+
+    // Dynamic timers requested by the router.
+    let mut timers: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut timer_seq = u64::MAX / 2;
+    let mut drain_timers = |world: &mut World, timers: &mut BinaryHeap<Reverse<Event>>| {
+        for (at, token) in world.pending_timers.drain(..) {
+            timers.push(Reverse(Event {
+                at,
+                kind: EventKind::Timer(token),
+                seq: timer_seq,
+            }));
+            timer_seq += 1;
+        }
+    };
+
+    let mut next_static = 0usize;
+    loop {
+        // Pick the earlier of the next static event and the next timer.
+        let static_ev = events.get(next_static).copied();
+        let timer_ev = timers.peek().map(|Reverse(e)| *e);
+        let ev = match (static_ev, timer_ev) {
+            (Some(s), Some(t)) => {
+                if t < s {
+                    timers.pop();
+                    t
+                } else {
+                    next_static += 1;
+                    s
+                }
+            }
+            (Some(s), None) => {
+                next_static += 1;
+                s
+            }
+            (None, Some(t)) => {
+                timers.pop();
+                t
+            }
+            (None, None) => break,
+        };
+
+        world.set_now(ev.at);
+        match ev.kind {
+            EventKind::TimeUnit(u) => {
+                world.purge_expired();
+                world.reset_radio_budget();
+                router.on_time_unit(&mut world, u);
+            }
+            EventKind::Depart(n, l) => {
+                router.on_depart(&mut world, n, l);
+                world.node_depart(n, l);
+            }
+            EventKind::Arrive(n, l) => {
+                world.node_arrive(n, l);
+                if !station_mode {
+                    world.auto_deliver_on_arrival(n, l);
+                }
+                let present: Vec<NodeId> = world
+                    .nodes_at(l)
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != n)
+                    .collect();
+                for m in present {
+                    router.on_encounter(&mut world, n, m, l);
+                }
+                router.on_arrive(&mut world, n, l);
+            }
+            EventKind::Generate(src, dst) => {
+                let pkt = world.create_packet(src, dst, None, station_mode);
+                router.on_packet_generated(&mut world, pkt);
+            }
+            EventKind::Timer(token) => {
+                router.on_timer(&mut world, token);
+            }
+            EventKind::Observe(i) => {
+                router.on_observe(&mut world, i);
+            }
+        }
+        drain_timers(&mut world, &mut timers);
+    }
+
+    // Final reckoning: everything past its deadline is an expiry. Router
+    // timers may have fired beyond the last trace event, so never move
+    // the clock backwards.
+    let end = (SimTime::ZERO + duration).max(world.now());
+    world.set_now(end);
+    world.purge_expired();
+    let (metrics, packets) = world.into_outcome();
+    SimOutcome { metrics, packets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtnflow_core::geometry::Point;
+    use dtnflow_core::ids::PacketId;
+    use dtnflow_core::packet::PacketLoc;
+    use dtnflow_core::time::{SimDuration, DAY};
+    use dtnflow_mobility::Visit;
+
+    /// A router that greedily hands pending packets to any arriving node
+    /// and otherwise lets carriers walk them to their destinations.
+    struct DirectRouter;
+
+    impl Router for DirectRouter {
+        fn name(&self) -> &'static str {
+            "direct"
+        }
+        fn on_arrive(&mut self, w: &mut World, node: NodeId, lm: LandmarkId) {
+            let pending: Vec<PacketId> = w.pending_at(lm).collect();
+            for p in pending {
+                if w.transfer_to_node(p, node).is_err() {
+                    break;
+                }
+            }
+        }
+        fn on_packet_generated(&mut self, w: &mut World, pkt: PacketId) {
+            // If someone is already in the subarea, hand the packet over.
+            let src = match w.packet(pkt).loc {
+                PacketLoc::PendingAtSource(l) => l,
+                _ => return,
+            };
+            if let Some(&n) = w.nodes_at(src).iter().next() {
+                let _ = w.transfer_to_node(pkt, n);
+            }
+        }
+    }
+
+    /// An event recorder validating hook ordering.
+    #[derive(Default)]
+    struct RecorderRouter {
+        log: Vec<String>,
+    }
+
+    impl Router for RecorderRouter {
+        fn name(&self) -> &'static str {
+            "recorder"
+        }
+        fn on_arrive(&mut self, w: &mut World, node: NodeId, lm: LandmarkId) {
+            self.log.push(format!("arrive {node} {lm} @{}", w.now().secs()));
+        }
+        fn on_depart(&mut self, w: &mut World, node: NodeId, lm: LandmarkId) {
+            assert!(w.nodes_at(lm).contains(&node), "still present at depart");
+            self.log.push(format!("depart {node} {lm} @{}", w.now().secs()));
+        }
+        fn on_encounter(&mut self, _w: &mut World, a: NodeId, b: NodeId, lm: LandmarkId) {
+            self.log.push(format!("meet {a} {b} {lm}"));
+        }
+        fn on_packet_generated(&mut self, w: &mut World, pkt: PacketId) {
+            self.log.push(format!("gen {} @{}", pkt, w.now().secs()));
+        }
+        fn on_time_unit(&mut self, _w: &mut World, unit: u64) {
+            self.log.push(format!("unit {unit}"));
+        }
+        fn on_observe(&mut self, _w: &mut World, idx: usize) {
+            self.log.push(format!("obs {idx}"));
+        }
+        fn on_timer(&mut self, _w: &mut World, token: u64) {
+            self.log.push(format!("timer {token}"));
+        }
+    }
+
+    fn shuttle_trace() -> Trace {
+        // Node 0 shuttles l0 -> l1 -> l0 ... daily; node 1 sits at l0
+        // mornings only.
+        let mut visits = Vec::new();
+        for d in 0..8u64 {
+            let base = d * 86_400;
+            visits.push(Visit::new(
+                NodeId(0),
+                LandmarkId(0),
+                SimTime(base + 1_000),
+                SimTime(base + 5_000),
+            ));
+            visits.push(Visit::new(
+                NodeId(0),
+                LandmarkId(1),
+                SimTime(base + 10_000),
+                SimTime(base + 20_000),
+            ));
+            visits.push(Visit::new(
+                NodeId(1),
+                LandmarkId(0),
+                SimTime(base + 2_000),
+                SimTime(base + 4_000),
+            ));
+        }
+        Trace::new(
+            "shuttle",
+            2,
+            2,
+            vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)],
+            visits,
+        )
+        .unwrap()
+    }
+
+    fn small_cfg() -> SimConfig {
+        SimConfig {
+            packets_per_landmark_per_day: 2.0,
+            ttl: DAY.mul(4),
+            time_unit: DAY,
+            seed: 3,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn direct_router_delivers_on_shuttle() {
+        let trace = shuttle_trace();
+        let cfg = small_cfg();
+        let out = run(&trace, &cfg, &mut DirectRouter);
+        assert!(out.metrics.generated > 0);
+        // The shuttle reaches both landmarks daily, so most packets with a
+        // 4-day TTL make it.
+        assert!(
+            out.metrics.success_rate() > 0.5,
+            "success {}",
+            out.metrics.success_rate()
+        );
+        // Everything delivered took at least one forwarding op.
+        assert!(out.metrics.forwarding_ops >= out.metrics.delivered);
+    }
+
+    #[test]
+    fn hook_ordering_and_encounters() {
+        let trace = shuttle_trace();
+        let mut cfg = small_cfg();
+        cfg.observe_points = 2;
+        cfg.packets_per_landmark_per_day = 0.5;
+        let mut r = RecorderRouter::default();
+        let _ = run(&trace, &cfg, &mut r);
+        let log = r.log.join("\n");
+        // Node 1 arrives at l0 at t=2000 while node 0 is there.
+        assert!(log.contains("meet n1 n0 l0"));
+        // Unit boundaries and observations both fired; the trace is just
+        // over 7 days long, so boundaries at days 0..=7 exist.
+        assert!(log.contains("unit 0"));
+        assert!(log.contains("unit 7"));
+        assert!(log.contains("obs 0"));
+        assert!(log.contains("obs 1"));
+        // Every arrive has a matching depart.
+        let arrives = r.log.iter().filter(|l| l.starts_with("arrive")).count();
+        let departs = r.log.iter().filter(|l| l.starts_with("depart")).count();
+        assert_eq!(arrives, departs);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerRouter {
+            fired: Vec<(u64, u64)>,
+        }
+        impl Router for TimerRouter {
+            fn name(&self) -> &'static str {
+                "timer"
+            }
+            fn on_arrive(&mut self, w: &mut World, _n: NodeId, _l: LandmarkId) {
+                if self.fired.is_empty() && w.now().secs() < 2_000 {
+                    w.schedule_timer(SimTime(7_777), 1);
+                    w.schedule_timer(SimTime(3_333), 2);
+                    self.fired.push((0, w.now().secs()));
+                }
+            }
+            fn on_packet_generated(&mut self, _w: &mut World, _p: PacketId) {}
+            fn on_timer(&mut self, w: &mut World, token: u64) {
+                self.fired.push((token, w.now().secs()));
+            }
+        }
+        let trace = shuttle_trace();
+        let mut r = TimerRouter { fired: vec![] };
+        let _ = run(&trace, &small_cfg(), &mut r);
+        // Token 2 (earlier deadline) fires before token 1.
+        assert_eq!(r.fired.len(), 3);
+        assert_eq!(r.fired[1], (2, 3_333));
+        assert_eq!(r.fired[2], (1, 7_777));
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let trace = shuttle_trace();
+        let cfg = small_cfg();
+        let a = run(&trace, &cfg, &mut DirectRouter);
+        let b = run(&trace, &cfg, &mut DirectRouter);
+        assert_eq!(a.metrics.summary().success_rate, b.metrics.summary().success_rate);
+        assert_eq!(a.metrics.forwarding_ops, b.metrics.forwarding_ops);
+        assert_eq!(a.packets.len(), b.packets.len());
+    }
+
+    #[test]
+    fn undelivered_packets_expire_by_the_end() {
+        // A trace where node 1 never reaches l1: packets to l1 that node 1
+        // picks up die by TTL; final purge must count them.
+        struct GreedyRouter;
+        impl Router for GreedyRouter {
+            fn name(&self) -> &'static str {
+                "greedy"
+            }
+            fn on_arrive(&mut self, w: &mut World, node: NodeId, lm: LandmarkId) {
+                let pending: Vec<PacketId> = w.pending_at(lm).collect();
+                for p in pending {
+                    let _ = w.transfer_to_node(p, node);
+                }
+            }
+            fn on_packet_generated(&mut self, _w: &mut World, _p: PacketId) {}
+        }
+        let mut visits = Vec::new();
+        for d in 0..8u64 {
+            visits.push(Visit::new(
+                NodeId(0),
+                LandmarkId(0),
+                SimTime(d * 86_400),
+                SimTime(d * 86_400 + 1_000),
+            ));
+        }
+        let trace = Trace::new(
+            "stuck",
+            1,
+            2,
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
+            visits,
+        )
+        .unwrap();
+        let cfg = SimConfig {
+            packets_per_landmark_per_day: 4.0,
+            ttl: DAY,
+            time_unit: DAY,
+            ..SimConfig::default()
+        };
+        let out = run(&trace, &cfg, &mut GreedyRouter);
+        assert!(out.metrics.generated > 0);
+        assert_eq!(out.metrics.delivered, 0);
+        // Every packet either expired or (if generated within the final
+        // TTL window) is still stranded; nothing is unaccounted for.
+        let live = out.packets.iter().filter(|p| p.loc.is_live()).count() as u64;
+        assert_eq!(out.metrics.expired + live, out.metrics.generated);
+        assert!(out.metrics.expired > 0);
+    }
+
+    #[test]
+    fn time_unit_count_covers_duration() {
+        let trace = shuttle_trace();
+        let mut cfg = small_cfg();
+        cfg.time_unit = SimDuration::from_days(2.0);
+        let mut r = RecorderRouter::default();
+        let _ = run(&trace, &cfg, &mut r);
+        let units = r.log.iter().filter(|l| l.starts_with("unit")).count();
+        // Duration is just under 8 days: boundaries at days 0,2,4,6 (+day 8
+        // only if the last visit ends exactly there).
+        assert!(units == 4 || units == 5, "units {units}");
+    }
+}

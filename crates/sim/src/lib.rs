@@ -1,0 +1,26 @@
+//! Trace-driven discrete-event DTN simulator.
+//!
+//! The simulator replays a mobility [`dtnflow_mobility::Trace`] as a stream
+//! of node arrival/departure events, generates a packet workload, and lets
+//! a routing algorithm (anything implementing [`Router`]) decide every
+//! packet movement. The engine owns the mechanics the paper holds constant
+//! across algorithms — node memory limits, packet TTLs, delivery detection,
+//! cost accounting — so that DTN-FLOW and the five baselines are compared
+//! under identical rules (§V-A.1).
+//!
+//! * [`world::World`] — simulation state and the transfer primitives;
+//! * [`router::Router`] — the algorithm-facing event hooks;
+//! * [`workload::Workload`] — packet generation schedules;
+//! * [`engine`] — the event loop ([`engine::run`]).
+
+pub mod engine;
+pub mod router;
+pub mod store;
+pub mod workload;
+pub mod world;
+
+pub use engine::{run, run_with_workload, SimOutcome};
+pub use router::Router;
+pub use store::PacketStore;
+pub use workload::Workload;
+pub use world::{TransferError, TransferOutcome, World};

@@ -1,0 +1,70 @@
+//! The algorithm-facing event interface.
+//!
+//! A [`Router`] receives the simulator's events and reacts by calling the
+//! transfer primitives on the [`World`]. The engine guarantees:
+//!
+//! * `on_arrive` fires after the node is registered at the landmark (and,
+//!   in no-station mode, after auto-delivery of its packets destined
+//!   there);
+//! * `on_encounter` fires once per (newcomer, already-present) pair, with
+//!   the newcomer first — before `on_arrive`;
+//! * `on_depart` fires while the node is still registered, so departure
+//!   bookkeeping can inspect presence;
+//! * `on_time_unit` fires at every multiple of `SimConfig::time_unit`,
+//!   after expired packets are purged and the radio budget is reset;
+//! * `on_timer` fires at (or after) the time passed to
+//!   `World::schedule_timer`, with the same token.
+
+use crate::world::World;
+use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
+
+/// A DTN routing algorithm under simulation.
+pub trait Router {
+    /// Display name ("DTN-FLOW", "PROPHET", …).
+    fn name(&self) -> &'static str;
+
+    /// Whether this router stores packets at landmark stations (DTN-FLOW)
+    /// rather than only on mobile nodes (the baselines). Controls where
+    /// generated packets start and how delivery is detected.
+    fn uses_stations(&self) -> bool {
+        false
+    }
+
+    /// A node connected to a landmark.
+    fn on_arrive(&mut self, world: &mut World, node: NodeId, lm: LandmarkId);
+
+    /// A node is about to disconnect from a landmark.
+    fn on_depart(&mut self, world: &mut World, node: NodeId, lm: LandmarkId) {
+        let _ = (world, node, lm);
+    }
+
+    /// `newcomer` just connected to a landmark where `present` already is.
+    fn on_encounter(
+        &mut self,
+        world: &mut World,
+        newcomer: NodeId,
+        present: NodeId,
+        lm: LandmarkId,
+    ) {
+        let _ = (world, newcomer, present, lm);
+    }
+
+    /// A packet was generated (already placed pending / at its source
+    /// station by the engine).
+    fn on_packet_generated(&mut self, world: &mut World, pkt: PacketId);
+
+    /// A measurement time unit boundary (§IV-C.1), `unit` counts from 0.
+    fn on_time_unit(&mut self, world: &mut World, unit: u64) {
+        let _ = (world, unit);
+    }
+
+    /// An evenly spaced observation point (Fig. 8 snapshots).
+    fn on_observe(&mut self, world: &mut World, idx: usize) {
+        let _ = (world, idx);
+    }
+
+    /// A timer requested through `World::schedule_timer` fired.
+    fn on_timer(&mut self, world: &mut World, token: u64) {
+        let _ = (world, token);
+    }
+}

@@ -1,0 +1,205 @@
+//! Packet workload generation (paper §V-A.1).
+//!
+//! Packets are generated "at the rate of `r` packets per landmark per day"
+//! with uniformly random destination landmarks, starting after the warm-up
+//! quarter of the trace. The deployment experiment (§V-C) instead sends
+//! everything to a single sink (the library).
+
+use dtnflow_core::config::SimConfig;
+use dtnflow_core::ids::LandmarkId;
+use dtnflow_core::rngutil::rng_for;
+use dtnflow_core::time::{SimDuration, SimTime};
+use rand::Rng;
+
+/// One scheduled packet generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenEvent {
+    pub at: SimTime,
+    pub src: LandmarkId,
+    pub dst: LandmarkId,
+}
+
+/// A packet generation schedule, sorted by time.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    events: Vec<GenEvent>,
+    warmup_end: SimTime,
+}
+
+impl Workload {
+    /// Uniform workload: each landmark generates `cfg.packets_per_landmark
+    /// _per_day` packets per day at uniformly random times in
+    /// `[warmup_end, duration)`, each destined to a uniformly random
+    /// *other* landmark.
+    pub fn uniform(cfg: &SimConfig, num_landmarks: usize, duration: SimDuration) -> Self {
+        Self::build(cfg, num_landmarks, duration, None, &[])
+    }
+
+    /// Uniform workload over the landmarks *not* listed in `excluded`.
+    /// Excluded landmarks neither generate nor receive packets — used for
+    /// infrastructure landmarks like the bus garage, which landmark
+    /// selection (§IV-A.1) would never pick as a popular place.
+    pub fn uniform_excluding(
+        cfg: &SimConfig,
+        num_landmarks: usize,
+        duration: SimDuration,
+        excluded: &[LandmarkId],
+    ) -> Self {
+        Self::build(cfg, num_landmarks, duration, None, excluded)
+    }
+
+    /// Sink workload (§V-C): every packet is destined to `sink`; the sink
+    /// landmark itself generates none.
+    pub fn sink(
+        cfg: &SimConfig,
+        num_landmarks: usize,
+        duration: SimDuration,
+        sink: LandmarkId,
+    ) -> Self {
+        Self::build(cfg, num_landmarks, duration, Some(sink), &[])
+    }
+
+    fn build(
+        cfg: &SimConfig,
+        num_landmarks: usize,
+        duration: SimDuration,
+        sink: Option<LandmarkId>,
+        excluded: &[LandmarkId],
+    ) -> Self {
+        let eligible: Vec<LandmarkId> = (0..num_landmarks)
+            .map(LandmarkId::from)
+            .filter(|l| !excluded.contains(l))
+            .collect();
+        assert!(eligible.len() > 1, "need at least two landmarks to route");
+        let mut rng = rng_for(cfg.seed, "workload");
+        let warmup_end =
+            SimTime(((duration.secs() as f64) * cfg.warmup_fraction).round() as u64);
+        let gen_span = duration
+            .secs()
+            .saturating_sub(warmup_end.secs())
+            .saturating_sub(cfg.gen_tail_margin.secs());
+        let gen_days = gen_span as f64 / 86_400.0;
+        let per_landmark =
+            (cfg.packets_per_landmark_per_day * gen_days).round() as usize;
+
+        let mut events = Vec::with_capacity(per_landmark * eligible.len());
+        for (i, &src) in eligible.iter().enumerate() {
+            if sink == Some(src) {
+                continue;
+            }
+            for _ in 0..per_landmark {
+                let at = SimTime(warmup_end.secs() + rng.random_range(0..gen_span.max(1)));
+                let dst = match sink {
+                    Some(s) => s,
+                    None => {
+                        // Uniform over the other eligible landmarks.
+                        let mut d = rng.random_range(0..eligible.len() - 1);
+                        if d >= i {
+                            d += 1;
+                        }
+                        eligible[d]
+                    }
+                };
+                events.push(GenEvent { at, src, dst });
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.src, e.dst));
+        Workload { events, warmup_end }
+    }
+
+    /// The scheduled generations, ascending by time.
+    pub fn events(&self) -> &[GenEvent] {
+        &self.events
+    }
+
+    /// When the warm-up period ends (first possible generation instant).
+    pub fn warmup_end(&self) -> SimTime {
+        self.warmup_end
+    }
+
+    /// Number of scheduled packets.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no packets are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtnflow_core::time::DAY;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            packets_per_landmark_per_day: 10.0,
+            warmup_fraction: 0.25,
+            seed: 7,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn respects_rate_and_warmup() {
+        let w = Workload::uniform(&cfg(), 4, DAY.mul(8));
+        // 6 post-warmup days x 10/landmark/day x 4 landmarks.
+        assert_eq!(w.len(), 240);
+        assert_eq!(w.warmup_end(), SimTime(2 * 86_400));
+        assert!(w.events().iter().all(|e| e.at >= w.warmup_end()));
+        assert!(w
+            .events()
+            .iter()
+            .all(|e| e.at.secs() < 8 * 86_400));
+    }
+
+    #[test]
+    fn destinations_never_equal_source() {
+        let w = Workload::uniform(&cfg(), 4, DAY.mul(8));
+        assert!(w.events().iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn destinations_cover_all_landmarks() {
+        let w = Workload::uniform(&cfg(), 4, DAY.mul(8));
+        for d in 0..4u16 {
+            assert!(
+                w.events().iter().any(|e| e.dst == LandmarkId(d)),
+                "landmark {d} never a destination"
+            );
+        }
+    }
+
+    #[test]
+    fn events_sorted_by_time() {
+        let w = Workload::uniform(&cfg(), 4, DAY.mul(8));
+        assert!(w.events().windows(2).all(|p| p[0].at <= p[1].at));
+    }
+
+    #[test]
+    fn sink_workload_targets_only_sink() {
+        let sink = LandmarkId(0);
+        let w = Workload::sink(&cfg(), 4, DAY.mul(8), sink);
+        assert!(w.events().iter().all(|e| e.dst == sink));
+        assert!(w.events().iter().all(|e| e.src != sink));
+        // 3 non-sink landmarks generate.
+        assert_eq!(w.len(), 180);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Workload::uniform(&cfg(), 4, DAY.mul(8));
+        let b = Workload::uniform(&cfg(), 4, DAY.mul(8));
+        assert_eq!(a.events(), b.events());
+        let c = Workload::uniform(&cfg().with_seed(8), 4, DAY.mul(8));
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two landmarks")]
+    fn rejects_single_landmark() {
+        Workload::uniform(&cfg(), 1, DAY.mul(8));
+    }
+}

@@ -1,0 +1,670 @@
+//! Simulation state and the transfer primitives routers build on.
+//!
+//! The [`World`] owns every packet, every store, node locations, the run
+//! metrics, and — when a radio budget is configured — the per-landmark
+//! uplink/downlink budget. Routers never mutate this state directly; they
+//! call the transfer methods, which enforce the physical rules every
+//! algorithm plays by: co-location, memory limits, TTLs, and single-copy
+//! semantics.
+
+use crate::store::PacketStore;
+use dtnflow_core::config::SimConfig;
+use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
+use dtnflow_core::metrics::RunMetrics;
+use dtnflow_core::packet::{Packet, PacketLoc};
+use dtnflow_core::time::SimTime;
+use std::collections::BTreeSet;
+
+/// Why a transfer was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferError {
+    /// The packet is already delivered or expired.
+    NotLive,
+    /// The packet's TTL elapsed; it has now been dropped.
+    Expired,
+    /// Source and target are not at the same landmark.
+    NotColocated,
+    /// The receiving node has no room.
+    NoSpace,
+    /// The packet is already exactly where it was asked to go.
+    SamePlace,
+    /// The landmark's radio budget for this time unit is exhausted
+    /// (only with `SimConfig::radio_budget_per_unit`).
+    RadioBusy,
+}
+
+/// What a station upload achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferOutcome {
+    /// The station was the packet's destination: it has been delivered.
+    pub delivered: bool,
+    /// The packet had already visited this station: a routing loop closed
+    /// (§IV-E.2).
+    pub loop_closed: bool,
+}
+
+/// The complete simulation state.
+#[derive(Debug)]
+pub struct World {
+    cfg: SimConfig,
+    now: SimTime,
+    num_nodes: usize,
+    num_landmarks: usize,
+    packets: Vec<Packet>,
+    node_store: Vec<PacketStore>,
+    station_store: Vec<PacketStore>,
+    /// Packets generated in a subarea and not yet picked up (no-station
+    /// routers only).
+    pending: Vec<BTreeSet<PacketId>>,
+    node_loc: Vec<Option<LandmarkId>>,
+    present: Vec<BTreeSet<NodeId>>,
+    metrics: RunMetrics,
+    /// Remaining node↔station transfers this time unit, per landmark.
+    radio_budget: Option<Vec<u64>>,
+    /// Timers requested by the router, drained by the engine.
+    pub(crate) pending_timers: Vec<(SimTime, u64)>,
+}
+
+impl World {
+    /// Create a world with empty stores and everyone off-network.
+    pub fn new(cfg: SimConfig, num_nodes: usize, num_landmarks: usize) -> Self {
+        cfg.validate().expect("invalid simulation config");
+        assert!(num_nodes > 0 && num_landmarks > 0);
+        let radio_budget = cfg
+            .radio_budget_per_unit
+            .map(|b| vec![b; num_landmarks]);
+        World {
+            now: SimTime::ZERO,
+            num_nodes,
+            num_landmarks,
+            packets: Vec::new(),
+            node_store: (0..num_nodes)
+                .map(|_| PacketStore::bounded(cfg.node_memory))
+                .collect(),
+            station_store: (0..num_landmarks)
+                .map(|_| PacketStore::unbounded())
+                .collect(),
+            pending: vec![BTreeSet::new(); num_landmarks],
+            node_loc: vec![None; num_nodes],
+            present: vec![BTreeSet::new(); num_landmarks],
+            metrics: RunMetrics::default(),
+            radio_budget,
+            pending_timers: Vec::new(),
+            cfg,
+        }
+    }
+
+    // ---- read-only state -------------------------------------------------
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Number of mobile nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of landmarks.
+    pub fn num_landmarks(&self) -> usize {
+        self.num_landmarks
+    }
+
+    /// Immutable view of a packet.
+    pub fn packet(&self, id: PacketId) -> &Packet {
+        &self.packets[id.index()]
+    }
+
+    /// All packets created so far (diagnostics; includes finished ones).
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// The landmark a node is currently associated with.
+    pub fn node_location(&self, node: NodeId) -> Option<LandmarkId> {
+        self.node_loc[node.index()]
+    }
+
+    /// Nodes currently at a landmark, ascending by id.
+    pub fn nodes_at(&self, lm: LandmarkId) -> &BTreeSet<NodeId> {
+        &self.present[lm.index()]
+    }
+
+    /// Packets in a node's memory, ascending by id.
+    pub fn node_packets(&self, node: NodeId) -> impl Iterator<Item = PacketId> + '_ {
+        self.node_store[node.index()].iter()
+    }
+
+    /// Number of packets in a node's memory.
+    pub fn node_packet_count(&self, node: NodeId) -> usize {
+        self.node_store[node.index()].len()
+    }
+
+    /// Free bytes in a node's memory.
+    pub fn node_free_bytes(&self, node: NodeId) -> u64 {
+        self.node_store[node.index()].free_bytes()
+    }
+
+    /// Whether one more packet fits in a node's memory.
+    pub fn node_has_space(&self, node: NodeId) -> bool {
+        self.node_store[node.index()].fits(self.cfg.packet_size)
+    }
+
+    /// Packets stored at a station, ascending by id.
+    pub fn station_packets(&self, lm: LandmarkId) -> impl Iterator<Item = PacketId> + '_ {
+        self.station_store[lm.index()].iter()
+    }
+
+    /// Number of packets at a station.
+    pub fn station_packet_count(&self, lm: LandmarkId) -> usize {
+        self.station_store[lm.index()].len()
+    }
+
+    /// Packets pending pickup in a subarea (no-station routers).
+    pub fn pending_at(&self, lm: LandmarkId) -> impl Iterator<Item = PacketId> + '_ {
+        self.pending[lm.index()].iter().copied()
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    // ---- router services -------------------------------------------------
+
+    /// Ask the engine to call `Router::on_timer(token)` at `at` (clamped to
+    /// now if already past).
+    pub fn schedule_timer(&mut self, at: SimTime, token: u64) {
+        self.pending_timers.push((at.max(self.now), token));
+    }
+
+    /// Account the exchange of a routing/utility table with `entries`
+    /// entries (§V-A.1 overall-cost metric).
+    pub fn record_table_exchange(&mut self, entries: usize) {
+        self.metrics
+            .record_table_exchange(entries, self.cfg.entries_per_packet);
+    }
+
+    // ---- transfers -------------------------------------------------------
+
+    /// Move a live packet to `to`'s memory, from wherever it is: the
+    /// pending pool of `to`'s landmark, the station `to` is at, or a
+    /// co-located node. Counts one forwarding operation.
+    pub fn transfer_to_node(&mut self, pkt: PacketId, to: NodeId) -> Result<(), TransferError> {
+        self.check_live(pkt)?;
+        let loc = self.packets[pkt.index()].loc;
+        let to_lm = self.node_loc[to.index()].ok_or(TransferError::NotColocated)?;
+        let size = self.cfg.packet_size;
+        match loc {
+            PacketLoc::PendingAtSource(l) => {
+                if l != to_lm {
+                    return Err(TransferError::NotColocated);
+                }
+                if !self.node_store[to.index()].fits(size) {
+                    return Err(TransferError::NoSpace);
+                }
+                self.pending[l.index()].remove(&pkt);
+            }
+            PacketLoc::AtStation(l) => {
+                if l != to_lm {
+                    return Err(TransferError::NotColocated);
+                }
+                if !self.node_store[to.index()].fits(size) {
+                    return Err(TransferError::NoSpace);
+                }
+                self.take_radio_budget(l)?;
+                self.station_store[l.index()].remove(pkt, size);
+            }
+            PacketLoc::OnNode(m) => {
+                if m == to {
+                    return Err(TransferError::SamePlace);
+                }
+                if self.node_loc[m.index()] != Some(to_lm) {
+                    return Err(TransferError::NotColocated);
+                }
+                if !self.node_store[to.index()].fits(size) {
+                    return Err(TransferError::NoSpace);
+                }
+                self.node_store[m.index()].remove(pkt, size);
+            }
+            _ => return Err(TransferError::NotLive),
+        }
+        assert!(self.node_store[to.index()].insert(pkt, size));
+        let p = &mut self.packets[pkt.index()];
+        p.loc = PacketLoc::OnNode(to);
+        p.hops += 1;
+        self.metrics.record_forward();
+        Ok(())
+    }
+
+    /// Upload a packet to the station at `lm` (from a co-located carrier
+    /// or the subarea's pending pool). Delivers it when `lm` is its
+    /// destination; otherwise stores it and reports whether a routing loop
+    /// closed. Counts one forwarding operation.
+    pub fn transfer_to_station(
+        &mut self,
+        pkt: PacketId,
+        lm: LandmarkId,
+    ) -> Result<TransferOutcome, TransferError> {
+        self.check_live(pkt)?;
+        let size = self.cfg.packet_size;
+        match self.packets[pkt.index()].loc {
+            PacketLoc::OnNode(m) => {
+                if self.node_loc[m.index()] != Some(lm) {
+                    return Err(TransferError::NotColocated);
+                }
+                self.take_radio_budget(lm)?;
+                self.node_store[m.index()].remove(pkt, size);
+            }
+            PacketLoc::PendingAtSource(l) => {
+                if l != lm {
+                    return Err(TransferError::NotColocated);
+                }
+                self.pending[l.index()].remove(&pkt);
+            }
+            PacketLoc::AtStation(l) if l == lm => return Err(TransferError::SamePlace),
+            _ => return Err(TransferError::NotLive),
+        }
+        self.metrics.record_forward();
+        let now = self.now;
+        let p = &mut self.packets[pkt.index()];
+        p.hops += 1;
+        // A node-addressed packet (§IV-E.4) is only delivered by its
+        // destination *node* claiming it, never by reaching a landmark.
+        if p.dst == lm && p.dst_node.is_none() {
+            p.loc = PacketLoc::Delivered(now);
+            let delay = now.since(p.created);
+            self.metrics.record_delivery(delay);
+            return Ok(TransferOutcome {
+                delivered: true,
+                loop_closed: false,
+            });
+        }
+        let loop_closed = p.record_station_visit(lm);
+        p.loc = PacketLoc::AtStation(lm);
+        assert!(self.station_store[lm.index()].insert(pkt, size));
+        Ok(TransferOutcome {
+            delivered: false,
+            loop_closed,
+        })
+    }
+
+    /// Deliver a station-held packet addressed to mobile node `to`
+    /// (§IV-E.4), who must be at that station's landmark.
+    pub fn deliver_to_dst_node(&mut self, pkt: PacketId, to: NodeId) -> Result<(), TransferError> {
+        self.check_live(pkt)?;
+        let p = &self.packets[pkt.index()];
+        if p.dst_node != Some(to) {
+            return Err(TransferError::NotColocated);
+        }
+        let PacketLoc::AtStation(l) = p.loc else {
+            return Err(TransferError::NotLive);
+        };
+        if self.node_loc[to.index()] != Some(l) {
+            return Err(TransferError::NotColocated);
+        }
+        let size = self.cfg.packet_size;
+        self.station_store[l.index()].remove(pkt, size);
+        let now = self.now;
+        let p = &mut self.packets[pkt.index()];
+        p.loc = PacketLoc::Delivered(now);
+        p.hops += 1;
+        let delay = now.since(p.created);
+        self.metrics.record_delivery(delay);
+        self.metrics.record_forward();
+        Ok(())
+    }
+
+    // ---- engine-side mutations (crate-private) ----------------------------
+
+    fn check_live(&mut self, pkt: PacketId) -> Result<(), TransferError> {
+        let p = &self.packets[pkt.index()];
+        if !p.loc.is_live() {
+            return Err(TransferError::NotLive);
+        }
+        if p.is_expired_at(self.now) {
+            self.expire_packet(pkt);
+            return Err(TransferError::Expired);
+        }
+        Ok(())
+    }
+
+    fn take_radio_budget(&mut self, lm: LandmarkId) -> Result<(), TransferError> {
+        if let Some(budget) = &mut self.radio_budget {
+            let slot = &mut budget[lm.index()];
+            if *slot == 0 {
+                return Err(TransferError::RadioBusy);
+            }
+            *slot -= 1;
+        }
+        Ok(())
+    }
+
+    /// Remaining node↔station transfers at `lm` this unit (`None` when
+    /// radio is unconstrained).
+    pub fn radio_budget_left(&self, lm: LandmarkId) -> Option<u64> {
+        self.radio_budget.as_ref().map(|b| b[lm.index()])
+    }
+
+    pub(crate) fn set_now(&mut self, t: SimTime) {
+        debug_assert!(t >= self.now, "time must not go backwards");
+        self.now = t;
+    }
+
+    pub(crate) fn reset_radio_budget(&mut self) {
+        if let Some(budget) = &mut self.radio_budget {
+            let per_unit = self
+                .cfg
+                .radio_budget_per_unit
+                .expect("budget configured");
+            budget.iter_mut().for_each(|b| *b = per_unit);
+        }
+    }
+
+    pub(crate) fn node_arrive(&mut self, node: NodeId, lm: LandmarkId) {
+        debug_assert!(self.node_loc[node.index()].is_none(), "node already somewhere");
+        self.node_loc[node.index()] = Some(lm);
+        self.present[lm.index()].insert(node);
+    }
+
+    pub(crate) fn node_depart(&mut self, node: NodeId, lm: LandmarkId) {
+        debug_assert_eq!(self.node_loc[node.index()], Some(lm));
+        self.node_loc[node.index()] = None;
+        self.present[lm.index()].remove(&node);
+    }
+
+    /// Create a packet addressed to a mobile node (§IV-E.4): `via` is one
+    /// of the destination node's frequently visited landmarks; the packet
+    /// waits at `via`'s station until the node shows up. Landmark-addressed
+    /// workload packets are created by the engine instead.
+    pub fn create_node_packet(
+        &mut self,
+        src: LandmarkId,
+        via: LandmarkId,
+        dst_node: NodeId,
+        station_mode: bool,
+    ) -> PacketId {
+        self.create_packet(src, via, Some(dst_node), station_mode)
+    }
+
+    /// Create a packet; it starts pending (no-station mode) or directly at
+    /// its source station (station mode).
+    pub(crate) fn create_packet(
+        &mut self,
+        src: LandmarkId,
+        dst: LandmarkId,
+        dst_node: Option<NodeId>,
+        station_mode: bool,
+    ) -> PacketId {
+        assert!(
+            src != dst || dst_node.is_some(),
+            "packets must cross subareas"
+        );
+        let id = PacketId::from(self.packets.len());
+        let mut p = Packet::new(id, src, dst, self.now, self.cfg.ttl);
+        p.dst_node = dst_node;
+        if station_mode {
+            p.loc = PacketLoc::AtStation(src);
+            p.record_station_visit(src);
+            assert!(self.station_store[src.index()].insert(id, self.cfg.packet_size));
+        } else {
+            self.pending[src.index()].insert(id);
+        }
+        self.packets.push(p);
+        self.metrics.generated += 1;
+        id
+    }
+
+    /// Drop a packet whose TTL elapsed, removing it from wherever it sits.
+    pub(crate) fn expire_packet(&mut self, pkt: PacketId) {
+        let size = self.cfg.packet_size;
+        let loc = self.packets[pkt.index()].loc;
+        match loc {
+            PacketLoc::OnNode(n) => {
+                self.node_store[n.index()].remove(pkt, size);
+            }
+            PacketLoc::AtStation(l) => {
+                self.station_store[l.index()].remove(pkt, size);
+            }
+            PacketLoc::PendingAtSource(l) => {
+                self.pending[l.index()].remove(&pkt);
+            }
+            _ => return,
+        }
+        self.packets[pkt.index()].loc = PacketLoc::Expired;
+        self.metrics.record_expiry();
+    }
+
+    /// Drop every live packet whose TTL has elapsed.
+    pub(crate) fn purge_expired(&mut self) {
+        let now = self.now;
+        let expired: Vec<PacketId> = self
+            .packets
+            .iter()
+            .filter(|p| p.loc.is_live() && p.is_expired_at(now))
+            .map(|p| p.id)
+            .collect();
+        for pkt in expired {
+            self.expire_packet(pkt);
+        }
+    }
+
+    /// Deliver node-carried packets whose destination is `lm` without a
+    /// forwarding operation (no-station routers: arrival at the
+    /// destination subarea *is* delivery).
+    pub(crate) fn auto_deliver_on_arrival(&mut self, node: NodeId, lm: LandmarkId) {
+        let size = self.cfg.packet_size;
+        let here: Vec<PacketId> = self.node_store[node.index()]
+            .iter()
+            .filter(|&p| self.packets[p.index()].dst == lm)
+            .collect();
+        let now = self.now;
+        for pkt in here {
+            // The TTL may have lapsed since the last purge: that packet
+            // is a drop, not a delivery.
+            if self.packets[pkt.index()].is_expired_at(now) {
+                self.expire_packet(pkt);
+                continue;
+            }
+            self.node_store[node.index()].remove(pkt, size);
+            let p = &mut self.packets[pkt.index()];
+            p.loc = PacketLoc::Delivered(now);
+            let delay = now.since(p.created);
+            self.metrics.record_delivery(delay);
+        }
+    }
+
+    pub(crate) fn into_outcome(self) -> (RunMetrics, Vec<Packet>) {
+        (self.metrics, self.packets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtnflow_core::time::DAY;
+
+    fn world() -> World {
+        let cfg = SimConfig {
+            node_memory: 2_048, // two packets
+            ..SimConfig::default()
+        };
+        World::new(cfg, 3, 3)
+    }
+
+    fn lm(i: u16) -> LandmarkId {
+        LandmarkId(i)
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn pending_pickup_and_delivery_cycle() {
+        let mut w = world();
+        w.node_arrive(n(0), lm(0));
+        let p = w.create_packet(lm(0), lm(1), None, false);
+        assert!(w.pending_at(lm(0)).any(|x| x == p));
+        w.transfer_to_node(p, n(0)).unwrap();
+        assert_eq!(w.packet(p).loc, PacketLoc::OnNode(n(0)));
+        assert_eq!(w.metrics().forwarding_ops, 1);
+        // Carrier moves to the destination: auto-delivery, no extra op.
+        w.node_depart(n(0), lm(0));
+        w.set_now(SimTime(100));
+        w.node_arrive(n(0), lm(1));
+        w.auto_deliver_on_arrival(n(0), lm(1));
+        assert!(matches!(w.packet(p).loc, PacketLoc::Delivered(_)));
+        assert_eq!(w.metrics().delivered, 1);
+        assert_eq!(w.metrics().forwarding_ops, 1);
+        assert_eq!(w.metrics().delays, vec![100]);
+    }
+
+    #[test]
+    fn station_mode_generation_and_upload_delivery() {
+        let mut w = world();
+        let p = w.create_packet(lm(0), lm(2), None, true);
+        assert_eq!(w.packet(p).loc, PacketLoc::AtStation(lm(0)));
+        w.node_arrive(n(1), lm(0));
+        w.transfer_to_node(p, n(1)).unwrap();
+        w.node_depart(n(1), lm(0));
+        w.set_now(SimTime(50));
+        w.node_arrive(n(1), lm(2));
+        let out = w.transfer_to_station(p, lm(2)).unwrap();
+        assert!(out.delivered);
+        assert_eq!(w.metrics().delivered, 1);
+        assert_eq!(w.metrics().forwarding_ops, 2);
+    }
+
+    #[test]
+    fn memory_limit_enforced() {
+        let mut w = world();
+        w.node_arrive(n(0), lm(0));
+        let a = w.create_packet(lm(0), lm(1), None, false);
+        let b = w.create_packet(lm(0), lm(1), None, false);
+        let c = w.create_packet(lm(0), lm(1), None, false);
+        w.transfer_to_node(a, n(0)).unwrap();
+        w.transfer_to_node(b, n(0)).unwrap();
+        assert_eq!(w.transfer_to_node(c, n(0)), Err(TransferError::NoSpace));
+        assert!(!w.node_has_space(n(0)));
+        assert_eq!(w.node_packet_count(n(0)), 2);
+    }
+
+    #[test]
+    fn colocation_required() {
+        let mut w = world();
+        w.node_arrive(n(0), lm(0));
+        w.node_arrive(n(1), lm(1));
+        let p = w.create_packet(lm(0), lm(2), None, false);
+        // Node 1 is elsewhere.
+        assert_eq!(w.transfer_to_node(p, n(1)), Err(TransferError::NotColocated));
+        w.transfer_to_node(p, n(0)).unwrap();
+        // Node-to-node requires same landmark.
+        assert_eq!(w.transfer_to_node(p, n(1)), Err(TransferError::NotColocated));
+        // Station upload at the wrong landmark also fails.
+        assert_eq!(
+            w.transfer_to_station(p, lm(1)),
+            Err(TransferError::NotColocated)
+        );
+    }
+
+    #[test]
+    fn node_to_node_transfer() {
+        let mut w = world();
+        w.node_arrive(n(0), lm(0));
+        w.node_arrive(n(1), lm(0));
+        let p = w.create_packet(lm(0), lm(2), None, false);
+        w.transfer_to_node(p, n(0)).unwrap();
+        w.transfer_to_node(p, n(1)).unwrap();
+        assert_eq!(w.packet(p).loc, PacketLoc::OnNode(n(1)));
+        assert_eq!(w.node_packet_count(n(0)), 0);
+        assert_eq!(w.metrics().forwarding_ops, 2);
+        assert_eq!(w.transfer_to_node(p, n(1)), Err(TransferError::SamePlace));
+    }
+
+    #[test]
+    fn expiry_on_touch_and_purge() {
+        let mut w = world();
+        w.node_arrive(n(0), lm(0));
+        let p = w.create_packet(lm(0), lm(1), None, false);
+        w.set_now(SimTime::ZERO + DAY.mul(21)); // past the 20-day TTL
+        assert_eq!(w.transfer_to_node(p, n(0)), Err(TransferError::Expired));
+        assert_eq!(w.packet(p).loc, PacketLoc::Expired);
+        assert_eq!(w.metrics().expired, 1);
+        // Purge path.
+        let q = w.create_packet(lm(0), lm(1), None, false);
+        w.set_now(SimTime::ZERO + DAY.mul(42));
+        w.purge_expired();
+        assert_eq!(w.packet(q).loc, PacketLoc::Expired);
+    }
+
+    #[test]
+    fn loop_detection_via_station_revisit() {
+        let mut w = world();
+        let p = w.create_packet(lm(0), lm(2), None, true);
+        w.node_arrive(n(0), lm(0));
+        w.transfer_to_node(p, n(0)).unwrap();
+        w.node_depart(n(0), lm(0));
+        w.node_arrive(n(0), lm(1));
+        let o1 = w.transfer_to_station(p, lm(1)).unwrap();
+        assert!(!o1.loop_closed);
+        w.transfer_to_node(p, n(0)).unwrap();
+        w.node_depart(n(0), lm(1));
+        w.node_arrive(n(0), lm(0));
+        let o2 = w.transfer_to_station(p, lm(0)).unwrap();
+        assert!(o2.loop_closed, "revisiting the source closes a loop");
+    }
+
+    #[test]
+    fn dst_node_delivery() {
+        let mut w = world();
+        let p = w.create_packet(lm(0), lm(1), Some(n(2)), true);
+        // Wrong node cannot claim it.
+        w.node_arrive(n(0), lm(0));
+        assert_eq!(
+            w.deliver_to_dst_node(p, n(0)),
+            Err(TransferError::NotColocated)
+        );
+        w.node_arrive(n(2), lm(0));
+        w.deliver_to_dst_node(p, n(2)).unwrap();
+        assert!(matches!(w.packet(p).loc, PacketLoc::Delivered(_)));
+    }
+
+    #[test]
+    fn radio_budget_limits_station_transfers() {
+        let cfg = SimConfig {
+            radio_budget_per_unit: Some(1),
+            ..SimConfig::default()
+        };
+        let mut w = World::new(cfg, 2, 2);
+        w.node_arrive(n(0), lm(0));
+        let a = w.create_packet(lm(0), lm(1), None, true);
+        let b = w.create_packet(lm(0), lm(1), None, true);
+        w.transfer_to_node(a, n(0)).unwrap();
+        assert_eq!(w.transfer_to_node(b, n(0)), Err(TransferError::RadioBusy));
+        assert_eq!(w.radio_budget_left(lm(0)), Some(0));
+        w.reset_radio_budget();
+        w.transfer_to_node(b, n(0)).unwrap();
+    }
+
+    #[test]
+    fn table_exchange_accounting() {
+        let mut w = world();
+        w.record_table_exchange(100);
+        assert!((w.metrics().maintenance_ops - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cross subareas")]
+    fn rejects_same_src_dst_packet() {
+        let mut w = world();
+        w.create_packet(lm(0), lm(0), None, false);
+    }
+}
