@@ -15,7 +15,7 @@ use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
 use dtnflow_core::packet::PacketLoc;
 use dtnflow_core::time::{SimDuration, SimTime};
 use dtnflow_sim::{Router, TransferError, World};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The algorithm-specific part of a baseline: a per-node suitability
 /// estimate for carrying packets to each destination landmark.
@@ -28,13 +28,8 @@ pub trait UtilityModel {
 
     /// The node's suitability for delivering to `dst` given the packet's
     /// remaining lifetime. Higher is better; the scale is model-internal.
-    fn score(
-        &mut self,
-        node: NodeId,
-        dst: LandmarkId,
-        remaining: SimDuration,
-        now: SimTime,
-    ) -> f64;
+    fn score(&mut self, node: NodeId, dst: LandmarkId, remaining: SimDuration, now: SimTime)
+        -> f64;
 
     /// Whether `holder` should hand a packet for `dst` to `other`.
     /// The default is a strict score comparison; models with pairwise
@@ -62,7 +57,11 @@ pub struct UtilityRouter<U: UtilityModel> {
     model: U,
     /// Per node: packets grouped by destination landmark (lazily validated
     /// against the world, since auto-delivery and expiry bypass us).
-    groups: Vec<HashMap<u16, BTreeSet<PacketId>>>,
+    /// Ordered map: the forward pass walks destinations in key order, and
+    /// with a hash map that order would vary per process (per-process
+    /// hasher seed) — a full receiver aborts the pass midway, so iteration
+    /// order is observable in the outcome.
+    groups: Vec<BTreeMap<u16, BTreeSet<PacketId>>>,
 }
 
 impl<U: UtilityModel> UtilityRouter<U> {
@@ -80,7 +79,7 @@ impl<U: UtilityModel> UtilityRouter<U> {
 
     fn ensure_node(&mut self, node: NodeId) {
         if self.groups.len() <= node.index() {
-            self.groups.resize_with(node.index() + 1, HashMap::new);
+            self.groups.resize_with(node.index() + 1, BTreeMap::new);
         }
     }
 
@@ -94,12 +93,7 @@ impl<U: UtilityModel> UtilityRouter<U> {
 
     /// The holder's live packets for one destination, dropping stale index
     /// entries as a side effect.
-    fn validated_group(
-        &mut self,
-        world: &World,
-        node: NodeId,
-        dst: u16,
-    ) -> Vec<PacketId> {
+    fn validated_group(&mut self, world: &World, node: NodeId, dst: u16) -> Vec<PacketId> {
         self.ensure_node(node);
         let Some(set) = self.groups[node.index()].get_mut(&dst) else {
             return Vec::new();

@@ -36,8 +36,7 @@ impl GeoComm {
     /// Contact rate of `node` with `dst`'s community, visits per unit.
     pub fn contact_rate(&self, node: NodeId, dst: LandmarkId, now: SimTime) -> f64 {
         let Some(start) = self.start else { return 0.0 };
-        let elapsed_units =
-            (now.since(start).secs() as f64 / self.unit.secs() as f64).max(1.0);
+        let elapsed_units = (now.since(start).secs() as f64 / self.unit.secs() as f64).max(1.0);
         self.visits[node.index() * self.num_landmarks + dst.index()] as f64 / elapsed_units
     }
 }

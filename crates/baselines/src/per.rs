@@ -16,7 +16,7 @@
 use crate::common::UtilityModel;
 use dtnflow_core::ids::{LandmarkId, NodeId};
 use dtnflow_core::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Cap on the number of DP steps (hops) expanded per query.
 pub const MAX_STEPS: usize = 24;
@@ -24,7 +24,7 @@ pub const MAX_STEPS: usize = 24;
 /// Per-node semi-Markov mobility summary.
 struct NodeModel {
     /// Transit counts `from -> (to -> count)`.
-    transitions: HashMap<u16, HashMap<u16, u32>>,
+    transitions: BTreeMap<u16, BTreeMap<u16, u32>>,
     current: Option<LandmarkId>,
     last_arrival: Option<SimTime>,
     /// Sum and count of observed hop times (arrival to next arrival).
@@ -32,18 +32,18 @@ struct NodeModel {
     hop_count: u64,
     /// Memoized first-passage curves: dst -> cumulative hit probability
     /// after `s+1` hops. Cleared whenever the node moves.
-    cache: HashMap<u16, Vec<f64>>,
+    cache: BTreeMap<u16, Vec<f64>>,
 }
 
 impl NodeModel {
     fn new() -> Self {
         NodeModel {
-            transitions: HashMap::new(),
+            transitions: BTreeMap::new(),
             current: None,
             last_arrival: None,
             hop_time_sum: 0,
             hop_count: 0,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         }
     }
 
@@ -69,13 +69,16 @@ impl NodeModel {
         let Some(at) = self.current else {
             return vec![0.0; MAX_STEPS];
         };
-        // Sparse distribution over landmarks, dst absorbing.
-        let mut dist: HashMap<u16, f64> = HashMap::new();
+        // Sparse distribution over landmarks, dst absorbing. Ordered maps
+        // throughout: mass is accumulated in floating point, so iteration
+        // order is observable in the scores and must not depend on the
+        // process's hasher seed.
+        let mut dist: BTreeMap<u16, f64> = BTreeMap::new();
         dist.insert(at.0, 1.0);
         let mut absorbed = 0.0;
         let mut curve = Vec::with_capacity(MAX_STEPS);
         for _ in 0..MAX_STEPS {
-            let mut next: HashMap<u16, f64> = HashMap::new();
+            let mut next: BTreeMap<u16, f64> = BTreeMap::new();
             for (&from, &mass) in &dist {
                 let Some(outs) = self.transitions.get(&from) else {
                     continue; // unknown outs: the walk stalls here
@@ -114,12 +117,7 @@ impl Per {
 
     /// Probability that `node` visits `dst` within `deadline` (diagnostic
     /// accessor; the router goes through [`UtilityModel::score`]).
-    pub fn hit_probability(
-        &mut self,
-        node: NodeId,
-        dst: LandmarkId,
-        deadline: SimDuration,
-    ) -> f64 {
+    pub fn hit_probability(&mut self, node: NodeId, dst: LandmarkId, deadline: SimDuration) -> f64 {
         let m = &mut self.nodes[node.index()];
         let mean_hop = m.mean_hop_secs();
         if !mean_hop.is_finite() || mean_hop <= 0.0 {

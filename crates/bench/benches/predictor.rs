@@ -28,9 +28,7 @@ fn bench_predict(c: &mut Criterion) {
     for i in 0..10_000u32 {
         p.observe(LandmarkId((i % 41 * 7 % 41) as u16));
     }
-    c.bench_function("predictor/predict", |b| {
-        b.iter(|| black_box(&p).predict())
-    });
+    c.bench_function("predictor/predict", |b| b.iter(|| black_box(&p).predict()));
     c.bench_function("predictor/distribution", |b| {
         b.iter(|| black_box(&p).distribution())
     });

@@ -46,7 +46,12 @@ fn bench_baseline_runs(c: &mut Criterion) {
 fn bench_trace_generation(c: &mut Criterion) {
     c.bench_function("simulator/gen-tiny-campus-trace", |b| {
         b.iter(|| {
-            black_box(CampusModel::new(CampusConfig::tiny()).generate().visits().len())
+            black_box(
+                CampusModel::new(CampusConfig::tiny())
+                    .generate()
+                    .visits()
+                    .len(),
+            )
         });
     });
     c.bench_function("simulator/gen-tiny-bus-trace", |b| {
@@ -54,5 +59,10 @@ fn bench_trace_generation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_flow_runs, bench_baseline_runs, bench_trace_generation);
+criterion_group!(
+    benches,
+    bench_flow_runs,
+    bench_baseline_runs,
+    bench_trace_generation
+);
 criterion_main!(benches);

@@ -23,9 +23,7 @@ fn main() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--out" => {
-                out_dir = PathBuf::from(
-                    it.next().expect("--out requires a directory argument"),
-                );
+                out_dir = PathBuf::from(it.next().expect("--out requires a directory argument"));
             }
             "--list" => {
                 for id in ALL_IDS {

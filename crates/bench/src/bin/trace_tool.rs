@@ -108,7 +108,10 @@ fn cmd_stats(args: &[String]) {
     println!("landmarks {}", c.landmarks);
     println!("duration  {:.1} days", c.duration_days);
     println!("visits    {}", c.visits);
-    println!("transits  {} ({:.2} per node per day)", c.transits, c.transit_rate);
+    println!(
+        "transits  {} ({:.2} per node per day)",
+        c.transits, c.transit_rate
+    );
 
     println!("\nmost visited landmarks:");
     for (lm, visits) in stats::landmark_popularity(&trace).into_iter().take(8) {
@@ -124,7 +127,10 @@ fn cmd_stats(args: &[String]) {
     let links = b.ordered_links();
     println!("\nbusiest transit links (per day):");
     for (from, to, bw) in links.iter().take(8) {
-        println!("  {from} -> {to}: {bw:.2} (reverse {:.2})", b.get(*to, *from));
+        println!(
+            "  {from} -> {to}: {bw:.2} (reverse {:.2})",
+            b.get(*to, *from)
+        );
     }
     if !links.is_empty() {
         println!(

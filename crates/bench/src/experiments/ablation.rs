@@ -53,7 +53,13 @@ pub fn ablation(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "ablation",
         "DTN-FLOW design-choice ablations",
-        &["trace", "variant", "success rate", "avg delay (min)", "forwarding ops"],
+        &[
+            "trace",
+            "variant",
+            "success rate",
+            "avg delay (min)",
+            "forwarding ops",
+        ],
     );
     let scenarios = if quick {
         vec![Scenario::bus()]

@@ -26,7 +26,9 @@ fn sweep(
     });
 
     let methods: Vec<&str> = Method::ALL.iter().map(|m| m.name()).collect();
-    let headers: Vec<&str> = std::iter::once(xlabel).chain(methods.iter().copied()).collect();
+    let headers: Vec<&str> = std::iter::once(xlabel)
+        .chain(methods.iter().copied())
+        .collect();
     let panels = [
         ("a", "success rate"),
         ("b", "average delay (minutes)"),

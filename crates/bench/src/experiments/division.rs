@@ -10,8 +10,7 @@ use dtnflow_landmark::{SubareaDivision, SubareaGrid};
 pub fn fig5() -> Vec<Table> {
     let s = Scenario::deployment();
     let sites = s.trace.positions().to_vec();
-    let area = Rect::bounding(&sites)
-        .expect("deployment has landmarks");
+    let area = Rect::bounding(&sites).expect("deployment has landmarks");
     // Pad the bounding box a little so every site is interior.
     let pad = 80.0;
     let area = Rect::new(
@@ -56,9 +55,7 @@ mod tests {
     fn fig5_covers_all_subareas() {
         let t = &fig5()[0];
         assert_eq!(t.len(), 8);
-        let shares: f64 = (0..8)
-            .map(|r| t.cell(r, 2).parse::<f64>().unwrap())
-            .sum();
+        let shares: f64 = (0..8).map(|r| t.cell(r, 2).parse::<f64>().unwrap()).sum();
         // Cells are rounded to three decimals, so allow rounding slack.
         assert!((shares - 1.0).abs() < 0.01);
     }

@@ -9,9 +9,7 @@ use dtnflow_core::config::SimConfig;
 use dtnflow_core::ids::LandmarkId;
 use dtnflow_core::time::SimDuration;
 use dtnflow_mobility::stats;
-use dtnflow_router::{
-    DeadEndConfig, FlowConfig, FlowRouter, LoadBalanceConfig, LoopInjection,
-};
+use dtnflow_router::{DeadEndConfig, FlowConfig, FlowRouter, LoadBalanceConfig, LoopInjection};
 use dtnflow_sim::run_with_workload;
 
 struct FlowRun {
@@ -42,11 +40,21 @@ fn run_flow(s: &Scenario, cfg: &SimConfig, flow: FlowConfig) -> FlowRun {
 /// Table VI: dead-end prevention — hit rate and average delay for the
 /// original algorithm (ORG) and γ ∈ {2, 3, 4, 5}.
 pub fn table6(quick: bool) -> Vec<Table> {
-    let gammas: Vec<f64> = if quick { vec![2.0, 4.0] } else { vec![2.0, 3.0, 4.0, 5.0] };
+    let gammas: Vec<f64> = if quick {
+        vec![2.0, 4.0]
+    } else {
+        vec![2.0, 3.0, 4.0, 5.0]
+    };
     let mut t = Table::new(
         "table6",
         "Dead-end prevention (Table VI)",
-        &["trace", "config", "success rate", "avg delay (min)", "dead ends detected"],
+        &[
+            "trace",
+            "config",
+            "success rate",
+            "avg delay (min)",
+            "dead ends detected",
+        ],
     );
     for s in [Scenario::campus(), Scenario::bus()] {
         let cfg = s.cfg(0x7AB6);
@@ -89,8 +97,7 @@ fn make_loops(s: &Scenario, n: usize) -> Vec<LoopInjection> {
         .map(|&(l, _)| l)
         .filter(|l| !s.excluded.contains(l))
         .collect();
-    let total_units =
-        s.trace.duration().secs() / s.base_cfg.time_unit.secs().max(1);
+    let total_units = s.trace.duration().secs() / s.base_cfg.time_unit.secs().max(1);
     let inject_units: Vec<u64> = [0.35, 0.55, 0.75]
         .iter()
         .map(|f| ((total_units as f64) * f) as u64)
@@ -117,7 +124,13 @@ pub fn table7() -> Vec<Table> {
     let mut t = Table::new(
         "table7",
         "Routing loop detection and correction (Table VII)",
-        &["trace", "config", "success rate", "overall delay (min)", "loops detected"],
+        &[
+            "trace",
+            "config",
+            "success rate",
+            "overall delay (min)",
+            "loops detected",
+        ],
     );
     for s in [Scenario::campus(), Scenario::bus()] {
         let cfg = s.cfg(0x7AB7);

@@ -7,6 +7,7 @@ pub mod deployment;
 pub mod division;
 pub mod extensions;
 pub mod prediction;
+pub mod resilience;
 pub mod routing;
 pub mod scheduling;
 pub mod trace_analysis;
@@ -15,8 +16,25 @@ use crate::report::Table;
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: &[&str] = &[
-    "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig11", "fig12",
-    "fig13", "fig14", "table6", "table7", "table8", "deploy", "ablation", "sched",
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table6",
+    "table7",
+    "table8",
+    "deploy",
+    "ablation",
+    "sched",
+    "resilience",
 ];
 
 /// Run one experiment by id. `quick` shrinks sweeps for smoke testing.
@@ -41,6 +59,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
         "deploy" => deployment::deploy(),
         "ablation" => ablation::ablation(quick),
         "sched" => scheduling::sched(quick),
+        "resilience" => resilience::resilience(quick),
         other => panic!("unknown experiment id `{other}`; known: {ALL_IDS:?}"),
     }
 }

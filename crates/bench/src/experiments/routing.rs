@@ -31,7 +31,10 @@ pub fn fig7() -> Vec<Table> {
         }
     };
     rt.receive(LandmarkId(1), vector(num, &[(1, 0.0)], 1));
-    rt.receive(LandmarkId(7), vector(num, &[(7, 0.0), (4, 14.0), (9, 28.0)], 1));
+    rt.receive(
+        LandmarkId(7),
+        vector(num, &[(7, 0.0), (4, 14.0), (9, 28.0)], 1),
+    );
     rt.recompute(&link);
 
     let mut before = Table::new(
@@ -40,7 +43,11 @@ pub fn fig7() -> Vec<Table> {
         &["destination", "next hop", "overall delay"],
     );
     for (dest, next, delay) in rt.rows() {
-        before.row(vec![dest.to_string(), next.to_string(), format!("{delay:.0}")]);
+        before.row(vec![
+            dest.to_string(),
+            next.to_string(),
+            format!("{delay:.0}"),
+        ]);
     }
 
     rt.receive(
@@ -55,7 +62,11 @@ pub fn fig7() -> Vec<Table> {
         &["destination", "next hop", "overall delay"],
     );
     for (dest, next, delay) in rt.rows() {
-        after.row(vec![dest.to_string(), next.to_string(), format!("{delay:.0}")]);
+        after.row(vec![
+            dest.to_string(),
+            next.to_string(),
+            format!("{delay:.0}"),
+        ]);
     }
     after.note("paper's final entries: (1,1,8) (3,6,17) (4,6,18) (7,7,6) (9,7,34)");
     vec![before, after]

@@ -13,13 +13,26 @@ pub fn sched(quick: bool) -> Vec<Table> {
     let budgets: Vec<Option<u64>> = if quick {
         vec![None, Some(2_000), Some(250)]
     } else {
-        vec![None, Some(8_000), Some(4_000), Some(2_000), Some(1_000), Some(500), Some(250)]
+        vec![
+            None,
+            Some(8_000),
+            Some(4_000),
+            Some(2_000),
+            Some(1_000),
+            Some(500),
+            Some(250),
+        ]
     };
     let s = Scenario::bus();
     let mut t = Table::new(
         "sched",
         "Radio-budget scheduling (section IV-D.5): throughput under contention",
-        &["radio budget (pkts/unit/landmark)", "success rate", "avg delay (min)", "forwarding ops"],
+        &[
+            "radio budget (pkts/unit/landmark)",
+            "success rate",
+            "avg delay (min)",
+            "forwarding ops",
+        ],
     );
     let runs = parallel_map(&budgets, |&budget| {
         let mut cfg = s.cfg(0x5C8ED);

@@ -16,9 +16,20 @@ pub fn table1() -> Vec<Table> {
     let mut t = Table::new(
         "table1",
         "Characteristics of mobility traces (Table I)",
-        &["trace", "nodes", "landmarks", "days", "visits", "transits", "transits/node/day"],
+        &[
+            "trace",
+            "nodes",
+            "landmarks",
+            "days",
+            "visits",
+            "transits",
+            "transits/node/day",
+        ],
     );
-    for s in both().iter().chain(std::iter::once(&Scenario::deployment())) {
+    for s in both()
+        .iter()
+        .chain(std::iter::once(&Scenario::deployment()))
+    {
         let c = stats::characteristics(&s.trace);
         t.row(vec![
             c.name.clone(),
@@ -43,7 +54,12 @@ pub fn fig2() -> Vec<Table> {
         let mut t = Table::new(
             format!("fig2{sub}"),
             format!("Visiting distribution of top-5 landmarks ({})", s.name),
-            &["landmark", "visits", "top-20% nodes' share", "node visit counts (desc, first 12)"],
+            &[
+                "landmark",
+                "visits",
+                "top-20% nodes' share",
+                "node visit counts (desc, first 12)",
+            ],
         );
         let pop = stats::landmark_popularity(&s.trace);
         for &(lm, total) in pop.iter().take(5) {
@@ -74,7 +90,12 @@ pub fn fig3() -> Vec<Table> {
         let mut t = Table::new(
             format!("fig3{sub}"),
             format!("Bandwidth distribution of transit links ({})", s.name),
-            &["rank", "link", "bandwidth (transits/unit)", "matching direction"],
+            &[
+                "rank",
+                "link",
+                "bandwidth (transits/unit)",
+                "matching direction",
+            ],
         );
         for (i, &(from, to, bw)) in links.iter().take(20).enumerate() {
             t.row(vec![

@@ -18,11 +18,7 @@ pub struct Table {
 
 impl Table {
     /// Start a table with an id (`fig11a`), a human title, and headers.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
         Table {
             id: id.into(),
             title: title.into(),
@@ -114,7 +110,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

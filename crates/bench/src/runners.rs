@@ -7,7 +7,7 @@ use dtnflow_core::metrics::MetricsSummary;
 use dtnflow_core::time::SimDuration;
 use dtnflow_mobility::Trace;
 use dtnflow_router::{FlowConfig, FlowRouter};
-use dtnflow_sim::{run_with_workload, Router, Workload};
+use dtnflow_sim::{run_with_faults, run_with_workload, FaultPlan, Router, Workload};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -53,19 +53,10 @@ impl Method {
                 num_nodes,
                 num_landmarks,
             )),
-            Method::SimBet => Box::new(UtilityRouter::new(SimBet::new(
-                num_nodes,
-                num_landmarks,
-            ))),
-            Method::Prophet => Box::new(UtilityRouter::new(Prophet::new(
-                num_nodes,
-                num_landmarks,
-            ))),
+            Method::SimBet => Box::new(UtilityRouter::new(SimBet::new(num_nodes, num_landmarks))),
+            Method::Prophet => Box::new(UtilityRouter::new(Prophet::new(num_nodes, num_landmarks))),
             Method::Pgr => Box::new(UtilityRouter::new(Pgr::new(num_nodes, num_landmarks))),
-            Method::GeoComm => Box::new(UtilityRouter::new(GeoComm::new(
-                num_nodes,
-                num_landmarks,
-            ))),
+            Method::GeoComm => Box::new(UtilityRouter::new(GeoComm::new(num_nodes, num_landmarks))),
             Method::Per => Box::new(UtilityRouter::new(Per::new(num_nodes, num_landmarks))),
         }
     }
@@ -99,13 +90,30 @@ pub fn run_method(
     }
 }
 
+/// Run one method over a scenario trace + workload under a fault plan.
+/// With `FaultPlan::none()` this is byte-identical to [`run_method`].
+pub fn run_method_with_faults(
+    trace: &Trace,
+    cfg: &SimConfig,
+    workload: &Workload,
+    plan: &FaultPlan,
+    method: Method,
+) -> MethodOutcome {
+    let mut router = method.build(trace.num_nodes(), trace.num_landmarks());
+    let out = run_with_faults(trace, cfg, workload, plan, router.as_mut());
+    MethodOutcome {
+        method,
+        summary: out.metrics.summary(),
+        overall_delay_secs: out
+            .metrics
+            .overall_average_delay_secs(SimDuration::from_secs(trace.duration().secs())),
+    }
+}
+
 /// Map a function over items using all available cores (sweep points are
 /// independent simulations). Result order matches input order, and the
 /// whole computation is deterministic regardless of thread count.
-pub fn parallel_map<T: Sync, R: Send>(
-    items: &[T],
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)

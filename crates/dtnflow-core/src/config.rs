@@ -196,17 +196,25 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = SimConfig::default();
-        c.node_memory = 10;
+        let c = SimConfig {
+            node_memory: 10,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SimConfig::default();
-        c.warmup_fraction = 1.0;
+        let c = SimConfig {
+            warmup_fraction: 1.0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SimConfig::default();
-        c.time_unit = SimDuration::ZERO;
+        let c = SimConfig {
+            time_unit: SimDuration::ZERO,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SimConfig::default();
-        c.entries_per_packet = 0;
+        let c = SimConfig {
+            entries_per_packet: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -20,6 +20,16 @@ pub struct RunMetrics {
     /// Routing-information forwarding cost, in forwarding-op equivalents
     /// (a table with `n` entries costs `n / entries_per_packet`).
     pub maintenance_ops: f64,
+    /// Packets destroyed by station outages (generated at a down station,
+    /// or dropped after exhausting their retry budget at a failed one).
+    pub lost_to_outage: u64,
+    /// Packets destroyed because their carrier node failed mid-route.
+    pub lost_to_churn: u64,
+    /// Re-queue/retry operations on packets stranded by a fault.
+    pub retries: u64,
+    /// For each station outage that ended, seconds from the station coming
+    /// back up until it completed its first packet transfer again.
+    pub recovery_secs: Vec<u64>,
 }
 
 impl RunMetrics {
@@ -44,6 +54,43 @@ impl RunMetrics {
     pub fn record_table_exchange(&mut self, entries: usize, entries_per_packet: usize) {
         assert!(entries_per_packet > 0, "entries_per_packet must be > 0");
         self.maintenance_ops += entries as f64 / entries_per_packet as f64;
+    }
+
+    /// Record a packet destroyed by a station outage.
+    pub fn record_lost_to_outage(&mut self) {
+        self.lost_to_outage += 1;
+    }
+
+    /// Record a packet destroyed by its carrier failing.
+    pub fn record_lost_to_churn(&mut self) {
+        self.lost_to_churn += 1;
+    }
+
+    /// Record one re-queue/retry of a fault-stranded packet.
+    pub fn record_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Record how long a station took to move its first packet after an
+    /// outage ended.
+    pub fn record_recovery(&mut self, secs: SimDuration) {
+        self.recovery_secs.push(secs.secs());
+    }
+
+    /// Packets destroyed by injected faults (outage + churn).
+    pub fn lost(&self) -> u64 {
+        self.lost_to_outage + self.lost_to_churn
+    }
+
+    /// Mean post-outage recovery time, seconds. Zero when no outage ended
+    /// (or none recovered before the run finished).
+    pub fn average_recovery_secs(&self) -> f64 {
+        if self.recovery_secs.is_empty() {
+            0.0
+        } else {
+            self.recovery_secs.iter().map(|&d| d as f64).sum::<f64>()
+                / self.recovery_secs.len() as f64
+        }
     }
 
     /// Fraction of generated packets delivered within TTL.
@@ -99,6 +146,10 @@ impl RunMetrics {
             forwarding_ops: self.forwarding_ops,
             maintenance_ops: self.maintenance_ops,
             total_cost: self.total_cost(),
+            lost_to_outage: self.lost_to_outage,
+            lost_to_churn: self.lost_to_churn,
+            retries: self.retries,
+            average_recovery_secs: self.average_recovery_secs(),
         }
     }
 }
@@ -114,6 +165,10 @@ pub struct MetricsSummary {
     pub forwarding_ops: u64,
     pub maintenance_ops: f64,
     pub total_cost: f64,
+    pub lost_to_outage: u64,
+    pub lost_to_churn: u64,
+    pub retries: u64,
+    pub average_recovery_secs: f64,
 }
 
 /// Minimum, first quartile, mean, third quartile and maximum of a sample —
@@ -171,8 +226,10 @@ mod tests {
 
     #[test]
     fn success_rate_and_delay() {
-        let mut m = RunMetrics::default();
-        m.generated = 4;
+        let mut m = RunMetrics {
+            generated: 4,
+            ..RunMetrics::default()
+        };
         m.record_delivery(HOUR);
         m.record_delivery(HOUR.mul(3));
         m.record_expiry();
@@ -183,8 +240,10 @@ mod tests {
 
     #[test]
     fn overall_delay_counts_failures() {
-        let mut m = RunMetrics::default();
-        m.generated = 2;
+        let mut m = RunMetrics {
+            generated: 2,
+            ..RunMetrics::default()
+        };
         m.record_delivery(HOUR);
         let o = m.overall_average_delay_secs(HOUR.mul(10));
         assert!((o - (3_600.0 + 36_000.0) / 2.0).abs() < 1e-9);
@@ -231,8 +290,10 @@ mod tests {
 
     #[test]
     fn summary_row_matches_counters() {
-        let mut m = RunMetrics::default();
-        m.generated = 10;
+        let mut m = RunMetrics {
+            generated: 10,
+            ..RunMetrics::default()
+        };
         m.record_delivery(HOUR);
         m.record_forward();
         let s = m.summary();

@@ -22,13 +22,20 @@ pub enum PacketLoc {
     Delivered(SimTime),
     /// Dropped because its TTL elapsed before delivery.
     Expired,
+    /// Destroyed by an injected fault: generated at a station that was
+    /// down, carried by a node that failed, or dropped after exhausting
+    /// its retry budget at a failed station.
+    Lost,
 }
 
 impl PacketLoc {
-    /// Whether the packet is still live (neither delivered nor expired).
+    /// Whether the packet is still live (not delivered, expired, or lost).
     #[inline]
     pub fn is_live(self) -> bool {
-        !matches!(self, PacketLoc::Delivered(_) | PacketLoc::Expired)
+        !matches!(
+            self,
+            PacketLoc::Delivered(_) | PacketLoc::Expired | PacketLoc::Lost
+        )
     }
 }
 
@@ -137,13 +144,7 @@ mod tests {
     use crate::time::{DAY, HOUR};
 
     fn pkt() -> Packet {
-        Packet::new(
-            PacketId(0),
-            LandmarkId(1),
-            LandmarkId(2),
-            SimTime(100),
-            DAY,
-        )
+        Packet::new(PacketId(0), LandmarkId(1), LandmarkId(2), SimTime(100), DAY)
     }
 
     #[test]

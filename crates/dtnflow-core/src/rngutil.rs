@@ -139,7 +139,9 @@ mod tests {
         assert!((w[1] - 0.5).abs() < 1e-12);
         assert!(w.windows(2).all(|p| p[0] >= p[1]));
         // s = 0 gives uniform weights.
-        assert!(zipf_weights(3, 0.0).iter().all(|&x| (x - 1.0).abs() < 1e-12));
+        assert!(zipf_weights(3, 0.0)
+            .iter()
+            .all(|&x| (x - 1.0).abs() < 1e-12));
     }
 
     #[test]

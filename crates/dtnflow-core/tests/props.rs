@@ -56,8 +56,10 @@ proptest! {
         extra in 0u64..500,
         delays in proptest::collection::vec(0u64..1_000_000, 0..50),
     ) {
-        let mut m = RunMetrics::default();
-        m.generated = delivered + extra;
+        let mut m = RunMetrics {
+            generated: delivered + extra,
+            ..RunMetrics::default()
+        };
         for _ in 0..delivered {
             m.record_delivery(SimDuration(7));
         }

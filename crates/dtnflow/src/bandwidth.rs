@@ -103,9 +103,7 @@ impl BandwidthTable {
         let t = sim.time_unit.secs() as f64;
         match flow.delay_model {
             LinkDelayModel::TransitInterval => t / b,
-            LinkDelayModel::Throughput => {
-                t * sim.packet_size as f64 / (b * sim.node_memory as f64)
-            }
+            LinkDelayModel::Throughput => t * sim.packet_size as f64 / (b * sim.node_memory as f64),
         }
     }
 }

@@ -62,6 +62,35 @@ impl Default for LoadBalanceConfig {
     }
 }
 
+/// Graceful-degradation parameters for fault-injected runs (station
+/// outages and node churn — see `dtnflow_sim::faults`). All three
+/// mechanisms are pure functions of information the router already has,
+/// so they change nothing in a fault-free run until a vector actually
+/// goes stale or a station actually goes down.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradationConfig {
+    /// A stored distance vector older than this many time units is
+    /// considered stale and starts decaying.
+    pub staleness_max_age: u64,
+    /// Multiplicative penalty applied once per unit to every finite delay
+    /// claim in a stale vector — stale routes look progressively worse
+    /// until a fresh vector arrives, instead of being trusted forever.
+    pub staleness_factor: f64,
+    /// How many station outages a stranded packet survives (being
+    /// re-queued on recovery each time) before it is dropped.
+    pub max_retries: u32,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            staleness_max_age: 2,
+            staleness_factor: 1.5,
+            max_retries: 8,
+        }
+    }
+}
+
 /// A deliberately injected routing loop (the Table VII experiment): at
 /// time-unit `at_unit`, each member landmark's stored vector from the next
 /// member (cyclically) is falsified to claim a near-zero delay to `dest`.
@@ -124,6 +153,10 @@ pub struct FlowConfig {
     /// How many frequently-visited landmarks a node registers for the
     /// §IV-E.4 routing-to-mobile-nodes extension.
     pub frequent_landmarks: usize,
+    /// Graceful degradation under injected faults; `None` disables
+    /// staleness decay, down-landmark avoidance and stranded-packet
+    /// retries.
+    pub degradation: Option<DegradationConfig>,
 }
 
 impl Default for FlowConfig {
@@ -140,6 +173,11 @@ impl Default for FlowConfig {
             load_balance: None,
             inject_loops: Vec::new(),
             frequent_landmarks: 2,
+            // Off by default: staleness decay perturbs routing tables
+            // even in fault-free runs (vectors can go stale for benign
+            // reasons), and the paper's baseline configuration has no
+            // fault handling. Fault experiments switch it on.
+            degradation: None,
         }
     }
 }
@@ -151,6 +189,16 @@ impl FlowConfig {
             dead_end: Some(DeadEndConfig::default()),
             loop_correction: true,
             load_balance: Some(LoadBalanceConfig::default()),
+            degradation: Some(DegradationConfig::default()),
+            ..FlowConfig::default()
+        }
+    }
+
+    /// The default configuration with graceful degradation enabled, for
+    /// fault-injected runs.
+    pub fn with_degradation() -> Self {
+        FlowConfig {
+            degradation: Some(DegradationConfig::default()),
             ..FlowConfig::default()
         }
     }
@@ -175,6 +223,13 @@ impl FlowConfig {
             "mis-transit tolerance must be non-negative"
         );
         assert!(self.frequent_landmarks >= 1);
+        if let Some(d) = &self.degradation {
+            assert!(
+                d.staleness_factor >= 1.0,
+                "staleness_factor must be at least 1"
+            );
+            assert!(d.max_retries >= 1, "max_retries must be at least 1");
+        }
     }
 }
 

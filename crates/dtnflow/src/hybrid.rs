@@ -94,7 +94,13 @@ impl Router for HybridFlowRouter {
         self.inner.on_depart(world, node, lm);
     }
 
-    fn on_encounter(&mut self, world: &mut World, newcomer: NodeId, present: NodeId, lm: LandmarkId) {
+    fn on_encounter(
+        &mut self,
+        world: &mut World,
+        newcomer: NodeId,
+        present: NodeId,
+        lm: LandmarkId,
+    ) {
         // Note: fires before `on_arrive`, so the newcomer's prediction is
         // still the one made at its previous landmark — its scores here
         // are zero and packets flow *to* nodes settled at `lm`. The
@@ -117,6 +123,22 @@ impl Router for HybridFlowRouter {
 
     fn on_timer(&mut self, world: &mut World, token: u64) {
         self.inner.on_timer(world, token);
+    }
+
+    fn on_station_down(&mut self, world: &mut World, lm: LandmarkId) {
+        self.inner.on_station_down(world, lm);
+    }
+
+    fn on_station_up(&mut self, world: &mut World, lm: LandmarkId) {
+        self.inner.on_station_up(world, lm);
+    }
+
+    fn on_node_fail(&mut self, world: &mut World, node: NodeId, at: Option<LandmarkId>) {
+        self.inner.on_node_fail(world, node, at);
+    }
+
+    fn on_node_recover(&mut self, world: &mut World, node: NodeId) {
+        self.inner.on_node_recover(world, node);
     }
 }
 

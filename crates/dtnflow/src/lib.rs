@@ -15,15 +15,17 @@
 //!   opportunistic node-to-node handoffs on top of DTN-FLOW.
 
 pub mod bandwidth;
-pub mod hybrid;
 pub mod config;
+pub mod hybrid;
 pub mod observer;
 pub mod router;
 pub mod routing_table;
 
 pub use bandwidth::BandwidthTable;
+pub use config::{
+    DeadEndConfig, DegradationConfig, FlowConfig, LinkDelayModel, LoadBalanceConfig, LoopInjection,
+};
 pub use hybrid::HybridFlowRouter;
-pub use config::{DeadEndConfig, FlowConfig, LinkDelayModel, LoadBalanceConfig, LoopInjection};
 pub use observer::ObservationRow;
 pub use router::FlowRouter;
 pub use routing_table::{RouteEntry, RoutingTable, StoredVector};

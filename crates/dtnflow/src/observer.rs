@@ -30,11 +30,7 @@ impl TableObserver {
 
     /// Record an observation point given each landmark's coverage and
     /// next-hop column.
-    pub fn observe(
-        &mut self,
-        index: usize,
-        per_landmark: Vec<(f64, Vec<Option<LandmarkId>>)>,
-    ) {
+    pub fn observe(&mut self, index: usize, per_landmark: Vec<(f64, Vec<Option<LandmarkId>>)>) {
         let n = per_landmark.len().max(1) as f64;
         let avg_coverage = per_landmark.iter().map(|(c, _)| c).sum::<f64>() / n;
         let avg_stability = if self.prev_next_hops.is_empty() {

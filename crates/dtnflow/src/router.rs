@@ -24,7 +24,7 @@ use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
 use dtnflow_core::packet::PacketLoc;
 use dtnflow_core::time::SimDuration;
 use dtnflow_predictor::{AccuracyTracker, MarkovPredictor, VisitHistory};
-use dtnflow_sim::{Router, TransferError, World};
+use dtnflow_sim::{LossReason, Router, TransferError, World};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Routing-table snapshot + control info a node carries between landmarks.
@@ -95,6 +95,9 @@ struct LandmarkState {
 struct PktMeta {
     next_hop: Option<LandmarkId>,
     expected: f64,
+    /// How many station outages have stranded this packet (degradation:
+    /// re-queued on recovery until `DegradationConfig::max_retries`).
+    retries: u32,
 }
 
 impl Default for PktMeta {
@@ -102,6 +105,7 @@ impl Default for PktMeta {
         PktMeta {
             next_hop: None,
             expected: f64::INFINITY,
+            retries: 0,
         }
     }
 }
@@ -114,6 +118,13 @@ pub struct FlowStats {
     pub lb_reroutes: u64,
     pub tables_received: u64,
     pub reports_applied: u64,
+    /// Packets re-aimed at their backup next hop because the primary was
+    /// a known-down landmark (degradation).
+    pub fallback_reroutes: u64,
+    /// Stranded packets re-queued after their station recovered.
+    pub stranded_requeues: u64,
+    /// Stranded packets dropped after exhausting their retry budget.
+    pub stranded_drops: u64,
 }
 
 /// The DTN-FLOW router.
@@ -127,6 +138,9 @@ pub struct FlowRouter {
     injections: Vec<LoopInjection>,
     /// Frequently-visited landmarks registered per node (§IV-E.4).
     registrations: Vec<Vec<LandmarkId>>,
+    /// Landmarks currently known to be down (fault hooks); routing falls
+    /// back to backup next hops around them.
+    known_down: Vec<bool>,
     stats: FlowStats,
 }
 
@@ -177,6 +191,7 @@ impl FlowRouter {
             current_unit: 0,
             injections,
             registrations: vec![Vec::new(); num_nodes],
+            known_down: vec![false; num_landmarks],
             stats: FlowStats::default(),
         }
     }
@@ -203,9 +218,7 @@ impl FlowRouter {
 
     /// A node's current prediction, if any: (predicted landmark, prob).
     pub fn prediction(&self, node: NodeId) -> Option<(LandmarkId, f64)> {
-        self.nodes[node.index()]
-            .predicted
-            .map(|(_, to, p)| (to, p))
+        self.nodes[node.index()].predicted.map(|(_, to, p)| (to, p))
     }
 
     /// The frequently-visited landmarks currently registered for a node.
@@ -272,6 +285,59 @@ impl FlowRouter {
         st.rt.recompute(&|to| bw.link_delay(to, flow, sim));
     }
 
+    /// Choose the next hop for a `dst`-bound packet sitting at `lm`:
+    /// the routing-table entry, diverted to the backup next hop when the
+    /// primary is overloaded (§IV-E.3) or a known-down landmark
+    /// (degradation). Returns `(next, expected delay, lb-diverted,
+    /// down-fallback)`.
+    fn choose_next(
+        &self,
+        lm: LandmarkId,
+        dst: LandmarkId,
+    ) -> (Option<LandmarkId>, f64, bool, bool) {
+        let st = &self.landmarks[lm.index()];
+        let entry = st.rt.entry(dst);
+        let mut next = entry.next;
+        let mut expected = entry.delay;
+        let mut lb_diverted = false;
+        let mut fellback = false;
+        if let Some(lb) = &self.cfg.load_balance {
+            if let (Some(nh), Some(bk)) = (next, entry.backup) {
+                if st.overloaded[nh.index()]
+                    && !st.overloaded[bk.index()]
+                    && entry.backup_delay <= lb.max_detour * entry.delay
+                {
+                    next = Some(bk);
+                    expected = entry.backup_delay;
+                    lb_diverted = true;
+                }
+            }
+        }
+        if self.cfg.degradation.is_some() {
+            if let Some(nh) = next {
+                if self.known_down[nh.index()] {
+                    if let Some(bk) = entry.backup {
+                        if bk != nh
+                            && !self.known_down[bk.index()]
+                            && entry.backup_delay.is_finite()
+                        {
+                            next = Some(bk);
+                            expected = entry.backup_delay;
+                            fellback = true;
+                        }
+                    }
+                }
+            }
+        }
+        if dst == lm {
+            // A node-addressed packet already at its via landmark: it just
+            // waits for the destination node.
+            next = None;
+            expected = 0.0;
+        }
+        (next, expected, lb_diverted, fellback)
+    }
+
     /// A packet landed at (or was generated at) station `lm`: choose its
     /// next hop (load-balance aware), stamp it, index it, and try to hand
     /// it to a suitable connected node right away (§IV-D.2/3).
@@ -287,33 +353,20 @@ impl FlowRouter {
         let dst_node = p.dst_node;
         debug_assert_eq!(p.loc, PacketLoc::AtStation(lm));
 
-        let st = &self.landmarks[lm.index()];
-        let entry = st.rt.entry(dst);
-        let mut next = entry.next;
-        let mut expected = entry.delay;
-        if let Some(lb) = &self.cfg.load_balance {
-            if let (Some(nh), Some(bk)) = (next, entry.backup) {
-                if st.overloaded[nh.index()]
-                    && !st.overloaded[bk.index()]
-                    && entry.backup_delay <= lb.max_detour * entry.delay
-                {
-                    next = Some(bk);
-                    expected = entry.backup_delay;
-                    self.stats.lb_reroutes += 1;
-                }
-            }
+        let (next, expected, lb_diverted, fellback) = self.choose_next(lm, dst);
+        if lb_diverted {
+            self.stats.lb_reroutes += 1;
         }
-        if dst == lm {
-            // A node-addressed packet already at its via landmark: it just
-            // waits for the destination node.
-            next = None;
-            expected = 0.0;
+        if fellback {
+            self.stats.fallback_reroutes += 1;
         }
+        let retries = self.meta_of(pkt).retries;
         self.set_meta(
             pkt,
             PktMeta {
                 next_hop: next,
                 expected,
+                retries,
             },
         );
 
@@ -382,8 +435,7 @@ impl FlowRouter {
                 let better = match &best {
                     None => true,
                     Some((bd, bs, bn, _)) => {
-                        (cand.0, cand.1) > (*bd, *bs)
-                            || ((cand.0, cand.1) == (*bd, *bs) && n < *bn)
+                        (cand.0, cand.1) > (*bd, *bs) || ((cand.0, cand.1) == (*bd, *bs) && n < *bn)
                     }
                 };
                 if better {
@@ -412,11 +464,13 @@ impl FlowRouter {
                 self.unindex(lm, pkt, dst, world.packet(pkt).dst_node);
                 let st = &mut self.landmarks[lm.index()];
                 st.lb_outgoing[toward.index()] += 1;
+                let retries = self.meta_of(pkt).retries;
                 self.set_meta(
                     pkt,
                     PktMeta {
                         next_hop: Some(toward),
                         expected,
+                        retries,
                     },
                 );
                 true
@@ -429,7 +483,13 @@ impl FlowRouter {
         }
     }
 
-    fn unindex(&mut self, lm: LandmarkId, pkt: PacketId, dst: LandmarkId, dst_node: Option<NodeId>) {
+    fn unindex(
+        &mut self,
+        lm: LandmarkId,
+        pkt: PacketId,
+        dst: LandmarkId,
+        dst_node: Option<NodeId>,
+    ) {
         let meta = self.meta_of(pkt);
         let st = &mut self.landmarks[lm.index()];
         if let Some(set) = st.by_dst.get_mut(&dst.0) {
@@ -506,8 +566,7 @@ impl FlowRouter {
                     let Some(set) = index.get(&h.0) else { continue };
                     let candidates: Vec<PacketId> = set.iter().copied().collect();
                     for pkt in candidates {
-                        if assigned >= cap || bucket_quota == 0 || !world.node_has_space(node)
-                        {
+                        if assigned >= cap || bucket_quota == 0 || !world.node_has_space(node) {
                             break;
                         }
                         let p = world.packet(pkt);
@@ -589,8 +648,7 @@ impl FlowRouter {
         let key = (dest.0, c.members.first().map(|m| m.0).unwrap_or(0));
         let first_time = self.landmarks[lm.index()].seen_corrections.insert(key);
         if first_time && c.members.contains(&lm) {
-            let others: Vec<LandmarkId> =
-                c.members.iter().copied().filter(|&m| m != lm).collect();
+            let others: Vec<LandmarkId> = c.members.iter().copied().filter(|&m| m != lm).collect();
             self.landmarks[lm.index()].rt.distrust(dest, &others);
             changed = true;
         }
@@ -627,30 +685,17 @@ impl FlowRouter {
             let p = world.packet(pkt);
             let dst = p.dst;
             let dst_node = p.dst_node;
-            let st = &self.landmarks[lm.index()];
-            let entry = st.rt.entry(dst);
-            let mut next = entry.next;
-            let mut expected = entry.delay;
-            if let Some(lb) = &self.cfg.load_balance {
-                if let (Some(nh), Some(bk)) = (next, entry.backup) {
-                    if st.overloaded[nh.index()]
-                        && !st.overloaded[bk.index()]
-                        && entry.backup_delay <= lb.max_detour * entry.delay
-                    {
-                        next = Some(bk);
-                        expected = entry.backup_delay;
-                    }
-                }
+            let (next, expected, _, fellback) = self.choose_next(lm, dst);
+            if fellback {
+                self.stats.fallback_reroutes += 1;
             }
-            if dst == lm {
-                next = None;
-                expected = 0.0;
-            }
+            let retries = self.meta_of(pkt).retries;
             self.set_meta(
                 pkt,
                 PktMeta {
                     next_hop: next,
                     expected,
+                    retries,
                 },
             );
             let st = &mut self.landmarks[lm.index()];
@@ -684,6 +729,15 @@ impl Router for FlowRouter {
 
     fn on_arrive(&mut self, world: &mut World, node: NodeId, lm: LandmarkId) {
         let now = world.now();
+        // When the fault plan drops this visit's record, the learning
+        // pipeline never sees it: no bandwidth measurement, no accuracy
+        // settlement, no predictor observation, no stay history. The
+        // physical exchanges (packets, carried tables) still happen.
+        let recorded = world.visit_recorded();
+        // A down station buffers nothing and learns nothing: no bandwidth
+        // measurement and no carried-table delivery until it recovers
+        // (this is what lets its neighbours' stored vectors go stale).
+        let station_up = world.station_is_up(lm);
 
         // 1. Transit bookkeeping: bandwidth measurement + prediction
         //    settlement.
@@ -691,10 +745,12 @@ impl Router for FlowRouter {
             let ns = &self.nodes[node.index()];
             (ns.last_landmark, ns.predicted)
         };
-        let is_transit = prev.is_some() && prev != Some(lm);
+        let is_transit = recorded && prev.is_some() && prev != Some(lm);
         if is_transit {
             let from = prev.expect("transit has a source");
-            self.landmarks[lm.index()].bw.record_arrival_from(from);
+            if station_up {
+                self.landmarks[lm.index()].bw.record_arrival_from(from);
+            }
             if let Some((made_at, to, _)) = predicted {
                 if made_at == from {
                     self.nodes[node.index()].accuracy.record(from, to == lm);
@@ -703,36 +759,38 @@ impl Router for FlowRouter {
         }
 
         // 2. Deliver carried routing info.
-        if let Some(carried) = self.nodes[node.index()].carried.take() {
-            if carried.from != lm {
-                let accepted = self.landmarks[lm.index()].rt.receive(
-                    carried.from,
-                    StoredVector {
-                        seq: carried.seq,
-                        delays: carried.vector,
-                    },
-                );
-                world.record_table_exchange(carried.entries);
-                self.stats.tables_received += 1;
-                if let Some((addressee, value, seq)) = carried.report {
-                    if addressee == lm
-                        && self.landmarks[lm.index()]
-                            .bw
-                            .apply_report(carried.from, value, seq)
-                    {
-                        self.stats.reports_applied += 1;
+        if station_up {
+            if let Some(carried) = self.nodes[node.index()].carried.take() {
+                if carried.from != lm {
+                    let accepted = self.landmarks[lm.index()].rt.receive(
+                        carried.from,
+                        StoredVector {
+                            seq: carried.seq,
+                            delays: carried.vector,
+                        },
+                    );
+                    world.record_table_exchange(carried.entries);
+                    self.stats.tables_received += 1;
+                    if let Some((addressee, value, seq)) = carried.report {
+                        if addressee == lm
+                            && self.landmarks[lm.index()]
+                                .bw
+                                .apply_report(carried.from, value, seq)
+                        {
+                            self.stats.reports_applied += 1;
+                        }
                     }
-                }
-                if accepted {
-                    self.recompute_tables(lm, world);
-                }
-                for (_, c) in carried
-                    .corrections
-                    .iter()
-                    .map(|c| (0u64, c.clone()))
-                    .collect::<Vec<_>>()
-                {
-                    self.apply_correction(world, lm, c);
+                    if accepted {
+                        self.recompute_tables(lm, world);
+                    }
+                    for (_, c) in carried
+                        .corrections
+                        .iter()
+                        .map(|c| (0u64, c.clone()))
+                        .collect::<Vec<_>>()
+                    {
+                        self.apply_correction(world, lm, c);
+                    }
                 }
             }
         }
@@ -742,8 +800,10 @@ impl Router for FlowRouter {
             let ns = &mut self.nodes[node.index()];
             ns.arrival = Some((lm, now));
             ns.episode += 1;
-            ns.predictor.observe(lm);
-            ns.predicted = ns.predictor.predict().map(|(to, p)| (lm, to, p));
+            if recorded {
+                ns.predictor.observe(lm);
+                ns.predicted = ns.predictor.predict().map(|(to, p)| (lm, to, p));
+            }
         }
 
         // 4. Uplink: hand over deliverable/improvable packets (§IV-D.1).
@@ -799,9 +859,7 @@ impl Router for FlowRouter {
                     (a, b) => a.or(b),
                 };
                 if let Some(avg) = base {
-                    let thr = SimDuration::from_secs(
-                        ((avg as f64) * de.gamma).round() as u64 + 1,
-                    );
+                    let thr = SimDuration::from_secs(((avg as f64) * de.gamma).round() as u64 + 1);
                     world.schedule_timer(
                         now + thr,
                         Self::timer_token(node, self.nodes[node.index()].episode),
@@ -816,21 +874,27 @@ impl Router for FlowRouter {
         // node's stay leave with it if they match its prediction.
         self.assign_to_node(world, lm, node);
         let now = world.now();
+        // A visit whose record was lost leaves no trace in the learning
+        // pipeline: no stay history, and the next transit is measured
+        // from the last *recorded* landmark.
+        let recorded = world.visit_recorded();
         {
             let ns = &mut self.nodes[node.index()];
             if let Some((at, since)) = ns.arrival.take() {
                 debug_assert_eq!(at, lm);
-                if now > since {
+                if recorded && now > since {
                     ns.history.record(lm, since, now);
                 }
             }
-            ns.last_landmark = Some(lm);
+            if recorded {
+                ns.last_landmark = Some(lm);
+            }
             ns.episode += 1;
         }
         // Snapshot the carried routing table + reverse-bandwidth report.
-        let predicted_to = self.nodes[node.index()].predicted.and_then(|(at, to, _)| {
-            (at == lm).then_some(to)
-        });
+        let predicted_to = self.nodes[node.index()]
+            .predicted
+            .and_then(|(at, to, _)| (at == lm).then_some(to));
         let st = &self.landmarks[lm.index()];
         let report = predicted_to.map(|h| (h, st.bw.incoming(h), st.unit_seq));
         let corrections = st
@@ -881,6 +945,13 @@ impl Router for FlowRouter {
             {
                 let st = &mut self.landmarks[l];
                 st.bw.end_of_unit();
+                // Degradation: age out neighbour vectors that have not
+                // been refreshed (e.g. across a station outage) before
+                // the recompute below re-ranks routes.
+                if let Some(deg) = &self.cfg.degradation {
+                    st.rt
+                        .decay_stale(unit, deg.staleness_max_age, deg.staleness_factor);
+                }
                 st.unit_seq = unit;
                 st.seen_corrections.clear();
                 st.pending_corrections
@@ -933,12 +1004,10 @@ impl Router for FlowRouter {
             return;
         };
         let elapsed = world.now().since(since);
-        let stuck = self.nodes[node.index()].history.is_dead_end(
-            lm,
-            elapsed,
-            de.gamma,
-            de.min_stays,
-        );
+        let stuck =
+            self.nodes[node.index()]
+                .history
+                .is_dead_end(lm, elapsed, de.gamma, de.min_stays);
         if !stuck {
             return;
         }
@@ -968,6 +1037,82 @@ impl Router for FlowRouter {
                 Err(_) => continue,
             }
         }
+    }
+
+    fn on_station_down(&mut self, world: &mut World, lm: LandmarkId) {
+        self.known_down[lm.index()] = true;
+        if self.cfg.degradation.is_none() {
+            return;
+        }
+        // Re-stamp packets at other stations that were aimed at the downed
+        // landmark, so carriers stop ferrying toward a dead end and the
+        // backup next hop takes over where one exists.
+        let affected: Vec<LandmarkId> = (0..self.landmarks.len())
+            .map(LandmarkId::from)
+            .filter(|&l| {
+                l != lm
+                    && world.station_is_up(l)
+                    && self.landmarks[l.index()]
+                        .by_next_hop
+                        .get(&lm.0)
+                        .is_some_and(|s| !s.is_empty())
+            })
+            .collect();
+        for l in affected {
+            self.rebucket(world, l);
+        }
+    }
+
+    fn on_station_up(&mut self, world: &mut World, lm: LandmarkId) {
+        self.known_down[lm.index()] = false;
+        let Some(deg) = self.cfg.degradation else {
+            return;
+        };
+        // Packets stranded inside the failed station survived the outage.
+        // Re-queue each one (retry budget permitting), recompute routes
+        // with the landmark available again, and try to move the
+        // survivors out through any connected carriers right away.
+        self.recompute_tables(lm, world);
+        let stranded: Vec<PacketId> = world.station_packets(lm).collect();
+        for pkt in stranded {
+            let (dst, dst_node) = {
+                let p = world.packet(pkt);
+                (p.dst, p.dst_node)
+            };
+            let mut meta = self.meta_of(pkt);
+            meta.retries += 1;
+            if meta.retries > deg.max_retries {
+                self.unindex(lm, pkt, dst, dst_node);
+                if world.drop_lost(pkt, LossReason::Outage).is_ok() {
+                    self.stats.stranded_drops += 1;
+                }
+                continue;
+            }
+            self.set_meta(pkt, meta);
+            world.record_retry();
+            self.stats.stranded_requeues += 1;
+        }
+        self.rebucket(world, lm);
+        let survivors: Vec<PacketId> = world.station_packets(lm).collect();
+        for pkt in survivors {
+            self.try_assign_packet(world, lm, pkt, None);
+        }
+    }
+
+    fn on_node_fail(&mut self, _world: &mut World, node: NodeId, _at: Option<LandmarkId>) {
+        // Everything the node carried (packets, snapshot tables) is
+        // already destroyed by the engine. Reset the router-side view of
+        // its in-flight state; its long-term mobility model (predictor,
+        // accuracy, stay history) is the node's own persistent memory and
+        // survives the failure, so it rejoins with it intact.
+        let ns = &mut self.nodes[node.index()];
+        ns.carried = None;
+        ns.predicted = None;
+        ns.arrival = None;
+        // Clearing this keeps the failure gap out of the bandwidth
+        // measurements: the first post-recovery arrival is not a transit.
+        ns.last_landmark = None;
+        ns.episode += 1; // stale dead-end timers no-op
     }
 }
 
@@ -1056,11 +1201,60 @@ mod tests {
             out.metrics.success_rate()
         );
         // Multi-hop deliveries exist: some packet crossed l0 -> l1 -> l2.
-        let crossed = out.packets.iter().any(|p| {
-            matches!(p.loc, PacketLoc::Delivered(_)) && p.visited.len() >= 2
-        });
+        let crossed = out
+            .packets
+            .iter()
+            .any(|p| matches!(p.loc, PacketLoc::Delivered(_)) && p.visited.len() >= 2);
         assert!(crossed, "expected at least one relayed delivery");
         assert!(out.metrics.maintenance_ops > 0.0, "tables were exchanged");
+    }
+
+    #[test]
+    fn fallback_next_hop_avoids_known_down_landmark() {
+        // l0 routes to l3 via l1 (delay 6) with backup l2 (delay 7).
+        let mut router = FlowRouter::new(FlowConfig::with_degradation(), 2, 4);
+        let mk = |pairs: &[(usize, f64)], seq| {
+            let mut delays = vec![f64::INFINITY; 4];
+            for &(d, v) in pairs {
+                delays[d] = v;
+            }
+            StoredVector { seq, delays }
+        };
+        let link = |l: LandmarkId| match l.index() {
+            1 => 1.0,
+            2 => 2.0,
+            _ => f64::INFINITY,
+        };
+        let st = &mut router.landmarks[0];
+        st.rt.receive(LandmarkId(1), mk(&[(1, 0.0), (3, 5.0)], 1));
+        st.rt.receive(LandmarkId(2), mk(&[(2, 0.0), (3, 5.0)], 1));
+        st.rt.recompute(&link);
+
+        // Healthy: the primary wins, no fallback flagged.
+        let (next, delay, _, fellback) = router.choose_next(LandmarkId(0), LandmarkId(3));
+        assert_eq!(next, Some(LandmarkId(1)));
+        assert!((delay - 6.0).abs() < 1e-12);
+        assert!(!fellback);
+
+        // Primary's landmark is known down: divert to the backup.
+        router.known_down[1] = true;
+        let (next, delay, _, fellback) = router.choose_next(LandmarkId(0), LandmarkId(3));
+        assert_eq!(next, Some(LandmarkId(2)));
+        assert!((delay - 7.0).abs() < 1e-12);
+        assert!(fellback);
+
+        // Backup down too: nothing better exists, keep the primary.
+        router.known_down[2] = true;
+        let (next, _, _, fellback) = router.choose_next(LandmarkId(0), LandmarkId(3));
+        assert_eq!(next, Some(LandmarkId(1)));
+        assert!(!fellback);
+
+        // Without the degradation extension the down-set is ignored.
+        router.cfg.degradation = None;
+        router.known_down[2] = false;
+        let (next, _, _, fellback) = router.choose_next(LandmarkId(0), LandmarkId(3));
+        assert_eq!(next, Some(LandmarkId(1)));
+        assert!(!fellback);
     }
 
     #[test]
@@ -1324,8 +1518,7 @@ mod tests {
                 // (who frequents l0/l1, never l2).
                 if u == 8 && !self.sent {
                     self.sent = true;
-                    self.created =
-                        self.inner.send_to_node(w, LandmarkId(2), NodeId(0));
+                    self.created = self.inner.send_to_node(w, LandmarkId(2), NodeId(0));
                 }
             }
             fn on_timer(&mut self, w: &mut World, t: u64) {

@@ -113,6 +113,36 @@ impl RoutingTable {
         }
     }
 
+    /// Age out stale neighbour vectors (graceful degradation under
+    /// faults): every stored vector whose sequence lags `current_seq` by
+    /// more than `max_age` units has each finite, non-zero delay claim
+    /// multiplied by `factor`. Called once per time unit, the penalty
+    /// compounds per unit of excess staleness, so routes learned before
+    /// an outage look progressively worse until a fresh vector
+    /// ([`RoutingTable::receive`]) replaces the decayed one wholesale.
+    /// Returns how many vectors were decayed; the caller must recompute
+    /// when it is non-zero.
+    pub fn decay_stale(&mut self, current_seq: u64, max_age: u64, factor: f64) -> usize {
+        assert!(factor >= 1.0, "decay factor must be at least 1");
+        let mut decayed = 0;
+        for v in self.vectors.values_mut() {
+            if current_seq.saturating_sub(v.seq) <= max_age {
+                continue;
+            }
+            let mut touched = false;
+            for d in v.delays.iter_mut() {
+                if d.is_finite() && *d > 0.0 {
+                    *d *= factor;
+                    touched = true;
+                }
+            }
+            if touched {
+                decayed += 1;
+            }
+        }
+        decayed
+    }
+
     /// Recompute every entry from the stored vectors, given the current
     /// per-neighbour link delays (`INFINITY` = not a neighbour). Neighbours
     /// without a stored vector still provide their direct link (a vector
@@ -253,12 +283,17 @@ mod tests {
         // Initial state: vectors from 1 and 7 giving the original entries
         // (1,1,8), (4,7,20), (7,7,6), (9,7,34).
         assert!(rt.receive(lm(1), vector(num, &[(1, 0.0)], 1)));
-        assert!(rt.receive(
-            lm(7),
-            vector(num, &[(7, 0.0), (4, 14.0), (9, 28.0)], 1)
-        ));
+        assert!(rt.receive(lm(7), vector(num, &[(7, 0.0), (4, 14.0), (9, 28.0)], 1)));
         rt.recompute(&link);
-        assert_eq!(rt.entry(lm(1)), &RouteEntry { next: Some(lm(1)), delay: 8.0, backup: None, backup_delay: f64::INFINITY });
+        assert_eq!(
+            rt.entry(lm(1)),
+            &RouteEntry {
+                next: Some(lm(1)),
+                delay: 8.0,
+                backup: None,
+                backup_delay: f64::INFINITY
+            }
+        );
         assert_eq!(rt.next_hop(lm(4)), Some(lm(7)));
         assert!((rt.delay_to(lm(4)) - 20.0).abs() < 1e-12);
         assert!((rt.delay_to(lm(7)) - 6.0).abs() < 1e-12);
@@ -387,6 +422,37 @@ mod tests {
         let rows = rt.rows();
         assert_eq!(rows.len(), 2);
         assert_eq!(rt.table_size(), 3);
+    }
+
+    #[test]
+    fn decay_stale_penalizes_old_vectors_until_refreshed() {
+        let num = 3;
+        let mut rt = RoutingTable::new(lm(0), num);
+        let link = |l: LandmarkId| if l.0 == 1 { 1.0 } else { f64::INFINITY };
+        rt.receive(lm(1), vector(num, &[(1, 0.0), (2, 10.0)], 0));
+        rt.recompute(&link);
+        assert!((rt.delay_to(lm(2)) - 11.0).abs() < 1e-12);
+
+        // Within max_age: untouched.
+        assert_eq!(rt.decay_stale(2, 2, 2.0), 0);
+        rt.recompute(&link);
+        assert!((rt.delay_to(lm(2)) - 11.0).abs() < 1e-12);
+
+        // Past max_age: the claim doubles per call; the neighbour's own
+        // 0-delay entry and infinite entries are untouched.
+        assert_eq!(rt.decay_stale(3, 2, 2.0), 1);
+        rt.recompute(&link);
+        assert!((rt.delay_to(lm(2)) - 21.0).abs() < 1e-12);
+        assert_eq!(rt.decay_stale(4, 2, 2.0), 1);
+        rt.recompute(&link);
+        assert!((rt.delay_to(lm(2)) - 41.0).abs() < 1e-12);
+        assert!((rt.delay_to(lm(1)) - 1.0).abs() < 1e-12);
+
+        // A fresh vector replaces the decayed claims wholesale.
+        assert!(rt.receive(lm(1), vector(num, &[(1, 0.0), (2, 10.0)], 4)));
+        rt.recompute(&link);
+        assert!((rt.delay_to(lm(2)) - 11.0).abs() < 1e-12);
+        assert_eq!(rt.decay_stale(5, 2, 2.0), 0);
     }
 
     #[test]

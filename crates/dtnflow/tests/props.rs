@@ -29,9 +29,9 @@ proptest! {
         for from in 1..n {
             let mut delays = vec![f64::INFINITY; n];
             delays[from] = 0.0;
-            for d in 0..n {
+            for (d, slot) in delays.iter_mut().enumerate() {
                 if d != from && k < vec_delays.len() && vec_delays[k] % 3 != 0 {
-                    delays[d] = vec_delays[k] as f64;
+                    *slot = vec_delays[k] as f64;
                 }
                 k += 1;
             }
@@ -82,8 +82,8 @@ proptest! {
         let mut b = RoutingTable::new(LandmarkId(0), n);
         b.receive(LandmarkId(1), StoredVector { seq: 3, delays: snap.clone() });
         b.recompute(&|l| if l.index() == 1 { 5.0 } else { f64::INFINITY });
-        for d in 1..n {
-            let expect = 5.0 + snap[d];
+        for (d, &s) in snap.iter().enumerate().skip(1) {
+            let expect = 5.0 + s;
             let got = b.delay_to(LandmarkId::from(d));
             if expect.is_finite() {
                 prop_assert!((got - expect).abs() < 1e-9);

@@ -126,8 +126,7 @@ impl SubareaGrid {
         let mut site_cells = vec![usize::MAX; self.division.len()];
         for (i, s) in self.division.sites().iter().enumerate() {
             if self.area.contains(*s) {
-                let c = (((s.x - self.area.min.x) / self.area.width() * self.cols as f64)
-                    as usize)
+                let c = (((s.x - self.area.min.x) / self.area.width() * self.cols as f64) as usize)
                     .min(self.cols - 1);
                 let r = (((s.y - self.area.min.y) / self.area.height() * self.rows as f64)
                     as usize)
@@ -187,7 +186,12 @@ mod tests {
     #[test]
     fn grid_covers_all_and_shares_sum_to_one() {
         let d = two_sites();
-        let g = SubareaGrid::new(d, Rect::new(Point::new(-5.0, -5.0), Point::new(15.0, 5.0)), 20, 10);
+        let g = SubareaGrid::new(
+            d,
+            Rect::new(Point::new(-5.0, -5.0), Point::new(15.0, 5.0)),
+            20,
+            10,
+        );
         let shares = g.area_shares();
         assert_eq!(shares.len(), 2);
         assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
@@ -222,12 +226,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cell out of range")]
     fn cell_bounds_checked() {
-        let g = SubareaGrid::new(
-            two_sites(),
-            Rect::from_size(10.0, 10.0),
-            2,
-            2,
-        );
+        let g = SubareaGrid::new(two_sites(), Rect::from_size(10.0, 10.0), 2, 2);
         g.cell(2, 0);
     }
 }

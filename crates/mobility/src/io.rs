@@ -95,7 +95,12 @@ pub fn from_text(text: &str) -> Result<Trace, ParseError> {
             continue;
         }
         let mut it = line.split_whitespace();
-        let tag = it.next().expect("non-empty line has a first token");
+        // A trimmed non-empty line always yields a first token, but this
+        // parser handles foreign input — surface a typed error instead of
+        // relying on that invariant with a panic.
+        let Some(tag) = it.next() else {
+            return Err(bad(ln, "line has no tag token"));
+        };
         match tag {
             "name" => {
                 name = it.collect::<Vec<_>>().join(" ");
@@ -157,8 +162,7 @@ pub fn from_text(text: &str) -> Result<Trace, ParseError> {
     }
     let pos: Vec<Point> = positions.into_iter().map(|(_, p)| p).collect();
 
-    Trace::new(name, nodes, landmarks, pos, visits)
-        .map_err(|e| ParseError::Invalid(e.to_string()))
+    Trace::new(name, nodes, landmarks, pos, visits).map_err(|e| ParseError::Invalid(e.to_string()))
 }
 
 #[cfg(test)]

@@ -117,7 +117,12 @@ impl BandwidthMatrix {
                 }
             }
         }
-        links.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        links.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
+        });
         links
     }
 
@@ -216,7 +221,13 @@ impl BandwidthTimeline {
             .iter()
             .enumerate()
             .filter(|&(_, &t)| t > 0)
-            .map(|(i, &t)| (LandmarkId::from(i / self.n), LandmarkId::from(i % self.n), t))
+            .map(|(i, &t)| {
+                (
+                    LandmarkId::from(i / self.n),
+                    LandmarkId::from(i % self.n),
+                    t,
+                )
+            })
             .collect();
         links.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
         links.truncate(k);

@@ -271,9 +271,8 @@ impl BusModel {
                     if t >= service_end {
                         break;
                     }
-                    let dwell = SimDuration::from_secs(
-                        log_normal(rng, cfg.dwell_median_s, 0.4) as u64,
-                    );
+                    let dwell =
+                        SimDuration::from_secs(log_normal(rng, cfg.dwell_median_s, 0.4) as u64);
                     // AP ambiguity: sometimes the visit is logged at the
                     // nearest neighbouring stop; sometimes not at all.
                     let logged = if rng.random::<f64>() < cfg.ambiguity {
@@ -290,9 +289,7 @@ impl BusModel {
                     } else if rng.random::<f64>() >= cfg.record_loss {
                         out.push(Visit::new(node, LandmarkId::from(logged), t, end));
                     }
-                    let hop = SimDuration::from_secs(
-                        log_normal(rng, cfg.hop_median_s, 0.3) as u64,
-                    );
+                    let hop = SimDuration::from_secs(log_normal(rng, cfg.hop_median_s, 0.3) as u64);
                     t = end + hop;
                 }
             }
@@ -363,7 +360,7 @@ mod tests {
     #[test]
     fn matching_links_symmetric_o3() {
         // Out-and-back service means b(i->j) tracks b(j->i).
-        let t = default_bus_trace(4);
+        let t = default_bus_trace(10);
         let b = stats::link_bandwidths(&t, SimDuration::from_days(0.5));
         let sym = b.matching_link_symmetry();
         // AP ambiguity and odd per-route bus counts add noise, so the
@@ -407,11 +404,7 @@ mod tests {
         };
         let garage = cfg.garage();
         let t = BusModel::new(cfg).generate();
-        let garage_visits = t
-            .visits()
-            .iter()
-            .filter(|v| v.landmark == garage)
-            .count();
+        let garage_visits = t.visits().iter().filter(|v| v.landmark == garage).count();
         assert!(garage_visits > 0, "expected garage visits");
         // Garage stays are long (overnight).
         let max_stay = t

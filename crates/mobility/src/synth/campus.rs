@@ -181,14 +181,8 @@ impl CampusModel {
         }
 
         let prep = preprocess(visits, &PrepConfig::default());
-        Trace::new(
-            "campus",
-            cfg.nodes,
-            cfg.landmarks,
-            positions,
-            prep.visits,
-        )
-        .expect("generated campus trace is valid")
+        Trace::new("campus", cfg.nodes, cfg.landmarks, positions, prep.visits)
+            .expect("generated campus trace is valid")
     }
 
     fn persona(&self, n: usize, rng: &mut StdRng) -> Persona {
@@ -258,13 +252,7 @@ impl CampusModel {
         MINUTE.mul_f64(5.0 + rng.random::<f64>() * 20.0)
     }
 
-    fn node_visits(
-        &self,
-        persona: &Persona,
-        rng: &mut StdRng,
-        out: &mut Vec<Visit>,
-        node: NodeId,
-    ) {
+    fn node_visits(&self, persona: &Persona, rng: &mut StdRng, out: &mut Vec<Visit>, node: NodeId) {
         let cfg = &self.cfg;
         let mut log = |lm: usize, start: SimTime, end: SimTime, rng: &mut StdRng| {
             if end > start && rng.random::<f64>() >= cfg.record_loss {
@@ -291,8 +279,8 @@ impl CampusModel {
             } else {
                 persona.outings * cfg.weekend_activity
             };
-            let count = outings.floor() as usize
-                + usize::from(rng.random::<f64>() < outings.fract());
+            let count =
+                outings.floor() as usize + usize::from(rng.random::<f64>() < outings.fract());
 
             let mut t = wake;
             let mut current = persona.dorm_lm;
@@ -422,8 +410,7 @@ mod tests {
             let mut total = 0u64;
             for i in 0..t.num_landmarks() {
                 for j in 0..t.num_landmarks() {
-                    total +=
-                        tl.series(LandmarkId::from(i), LandmarkId::from(j))[d] as u64;
+                    total += tl.series(LandmarkId::from(i), LandmarkId::from(j))[d] as u64;
                 }
             }
             total
@@ -458,7 +445,10 @@ mod tests {
         assert_eq!(dep, cfg.departments);
         assert_eq!(dorm, cfg.dorms);
         assert_eq!(dining, cfg.dining);
-        assert_eq!(misc, cfg.landmarks - 1 - cfg.departments - cfg.dorms - cfg.dining);
+        assert_eq!(
+            misc,
+            cfg.landmarks - 1 - cfg.departments - cfg.dorms - cfg.dining
+        );
     }
 
     #[test]

@@ -10,7 +10,11 @@ use proptest::prelude::*;
 /// Raw, possibly messy visit lists (per-node non-overlap enforced by
 /// construction so Trace::new accepts them).
 fn arb_visits() -> impl Strategy<Value = (usize, usize, Vec<Visit>)> {
-    (2usize..5, 2usize..6, proptest::collection::vec((0u64..3_000, 1u64..2_000, 0usize..64), 0..60))
+    (
+        2usize..5,
+        2usize..6,
+        proptest::collection::vec((0u64..3_000, 1u64..2_000, 0usize..64), 0..60),
+    )
         .prop_map(|(nodes, landmarks, raw)| {
             let mut visits = Vec::new();
             let mut clocks = vec![0u64; nodes];

@@ -25,13 +25,7 @@ impl AccuracyTracker {
     }
 
     /// Fully parameterized constructor.
-    pub fn with_factors(
-        num_landmarks: usize,
-        init: f64,
-        up: f64,
-        down: f64,
-        floor: f64,
-    ) -> Self {
+    pub fn with_factors(num_landmarks: usize, init: f64, up: f64, down: f64, floor: f64) -> Self {
         assert!((0.0..=1.0).contains(&init), "init must be a probability");
         assert!(up >= 1.0, "up factor must be >= 1");
         assert!((0.0..=1.0).contains(&down), "down factor must be <= 1");

@@ -22,7 +22,10 @@ pub struct FallbackPredictor {
 impl FallbackPredictor {
     /// Create a back-off predictor with maximum order `k`.
     pub fn new(k: usize) -> Self {
-        assert!((1..=MAX_ORDER).contains(&k), "order must be 1..={MAX_ORDER}");
+        assert!(
+            (1..=MAX_ORDER).contains(&k),
+            "order must be 1..={MAX_ORDER}"
+        );
         FallbackPredictor {
             levels: (1..=k).map(MarkovPredictor::new).collect(),
         }

@@ -15,13 +15,13 @@
 //!   from the highest order whose context has been seen.
 
 pub mod accuracy;
-pub mod fallback;
 pub mod eval;
+pub mod fallback;
 pub mod history;
 pub mod markov;
 
 pub use accuracy::AccuracyTracker;
-pub use fallback::{evaluate_fallback, FallbackPredictor};
 pub use eval::{accuracy_five_num, best_k, evaluate_order_k, EvalResult};
+pub use fallback::{evaluate_fallback, FallbackPredictor};
 pub use history::VisitHistory;
 pub use markov::MarkovPredictor;

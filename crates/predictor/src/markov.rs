@@ -125,8 +125,7 @@ impl MarkovPredictor {
     /// current context. `None` if the context is incomplete or was never
     /// seen before (the "missed k-hop pattern" case of §IV-B.2).
     pub fn predict(&self) -> Option<(LandmarkId, f64)> {
-        self.context()
-            .and_then(|ctx| self.predict_from(ctx))
+        self.context().and_then(|ctx| self.predict_from(ctx))
     }
 
     /// The most likely successor of an explicit context. Ties break toward

@@ -2,6 +2,7 @@
 //! boundaries, observation points and router timers into one deterministic
 //! timeline and dispatches them to the [`Router`].
 
+use crate::faults::FaultPlan;
 use crate::router::Router;
 use crate::workload::Workload;
 use crate::world::World;
@@ -25,14 +26,29 @@ pub struct SimOutcome {
 }
 
 /// Event kinds, ordered by dispatch priority within a timestamp: unit
-/// boundaries first (bandwidth snapshots), then departures (a node leaves
-/// before another arrives at the same instant), arrivals, generations,
-/// timers, and observations last (they snapshot the settled state).
+/// boundaries first (bandwidth snapshots), then station liveness flips
+/// (so same-instant node activity sees the new station state), then
+/// departures (a node leaves before another arrives at the same instant),
+/// node failures (after departures: a same-instant departure completes,
+/// but a same-instant arrival of the failing node is suppressed),
+/// arrivals, node recoveries (after arrivals: a node that recovers the
+/// instant a visit of its own starts still misses that visit and rejoins
+/// at the next one), generations, timers, and observations last (they
+/// snapshot the settled state).
+///
+/// `Arrive`/`Depart` carry the trace visit index so fault runs can look
+/// up record-loss per visit; within identical timestamps the index sorts
+/// exactly like the insertion sequence did (visits are pushed in trace
+/// order), so fault-free runs dispatch in the same order as before.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
     TimeUnit(u64),
-    Depart(NodeId, LandmarkId),
-    Arrive(NodeId, LandmarkId),
+    StationDown(LandmarkId),
+    StationUp(LandmarkId),
+    Depart(NodeId, LandmarkId, u32),
+    NodeFail(NodeId),
+    Arrive(NodeId, LandmarkId, u32),
+    NodeRecover(NodeId),
     Generate(LandmarkId, LandmarkId),
     Timer(u64),
     Observe(usize),
@@ -58,11 +74,37 @@ pub fn run_with_workload<R: Router + ?Sized>(
     workload: &Workload,
     router: &mut R,
 ) -> SimOutcome {
+    run_with_faults(trace, cfg, workload, &FaultPlan::none(), router)
+}
+
+/// Run a router over a trace, workload and fault plan. With
+/// [`FaultPlan::none`] this is byte-identical to [`run_with_workload`]
+/// (which delegates here).
+pub fn run_with_faults<R: Router + ?Sized>(
+    trace: &Trace,
+    cfg: &SimConfig,
+    workload: &Workload,
+    plan: &FaultPlan,
+    router: &mut R,
+) -> SimOutcome {
+    plan.check_against(trace);
     let mut world = World::new(cfg.clone(), trace.num_nodes(), trace.num_landmarks());
     let station_mode = router.uses_stations();
 
+    // Truncation fractions by visit index (sparse: most visits complete).
+    let truncated: std::collections::HashMap<u32, f64> = plan.truncations.iter().copied().collect();
+    // Record-loss flags, dense for O(1) dispatch lookups.
+    let mut record_lost = vec![false; trace.visits().len()];
+    for &idx in &plan.lost_records {
+        record_lost[idx as usize] = true;
+    }
+
     // Pre-sorted static event list.
-    let mut events: Vec<Event> = Vec::with_capacity(trace.visits().len() * 2 + workload.len());
+    let mut events: Vec<Event> = Vec::with_capacity(
+        trace.visits().len() * 2
+            + workload.len()
+            + 2 * (plan.station_outages.len() + plan.node_outages.len()),
+    );
     let mut seq = 0u64;
     let mut push = |at: SimTime, kind: EventKind, seq: &mut u64| {
         events.push(Event {
@@ -72,12 +114,36 @@ pub fn run_with_workload<R: Router + ?Sized>(
         });
         *seq += 1;
     };
-    for v in trace.visits() {
-        push(v.start, EventKind::Arrive(v.node, v.landmark), &mut seq);
-        push(v.end, EventKind::Depart(v.node, v.landmark), &mut seq);
+    for (idx, v) in trace.visits().iter().enumerate() {
+        let idx = idx as u32;
+        push(
+            v.start,
+            EventKind::Arrive(v.node, v.landmark, idx),
+            &mut seq,
+        );
+        // A truncated contact departs after `frac` of its dwell, but at
+        // least one second after arriving — a same-instant depart would
+        // sort *before* the arrive and leave the node stuck as present.
+        let end = match truncated.get(&idx) {
+            Some(&frac) => {
+                let stay = v.end.secs().saturating_sub(v.start.secs());
+                let kept = ((stay as f64 * frac) as u64).clamp(1, stay.max(1));
+                SimTime(v.start.secs() + kept).min(v.end)
+            }
+            None => v.end,
+        };
+        push(end, EventKind::Depart(v.node, v.landmark, idx), &mut seq);
     }
     for g in workload.events() {
         push(g.at, EventKind::Generate(g.src, g.dst), &mut seq);
+    }
+    for o in &plan.station_outages {
+        push(o.down, EventKind::StationDown(o.lm), &mut seq);
+        push(o.up, EventKind::StationUp(o.lm), &mut seq);
+    }
+    for o in &plan.node_outages {
+        push(o.fail, EventKind::NodeFail(o.node), &mut seq);
+        push(o.recover, EventKind::NodeRecover(o.node), &mut seq);
     }
     let duration = trace.duration();
     let unit = cfg.time_unit;
@@ -145,29 +211,63 @@ pub fn run_with_workload<R: Router + ?Sized>(
                 world.reset_radio_budget();
                 router.on_time_unit(&mut world, u);
             }
-            EventKind::Depart(n, l) => {
-                router.on_depart(&mut world, n, l);
-                world.node_depart(n, l);
+            EventKind::StationDown(l) => {
+                world.station_down(l);
+                router.on_station_down(&mut world, l);
             }
-            EventKind::Arrive(n, l) => {
-                world.node_arrive(n, l);
-                if !station_mode {
-                    world.auto_deliver_on_arrival(n, l);
+            EventKind::StationUp(l) => {
+                world.station_recover(l);
+                router.on_station_up(&mut world, l);
+            }
+            EventKind::Depart(n, l, idx) => {
+                // Suppressed when the node is not actually there: its
+                // arrival was swallowed by a failure, or churn removed it
+                // mid-visit.
+                if world.node_location(n) == Some(l) {
+                    world.set_visit_recorded(!record_lost[idx as usize]);
+                    router.on_depart(&mut world, n, l);
+                    world.set_visit_recorded(true);
+                    world.node_depart(n, l);
                 }
-                let present: Vec<NodeId> = world
-                    .nodes_at(l)
-                    .iter()
-                    .copied()
-                    .filter(|&m| m != n)
-                    .collect();
-                for m in present {
-                    router.on_encounter(&mut world, n, m, l);
+            }
+            EventKind::NodeFail(n) => {
+                let at = world.node_location(n);
+                world.node_fail(n);
+                router.on_node_fail(&mut world, n, at);
+            }
+            EventKind::Arrive(n, l, idx) => {
+                // A failed node is off the network: its visits do not
+                // happen until it recovers.
+                if !world.node_is_failed(n) {
+                    world.node_arrive(n, l);
+                    if !station_mode {
+                        world.auto_deliver_on_arrival(n, l);
+                    }
+                    world.set_visit_recorded(!record_lost[idx as usize]);
+                    let present: Vec<NodeId> = world
+                        .nodes_at(l)
+                        .iter()
+                        .copied()
+                        .filter(|&m| m != n)
+                        .collect();
+                    for m in present {
+                        router.on_encounter(&mut world, n, m, l);
+                    }
+                    router.on_arrive(&mut world, n, l);
+                    world.set_visit_recorded(true);
                 }
-                router.on_arrive(&mut world, n, l);
+            }
+            EventKind::NodeRecover(n) => {
+                world.node_recover(n);
+                router.on_node_recover(&mut world, n);
             }
             EventKind::Generate(src, dst) => {
                 let pkt = world.create_packet(src, dst, None, station_mode);
-                router.on_packet_generated(&mut world, pkt);
+                // A packet generated at a down station is stillborn
+                // (lost to the outage); the router never sees it.
+                if world.packet(pkt).loc.is_live() {
+                    router.on_packet_generated(&mut world, pkt);
+                }
             }
             EventKind::Timer(token) => {
                 router.on_timer(&mut world, token);
@@ -237,11 +337,13 @@ mod tests {
             "recorder"
         }
         fn on_arrive(&mut self, w: &mut World, node: NodeId, lm: LandmarkId) {
-            self.log.push(format!("arrive {node} {lm} @{}", w.now().secs()));
+            self.log
+                .push(format!("arrive {node} {lm} @{}", w.now().secs()));
         }
         fn on_depart(&mut self, w: &mut World, node: NodeId, lm: LandmarkId) {
             assert!(w.nodes_at(lm).contains(&node), "still present at depart");
-            self.log.push(format!("depart {node} {lm} @{}", w.now().secs()));
+            self.log
+                .push(format!("depart {node} {lm} @{}", w.now().secs()));
         }
         fn on_encounter(&mut self, _w: &mut World, a: NodeId, b: NodeId, lm: LandmarkId) {
             self.log.push(format!("meet {a} {b} {lm}"));
@@ -381,7 +483,10 @@ mod tests {
         let cfg = small_cfg();
         let a = run(&trace, &cfg, &mut DirectRouter);
         let b = run(&trace, &cfg, &mut DirectRouter);
-        assert_eq!(a.metrics.summary().success_rate, b.metrics.summary().success_rate);
+        assert_eq!(
+            a.metrics.summary().success_rate,
+            b.metrics.summary().success_rate
+        );
         assert_eq!(a.metrics.forwarding_ops, b.metrics.forwarding_ops);
         assert_eq!(a.packets.len(), b.packets.len());
     }

@@ -11,16 +11,21 @@
 //! * [`world::World`] — simulation state and the transfer primitives;
 //! * [`router::Router`] — the algorithm-facing event hooks;
 //! * [`workload::Workload`] — packet generation schedules;
-//! * [`engine`] — the event loop ([`engine::run`]).
+//! * [`faults`] — seeded fault plans (outages, churn, truncation,
+//!   record loss) for resilience experiments;
+//! * [`engine`] — the event loop ([`engine::run`],
+//!   [`engine::run_with_faults`]).
 
 pub mod engine;
+pub mod faults;
 pub mod router;
 pub mod store;
 pub mod workload;
 pub mod world;
 
-pub use engine::{run, run_with_workload, SimOutcome};
+pub use engine::{run, run_with_faults, run_with_workload, SimOutcome};
+pub use faults::{FaultConfig, FaultPlan, NodeOutage, StationOutage};
 pub use router::Router;
 pub use store::PacketStore;
 pub use workload::Workload;
-pub use world::{TransferError, TransferOutcome, World};
+pub use world::{LossReason, TransferError, TransferOutcome, World, WorldError};

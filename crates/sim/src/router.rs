@@ -67,4 +67,35 @@ pub trait Router {
     fn on_timer(&mut self, world: &mut World, token: u64) {
         let _ = (world, token);
     }
+
+    // ---- fault-injection hooks (no-ops by default, so routers that
+    // ---- ignore faults — the baselines — are byte-identical with or
+    // ---- without an empty fault plan) ---------------------------------
+
+    /// The station at `lm` just went down: it refuses all transfers and
+    /// buffers nothing until [`Router::on_station_up`]. Packets it stored
+    /// remain stranded inside.
+    fn on_station_down(&mut self, world: &mut World, lm: LandmarkId) {
+        let _ = (world, lm);
+    }
+
+    /// The station at `lm` recovered. A degradation-aware router should
+    /// re-queue the packets stranded there.
+    fn on_station_up(&mut self, world: &mut World, lm: LandmarkId) {
+        let _ = (world, lm);
+    }
+
+    /// `node` failed (churn): by the time this fires it has been removed
+    /// from the network and everything it carried is destroyed. `at` is
+    /// the landmark it was at when it failed, if any — for router-side
+    /// bookkeeping only; the node is no longer there.
+    fn on_node_fail(&mut self, world: &mut World, node: NodeId, at: Option<LandmarkId>) {
+        let _ = (world, node, at);
+    }
+
+    /// `node` recovered from churn; it rejoins the network at its next
+    /// trace arrival.
+    fn on_node_recover(&mut self, world: &mut World, node: NodeId) {
+        let _ = (world, node);
+    }
 }

@@ -72,15 +72,13 @@ impl Workload {
             .collect();
         assert!(eligible.len() > 1, "need at least two landmarks to route");
         let mut rng = rng_for(cfg.seed, "workload");
-        let warmup_end =
-            SimTime(((duration.secs() as f64) * cfg.warmup_fraction).round() as u64);
+        let warmup_end = SimTime(((duration.secs() as f64) * cfg.warmup_fraction).round() as u64);
         let gen_span = duration
             .secs()
             .saturating_sub(warmup_end.secs())
             .saturating_sub(cfg.gen_tail_margin.secs());
         let gen_days = gen_span as f64 / 86_400.0;
-        let per_landmark =
-            (cfg.packets_per_landmark_per_day * gen_days).round() as usize;
+        let per_landmark = (cfg.packets_per_landmark_per_day * gen_days).round() as usize;
 
         let mut events = Vec::with_capacity(per_landmark * eligible.len());
         for (i, &src) in eligible.iter().enumerate() {
@@ -149,10 +147,7 @@ mod tests {
         assert_eq!(w.len(), 240);
         assert_eq!(w.warmup_end(), SimTime(2 * 86_400));
         assert!(w.events().iter().all(|e| e.at >= w.warmup_end()));
-        assert!(w
-            .events()
-            .iter()
-            .all(|e| e.at.secs() < 8 * 86_400));
+        assert!(w.events().iter().all(|e| e.at.secs() < 8 * 86_400));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::collections::BTreeSet;
 /// Why a transfer was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransferError {
-    /// The packet is already delivered or expired.
+    /// The packet is already delivered, expired, or lost.
     NotLive,
     /// The packet's TTL elapsed; it has now been dropped.
     Expired,
@@ -31,6 +31,48 @@ pub enum TransferError {
     /// The landmark's radio budget for this time unit is exhausted
     /// (only with `SimConfig::radio_budget_per_unit`).
     RadioBusy,
+    /// The landmark's station is down (fault injection): it neither
+    /// accepts uplinks nor serves downloads until it recovers.
+    StationDown,
+}
+
+/// Why constructing a [`World`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorldError {
+    /// The simulation config failed its own validation.
+    InvalidConfig(String),
+    /// A world needs at least one node and one landmark.
+    EmptyNetwork {
+        num_nodes: usize,
+        num_landmarks: usize,
+    },
+}
+
+impl std::fmt::Display for WorldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorldError::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
+            WorldError::EmptyNetwork {
+                num_nodes,
+                num_landmarks,
+            } => write!(
+                f,
+                "world needs at least one node and one landmark, got {num_nodes} nodes / {num_landmarks} landmarks"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+/// Why a packet was destroyed by an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossReason {
+    /// A station outage (generated at a down station, or retries at a
+    /// failed station exhausted).
+    Outage,
+    /// The node carrying it failed.
+    Churn,
 }
 
 /// What a station upload achieved.
@@ -61,19 +103,50 @@ pub struct World {
     metrics: RunMetrics,
     /// Remaining node↔station transfers this time unit, per landmark.
     radio_budget: Option<Vec<u64>>,
+    /// Station liveness (fault injection); all `true` without faults.
+    station_up: Vec<bool>,
+    /// Node failure state (fault injection); all `false` without faults.
+    node_failed: Vec<bool>,
+    /// Set per landmark when its outage ends; cleared (and the recovery
+    /// time recorded) by the station's first successful transfer after.
+    awaiting_recovery: Vec<Option<SimTime>>,
+    /// Whether the visit being dispatched had its trace record survive
+    /// (fault injection; `true` outside fault runs). Routers must skip
+    /// predictor/history learning when this is `false`.
+    visit_recorded: bool,
     /// Timers requested by the router, drained by the engine.
     pub(crate) pending_timers: Vec<(SimTime, u64)>,
 }
 
 impl World {
     /// Create a world with empty stores and everyone off-network.
+    ///
+    /// Panics on an invalid config or empty network; use [`World::try_new`]
+    /// to surface those as errors instead.
     pub fn new(cfg: SimConfig, num_nodes: usize, num_landmarks: usize) -> Self {
-        cfg.validate().expect("invalid simulation config");
-        assert!(num_nodes > 0 && num_landmarks > 0);
-        let radio_budget = cfg
-            .radio_budget_per_unit
-            .map(|b| vec![b; num_landmarks]);
-        World {
+        match Self::try_new(cfg, num_nodes, num_landmarks) {
+            Ok(w) => w,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible construction: a malformed config or an empty network is an
+    /// `Err`, so experiment sweeps can skip a bad point instead of
+    /// aborting.
+    pub fn try_new(
+        cfg: SimConfig,
+        num_nodes: usize,
+        num_landmarks: usize,
+    ) -> Result<Self, WorldError> {
+        cfg.validate().map_err(WorldError::InvalidConfig)?;
+        if num_nodes == 0 || num_landmarks == 0 {
+            return Err(WorldError::EmptyNetwork {
+                num_nodes,
+                num_landmarks,
+            });
+        }
+        let radio_budget = cfg.radio_budget_per_unit.map(|b| vec![b; num_landmarks]);
+        Ok(World {
             now: SimTime::ZERO,
             num_nodes,
             num_landmarks,
@@ -89,9 +162,13 @@ impl World {
             present: vec![BTreeSet::new(); num_landmarks],
             metrics: RunMetrics::default(),
             radio_budget,
+            station_up: vec![true; num_landmarks],
+            node_failed: vec![false; num_nodes],
+            awaiting_recovery: vec![None; num_landmarks],
+            visit_recorded: true,
             pending_timers: Vec::new(),
             cfg,
-        }
+        })
     }
 
     // ---- read-only state -------------------------------------------------
@@ -177,6 +254,27 @@ impl World {
         &self.metrics
     }
 
+    /// Whether the station at `lm` is currently up (always `true` outside
+    /// fault-injection runs).
+    #[inline]
+    pub fn station_is_up(&self, lm: LandmarkId) -> bool {
+        self.station_up[lm.index()]
+    }
+
+    /// Whether `node` is currently failed (off-network due to churn).
+    #[inline]
+    pub fn node_is_failed(&self, node: NodeId) -> bool {
+        self.node_failed[node.index()]
+    }
+
+    /// Whether the trace record of the visit being dispatched survived.
+    /// `false` only during fault runs with record loss: the contact is
+    /// physically happening, but routers must not learn from it.
+    #[inline]
+    pub fn visit_recorded(&self) -> bool {
+        self.visit_recorded
+    }
+
     // ---- router services -------------------------------------------------
 
     /// Ask the engine to call `Router::on_timer(token)` at `at` (clamped to
@@ -190,6 +288,12 @@ impl World {
     pub fn record_table_exchange(&mut self, entries: usize) {
         self.metrics
             .record_table_exchange(entries, self.cfg.entries_per_packet);
+    }
+
+    /// Account one re-queue/retry of a fault-stranded packet (resilience
+    /// metric; routers call this when re-dispatching after an outage).
+    pub fn record_retry(&mut self) {
+        self.metrics.record_retry();
     }
 
     // ---- transfers -------------------------------------------------------
@@ -216,11 +320,15 @@ impl World {
                 if l != to_lm {
                     return Err(TransferError::NotColocated);
                 }
+                if !self.station_up[l.index()] {
+                    return Err(TransferError::StationDown);
+                }
                 if !self.node_store[to.index()].fits(size) {
                     return Err(TransferError::NoSpace);
                 }
                 self.take_radio_budget(l)?;
                 self.station_store[l.index()].remove(pkt, size);
+                self.note_station_activity(l);
             }
             PacketLoc::OnNode(m) => {
                 if m == to {
@@ -236,7 +344,12 @@ impl World {
             }
             _ => return Err(TransferError::NotLive),
         }
-        assert!(self.node_store[to.index()].insert(pkt, size));
+        // Invariant: `fits` was checked above and nothing touched the
+        // store since, so the insert cannot be refused.
+        assert!(
+            self.node_store[to.index()].insert(pkt, size),
+            "node store refused an insert that fit"
+        );
         let p = &mut self.packets[pkt.index()];
         p.loc = PacketLoc::OnNode(to);
         p.hops += 1;
@@ -254,6 +367,9 @@ impl World {
         lm: LandmarkId,
     ) -> Result<TransferOutcome, TransferError> {
         self.check_live(pkt)?;
+        if !self.station_up[lm.index()] {
+            return Err(TransferError::StationDown);
+        }
         let size = self.cfg.packet_size;
         match self.packets[pkt.index()].loc {
             PacketLoc::OnNode(m) => {
@@ -272,6 +388,7 @@ impl World {
             PacketLoc::AtStation(l) if l == lm => return Err(TransferError::SamePlace),
             _ => return Err(TransferError::NotLive),
         }
+        self.note_station_activity(lm);
         self.metrics.record_forward();
         let now = self.now;
         let p = &mut self.packets[pkt.index()];
@@ -289,7 +406,11 @@ impl World {
         }
         let loop_closed = p.record_station_visit(lm);
         p.loc = PacketLoc::AtStation(lm);
-        assert!(self.station_store[lm.index()].insert(pkt, size));
+        // Invariant: station stores are unbounded, inserts never fail.
+        assert!(
+            self.station_store[lm.index()].insert(pkt, size),
+            "unbounded station store refused an insert"
+        );
         Ok(TransferOutcome {
             delivered: false,
             loop_closed,
@@ -310,8 +431,12 @@ impl World {
         if self.node_loc[to.index()] != Some(l) {
             return Err(TransferError::NotColocated);
         }
+        if !self.station_up[l.index()] {
+            return Err(TransferError::StationDown);
+        }
         let size = self.cfg.packet_size;
         self.station_store[l.index()].remove(pkt, size);
+        self.note_station_activity(l);
         let now = self.now;
         let p = &mut self.packets[pkt.index()];
         p.loc = PacketLoc::Delivered(now);
@@ -334,6 +459,78 @@ impl World {
             return Err(TransferError::Expired);
         }
         Ok(())
+    }
+
+    /// Record a completed recovery if `lm` was waiting for its first
+    /// post-outage transfer.
+    fn note_station_activity(&mut self, lm: LandmarkId) {
+        if let Some(since) = self.awaiting_recovery[lm.index()].take() {
+            self.metrics.record_recovery(self.now.since(since));
+        }
+    }
+
+    /// Destroy a live packet because of an injected fault, removing it
+    /// from wherever it sits and counting it under `reason`. Routers call
+    /// this when a stranded packet exhausts its retry budget; the engine
+    /// calls it for churn and down-station generation losses.
+    pub fn drop_lost(&mut self, pkt: PacketId, reason: LossReason) -> Result<(), TransferError> {
+        let size = self.cfg.packet_size;
+        let loc = self.packets[pkt.index()].loc;
+        match loc {
+            PacketLoc::OnNode(n) => {
+                self.node_store[n.index()].remove(pkt, size);
+            }
+            PacketLoc::AtStation(l) => {
+                self.station_store[l.index()].remove(pkt, size);
+            }
+            PacketLoc::PendingAtSource(l) => {
+                self.pending[l.index()].remove(&pkt);
+            }
+            _ => return Err(TransferError::NotLive),
+        }
+        self.packets[pkt.index()].loc = PacketLoc::Lost;
+        match reason {
+            LossReason::Outage => self.metrics.record_lost_to_outage(),
+            LossReason::Churn => self.metrics.record_lost_to_churn(),
+        }
+        Ok(())
+    }
+
+    pub(crate) fn station_down(&mut self, lm: LandmarkId) {
+        self.station_up[lm.index()] = false;
+        // An outage starting before the previous one's recovery completed
+        // voids that pending measurement.
+        self.awaiting_recovery[lm.index()] = None;
+    }
+
+    pub(crate) fn station_recover(&mut self, lm: LandmarkId) {
+        self.station_up[lm.index()] = true;
+        self.awaiting_recovery[lm.index()] = Some(self.now);
+    }
+
+    /// Fail a node: drop it off the network and destroy everything it
+    /// carried (counted as churn losses). Returns how many packets died.
+    pub(crate) fn node_fail(&mut self, node: NodeId) -> usize {
+        self.node_failed[node.index()] = true;
+        if let Some(lm) = self.node_loc[node.index()].take() {
+            self.present[lm.index()].remove(&node);
+        }
+        let carried: Vec<PacketId> = self.node_store[node.index()].iter().collect();
+        for pkt in &carried {
+            self.drop_lost(*pkt, LossReason::Churn)
+                .expect("carried packets are live");
+        }
+        carried.len()
+    }
+
+    pub(crate) fn node_recover(&mut self, node: NodeId) {
+        self.node_failed[node.index()] = false;
+        // The node rejoins the network at its next trace arrival; it is
+        // not teleported back mid-visit.
+    }
+
+    pub(crate) fn set_visit_recorded(&mut self, recorded: bool) {
+        self.visit_recorded = recorded;
     }
 
     fn take_radio_budget(&mut self, lm: LandmarkId) -> Result<(), TransferError> {
@@ -359,17 +556,20 @@ impl World {
     }
 
     pub(crate) fn reset_radio_budget(&mut self) {
-        if let Some(budget) = &mut self.radio_budget {
-            let per_unit = self
-                .cfg
-                .radio_budget_per_unit
-                .expect("budget configured");
+        // `radio_budget` is Some exactly when the config sets a budget
+        // (see `try_new`), so the per-unit value is always available here.
+        if let (Some(budget), Some(per_unit)) =
+            (&mut self.radio_budget, self.cfg.radio_budget_per_unit)
+        {
             budget.iter_mut().for_each(|b| *b = per_unit);
         }
     }
 
     pub(crate) fn node_arrive(&mut self, node: NodeId, lm: LandmarkId) {
-        debug_assert!(self.node_loc[node.index()].is_none(), "node already somewhere");
+        debug_assert!(
+            self.node_loc[node.index()].is_none(),
+            "node already somewhere"
+        );
         self.node_loc[node.index()] = Some(lm);
         self.present[lm.index()].insert(node);
     }
@@ -411,9 +611,23 @@ impl World {
         let mut p = Packet::new(id, src, dst, self.now, self.cfg.ttl);
         p.dst_node = dst_node;
         if station_mode {
+            if !self.station_up[src.index()] {
+                // A down station buffers nothing: the packet is generated
+                // (it counts against the delivery rate) but immediately
+                // lost to the outage.
+                p.loc = PacketLoc::Lost;
+                self.packets.push(p);
+                self.metrics.generated += 1;
+                self.metrics.record_lost_to_outage();
+                return id;
+            }
             p.loc = PacketLoc::AtStation(src);
             p.record_station_visit(src);
-            assert!(self.station_store[src.index()].insert(id, self.cfg.packet_size));
+            // Invariant: station stores are unbounded, inserts never fail.
+            assert!(
+                self.station_store[src.index()].insert(id, self.cfg.packet_size),
+                "unbounded station store refused an insert"
+            );
         } else {
             self.pending[src.index()].insert(id);
         }
@@ -564,10 +778,16 @@ mod tests {
         w.node_arrive(n(1), lm(1));
         let p = w.create_packet(lm(0), lm(2), None, false);
         // Node 1 is elsewhere.
-        assert_eq!(w.transfer_to_node(p, n(1)), Err(TransferError::NotColocated));
+        assert_eq!(
+            w.transfer_to_node(p, n(1)),
+            Err(TransferError::NotColocated)
+        );
         w.transfer_to_node(p, n(0)).unwrap();
         // Node-to-node requires same landmark.
-        assert_eq!(w.transfer_to_node(p, n(1)), Err(TransferError::NotColocated));
+        assert_eq!(
+            w.transfer_to_node(p, n(1)),
+            Err(TransferError::NotColocated)
+        );
         // Station upload at the wrong landmark also fails.
         assert_eq!(
             w.transfer_to_station(p, lm(1)),

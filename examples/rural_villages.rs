@@ -20,12 +20,8 @@ fn main() {
         ..SimConfig::dnet()
     };
     // The garage is not a village: it neither sends nor receives.
-    let workload = Workload::uniform_excluding(
-        &cfg,
-        trace.num_landmarks(),
-        trace.duration(),
-        &[garage],
-    );
+    let workload =
+        Workload::uniform_excluding(&cfg, trace.num_landmarks(), trace.duration(), &[garage]);
     println!(
         "{} villages, {} buses, {} messages to route\n",
         trace.num_landmarks() - 1,
@@ -55,8 +51,7 @@ fn main() {
     let flow_out = run_with_workload(&trace, &cfg, &workload, &mut flow);
     show("DTN-FLOW", &flow_out);
 
-    let mut prophet =
-        UtilityRouter::new(Prophet::new(trace.num_nodes(), trace.num_landmarks()));
+    let mut prophet = UtilityRouter::new(Prophet::new(trace.num_nodes(), trace.num_landmarks()));
     let prophet_out = run_with_workload(&trace, &cfg, &workload, &mut prophet);
     show("PROPHET", &prophet_out);
 

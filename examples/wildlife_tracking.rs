@@ -23,7 +23,12 @@ const DAYS: u64 = 30;
 fn wildlife_trace() -> Trace {
     let mut layout = rng_for(7, "wildlife-layout");
     let positions: Vec<Point> = (0..WATERHOLES)
-        .map(|_| Point::new(layout.random::<f64>() * 8_000.0, layout.random::<f64>() * 8_000.0))
+        .map(|_| {
+            Point::new(
+                layout.random::<f64>() * 8_000.0,
+                layout.random::<f64>() * 8_000.0,
+            )
+        })
         .collect();
 
     let mut visits = Vec::new();
@@ -63,8 +68,7 @@ fn wildlife_trace() -> Trace {
             t += 8 * 3_600;
         }
     }
-    Trace::new("wildlife", ANIMALS, WATERHOLES, positions, visits)
-        .expect("wildlife trace is valid")
+    Trace::new("wildlife", ANIMALS, WATERHOLES, positions, visits).expect("wildlife trace is valid")
 }
 
 fn main() {
@@ -95,7 +99,10 @@ fn main() {
             ..SelectionConfig::default()
         },
     );
-    println!("landmark selection keeps {} of {WATERHOLES} waterholes", selected.len());
+    println!(
+        "landmark selection keeps {} of {WATERHOLES} waterholes",
+        selected.len()
+    );
 
     // Route every waterhole's sensor logs to the base station (l0).
     let base = LandmarkId(0);

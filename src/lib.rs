@@ -76,10 +76,13 @@ pub mod prelude {
     pub use dtnflow_mobility::{Trace, Visit};
     pub use dtnflow_predictor::{AccuracyTracker, MarkovPredictor, VisitHistory};
     pub use dtnflow_router::{
-        DeadEndConfig, FlowConfig, FlowRouter, HybridFlowRouter, LinkDelayModel,
+        DeadEndConfig, DegradationConfig, FlowConfig, FlowRouter, HybridFlowRouter, LinkDelayModel,
         LoadBalanceConfig,
     };
-    pub use dtnflow_sim::{run, run_with_workload, Router, SimOutcome, Workload, World};
+    pub use dtnflow_sim::{
+        run, run_with_faults, run_with_workload, FaultConfig, FaultPlan, LossReason, NodeOutage,
+        Router, SimOutcome, StationOutage, Workload, World, WorldError,
+    };
 }
 
 #[cfg(test)]

@@ -66,6 +66,48 @@ fn workload_is_pure() {
 }
 
 #[test]
+fn fault_injected_runs_are_deterministic() {
+    let trace = CampusModel::new(CampusConfig::tiny()).generate();
+    let cfg = SimConfig {
+        packets_per_landmark_per_day: 25.0,
+        ..SimConfig::dart()
+    }
+    .with_seed(7);
+    let wl = Workload::uniform(&cfg, trace.num_landmarks(), trace.duration());
+    let fc = FaultConfig {
+        station_outage_duty: 0.25,
+        node_failures_per_day: 1.0,
+        contact_truncation_rate: 0.2,
+        record_loss_rate: 0.1,
+        seed: 0xD7,
+        ..FaultConfig::default()
+    };
+    let plan_a = FaultPlan::generate(&fc, &trace);
+    let plan_b = FaultPlan::generate(&fc, &trace);
+    assert_eq!(plan_a, plan_b, "plan generation must be pure");
+    let go = |plan: &FaultPlan| {
+        let mut router = FlowRouter::new(
+            FlowConfig::with_degradation(),
+            trace.num_nodes(),
+            trace.num_landmarks(),
+        );
+        run_with_faults(&trace, &cfg, &wl, plan, &mut router)
+    };
+    let a = go(&plan_a);
+    let b = go(&plan_b);
+    assert_eq!(a.metrics.delivered, b.metrics.delivered);
+    assert_eq!(a.metrics.lost_to_outage, b.metrics.lost_to_outage);
+    assert_eq!(a.metrics.lost_to_churn, b.metrics.lost_to_churn);
+    assert_eq!(a.metrics.retries, b.metrics.retries);
+    assert_eq!(a.metrics.delays, b.metrics.delays);
+    for (pa, pb) in a.packets.iter().zip(&b.packets) {
+        assert_eq!(pa.loc, pb.loc);
+        assert_eq!(pa.visited, pb.visited);
+        assert_eq!(pa.hops, pb.hops);
+    }
+}
+
+#[test]
 fn baseline_runs_are_deterministic_too() {
     let trace = BusModel::new(BusConfig::tiny()).generate();
     let cfg = SimConfig {

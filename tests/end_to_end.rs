@@ -14,12 +14,14 @@ fn light_cfg() -> SimConfig {
     }
 }
 
-/// Every packet ends in exactly one of: delivered, expired, or still live
-/// somewhere; counts reconcile with the metrics.
+/// Every packet ends in exactly one of: delivered, expired, lost to an
+/// injected fault, or still live somewhere; counts reconcile with the
+/// metrics.
 fn assert_conservation(outcome: &SimOutcome) {
     let m = &outcome.metrics;
     let mut delivered = 0u64;
     let mut expired = 0u64;
+    let mut lost = 0u64;
     let mut live = 0u64;
     for p in &outcome.packets {
         match p.loc {
@@ -33,12 +35,14 @@ fn assert_conservation(outcome: &SimOutcome) {
                 );
             }
             PacketLoc::Expired => expired += 1,
+            PacketLoc::Lost => lost += 1,
             _ => live += 1,
         }
     }
     assert_eq!(delivered, m.delivered);
     assert_eq!(expired, m.expired);
-    assert_eq!(delivered + expired + live, m.generated);
+    assert_eq!(lost, m.lost(), "Lost packets must match outage+churn loss");
+    assert_eq!(delivered + expired + lost + live, m.generated);
     assert_eq!(m.delays.len() as u64, m.delivered);
 }
 
@@ -99,6 +103,40 @@ fn every_baseline_end_to_end() {
         );
         assert_conservation(&outcome);
     }
+}
+
+#[test]
+fn fault_injected_run_conserves_and_still_delivers() {
+    let trace = tiny_campus();
+    let cfg = light_cfg();
+    let wl = Workload::uniform(&cfg, trace.num_landmarks(), trace.duration());
+    let plan = FaultPlan::generate(
+        &FaultConfig {
+            station_outage_duty: 0.2,
+            node_failures_per_day: 0.5,
+            contact_truncation_rate: 0.15,
+            record_loss_rate: 0.1,
+            seed: 0xFA,
+            ..FaultConfig::default()
+        },
+        &trace,
+    );
+    assert!(!plan.is_empty());
+    let mut router = FlowRouter::new(
+        FlowConfig::with_degradation(),
+        trace.num_nodes(),
+        trace.num_landmarks(),
+    );
+    let outcome = run_with_faults(&trace, &cfg, &wl, &plan, &mut router);
+    assert_conservation(&outcome);
+    assert!(
+        outcome.metrics.delivered > 0,
+        "faulted FLOW must still deliver"
+    );
+    assert!(
+        outcome.metrics.lost() > 0,
+        "this fault plan must cost something"
+    );
 }
 
 #[test]

@@ -62,7 +62,11 @@ fn loop_injection_is_noticed_with_correction_enabled() {
     // The run completes and still delivers; detection may or may not fire
     // depending on whether the falsified detour is ever attractive, but
     // delivery must not collapse.
-    assert!(out.metrics.success_rate() > 0.3, "success {}", out.metrics.success_rate());
+    assert!(
+        out.metrics.success_rate() > 0.3,
+        "success {}",
+        out.metrics.success_rate()
+    );
 }
 
 #[test]

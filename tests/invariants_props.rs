@@ -9,7 +9,12 @@ use proptest::prelude::*;
 fn arb_trace() -> impl Strategy<Value = Trace> {
     let nodes = 2usize..6;
     let landmarks = 2usize..7;
-    (nodes, landmarks, proptest::collection::vec(0u64..2_000, 1..40), 0u64..u64::MAX)
+    (
+        nodes,
+        landmarks,
+        proptest::collection::vec(0u64..2_000, 1..40),
+        0u64..u64::MAX,
+    )
         .prop_map(|(num_nodes, num_landmarks, raw, salt)| {
             let mut visits = Vec::new();
             for n in 0..num_nodes {
@@ -54,6 +59,7 @@ fn check_invariants(outcome: &SimOutcome, name: &str) {
     let m = &outcome.metrics;
     let mut delivered = 0u64;
     let mut expired = 0u64;
+    let mut lost = 0u64;
     let mut live = 0u64;
     for p in &outcome.packets {
         match p.loc {
@@ -61,13 +67,10 @@ fn check_invariants(outcome: &SimOutcome, name: &str) {
                 delivered += 1;
                 // Delivery within TTL and after creation.
                 prop_assert_eq_like(at >= p.created, name, "delivered before created");
-                prop_assert_eq_like(
-                    at.since(p.created) <= p.ttl,
-                    name,
-                    "delivered after TTL",
-                );
+                prop_assert_eq_like(at.since(p.created) <= p.ttl, name, "delivered after TTL");
             }
             PacketLoc::Expired => expired += 1,
+            PacketLoc::Lost => lost += 1,
             _ => live += 1,
         }
         // Visited landmark paths only ever grow with station visits and
@@ -78,8 +81,9 @@ fn check_invariants(outcome: &SimOutcome, name: &str) {
     }
     assert_eq!(delivered, m.delivered, "{name}: delivered mismatch");
     assert_eq!(expired, m.expired, "{name}: expired mismatch");
+    assert_eq!(lost, m.lost(), "{name}: lost mismatch");
     assert_eq!(
-        delivered + expired + live,
+        delivered + expired + lost + live,
         m.generated,
         "{name}: conservation"
     );
@@ -133,6 +137,126 @@ proptest! {
         };
         let outcome = run(&trace, &cfg, router.as_mut());
         check_invariants(&outcome, router.name());
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic(
+        trace in arb_trace(),
+        seed in 0u64..1_000,
+    ) {
+        let fc = FaultConfig {
+            station_outage_duty: 0.25,
+            node_failures_per_day: 1.0,
+            contact_truncation_rate: 0.2,
+            record_loss_rate: 0.1,
+            seed,
+            ..FaultConfig::default()
+        };
+        let a = FaultPlan::generate(&fc, &trace);
+        let b = FaultPlan::generate(&fc, &trace);
+        prop_assert!(a == b, "same (seed, config, trace) must give one plan");
+    }
+
+    #[test]
+    fn fault_runs_same_plan_same_outcome(
+        trace in arb_trace(),
+        ttl in 4_000u64..40_000,
+        fseed in 0u64..100,
+    ) {
+        let cfg = prop_cfg(ttl, 200.0);
+        let wl = Workload::uniform(&cfg, trace.num_landmarks(), trace.duration());
+        let fc = FaultConfig {
+            station_outage_duty: 0.3,
+            mean_outage_secs: 2_000.0,
+            node_failures_per_day: 2.0,
+            mean_node_downtime_secs: 1_500.0,
+            contact_truncation_rate: 0.2,
+            record_loss_rate: 0.15,
+            seed: fseed,
+        };
+        let plan = FaultPlan::generate(&fc, &trace);
+        let go = || {
+            let mut router = FlowRouter::new(
+                FlowConfig::with_degradation(),
+                trace.num_nodes(),
+                trace.num_landmarks(),
+            );
+            run_with_faults(&trace, &cfg, &wl, &plan, &mut router)
+        };
+        let a = go();
+        let b = go();
+        prop_assert!(a.metrics.delivered == b.metrics.delivered);
+        prop_assert!(a.metrics.lost_to_outage == b.metrics.lost_to_outage);
+        prop_assert!(a.metrics.lost_to_churn == b.metrics.lost_to_churn);
+        prop_assert!(a.metrics.retries == b.metrics.retries);
+        prop_assert!(a.packets.len() == b.packets.len());
+        for (pa, pb) in a.packets.iter().zip(&b.packets) {
+            prop_assert!(pa.loc == pb.loc);
+            prop_assert!(pa.visited == pb.visited);
+            prop_assert!(pa.hops == pb.hops);
+        }
+        check_invariants(&a, "FLOW+faults");
+    }
+
+    #[test]
+    fn zero_rate_faults_identical_to_no_faults(
+        trace in arb_trace(),
+        ttl in 4_000u64..40_000,
+        rate in 20.0f64..500.0,
+    ) {
+        let cfg = prop_cfg(ttl, rate);
+        let wl = Workload::uniform(&cfg, trace.num_landmarks(), trace.duration());
+        let plan = FaultPlan::generate(&FaultConfig::default(), &trace);
+        prop_assert!(plan.is_empty());
+        let build = || FlowRouter::new(
+            FlowConfig::with_degradation(),
+            trace.num_nodes(),
+            trace.num_landmarks(),
+        );
+        let mut r1 = build();
+        let clean = run_with_workload(&trace, &cfg, &wl, &mut r1);
+        let mut r2 = build();
+        let faulted = run_with_faults(&trace, &cfg, &wl, &plan, &mut r2);
+        // Byte-identical outcomes: same counters, same per-packet fates.
+        prop_assert!(clean.metrics.generated == faulted.metrics.generated);
+        prop_assert!(clean.metrics.delivered == faulted.metrics.delivered);
+        prop_assert!(clean.metrics.expired == faulted.metrics.expired);
+        prop_assert!(clean.metrics.forwarding_ops == faulted.metrics.forwarding_ops);
+        prop_assert!(clean.metrics.delays == faulted.metrics.delays);
+        prop_assert!(faulted.metrics.lost() == 0);
+        prop_assert!(clean.packets.len() == faulted.packets.len());
+        for (pa, pb) in clean.packets.iter().zip(&faulted.packets) {
+            prop_assert!(pa.loc == pb.loc);
+            prop_assert!(pa.visited == pb.visited);
+            prop_assert!(pa.hops == pb.hops);
+        }
+    }
+
+    #[test]
+    fn flow_invariants_under_faults(
+        trace in arb_trace(),
+        ttl in 4_000u64..40_000,
+        fseed in 0u64..50,
+    ) {
+        let cfg = prop_cfg(ttl, 300.0);
+        let wl = Workload::uniform(&cfg, trace.num_landmarks(), trace.duration());
+        let fc = FaultConfig {
+            station_outage_duty: 0.4,
+            mean_outage_secs: 1_500.0,
+            node_failures_per_day: 4.0,
+            mean_node_downtime_secs: 1_000.0,
+            contact_truncation_rate: 0.3,
+            record_loss_rate: 0.25,
+            seed: fseed,
+        };
+        let plan = FaultPlan::generate(&fc, &trace);
+        let mut router = FlowRouter::new(
+            FlowConfig::with_degradation(),
+            trace.num_nodes(),
+            trace.num_landmarks(),
+        );
+        let outcome = run_with_faults(&trace, &cfg, &wl, &plan, &mut router);
+        check_invariants(&outcome, "FLOW+heavy-faults");
     }
 
     #[test]

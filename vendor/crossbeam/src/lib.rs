@@ -1,0 +1,101 @@
+//! Offline stand-in for the `crossbeam` crate (API subset).
+//!
+//! The build environment has no crates.io access. The workspace only uses
+//! `crossbeam::scope`, which std has provided natively since 1.63 as
+//! `std::thread::scope` — so this vendored crate is a thin adapter
+//! matching crossbeam's signature: the spawn closure receives the scope
+//! (enabling nested spawns) and `scope` returns `Err` with the panic
+//! payload if any unjoined child panicked.
+
+use std::any::Any;
+
+pub mod thread {
+    use super::Any;
+
+    /// Re-exported handle type; `join` behaves as in crossbeam.
+    pub use std::thread::ScopedJoinHandle;
+
+    /// A scope handle passed to spawned closures.
+    ///
+    /// `Copy` so closures can capture it by value and spawn further work.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a child thread; the closure receives this scope so it
+        /// can spawn siblings, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Run `f` with a scope whose threads must finish before returning.
+    ///
+    /// Returns `Err(payload)` if a child thread panicked (crossbeam's
+    /// contract); std's native scope re-raises instead, so the panic is
+    /// caught here and converted.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_see_borrowed_state() {
+        let count = AtomicUsize::new(0);
+        let count = &count;
+        let data = [1usize, 2, 3, 4];
+        let total: usize = crate::scope(|scope| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| {
+                    scope.spawn(move |_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                        x * 10
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_argument() {
+        let n = crate::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21usize).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = crate::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,371 @@
+//! Offline stand-in for the `proptest` crate (API subset).
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the surface the workspace's property tests use: the
+//! [`proptest!`] macro, range / tuple / `Just` / mapped strategies,
+//! [`collection::vec`], [`prop_oneof!`], `any::<T>()` and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking** — a failing case panics with the assertion message
+//!   but is not minimized.
+//! * Cases are seeded deterministically from the test name and case
+//!   index, so failures reproduce exactly across runs and machines.
+//! * `PROPTEST_CASES` overrides the per-test case count, as upstream.
+
+pub mod strategy;
+
+pub mod arbitrary {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The strategy returned by [`any`] for primitive types.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    macro_rules! arb_prim {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.random()
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = Any<$t>;
+                fn arbitrary() -> Any<$t> {
+                    Any(core::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+    arb_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, spanning many magnitudes.
+            let mag: f64 = rng.random::<f64>() * 600.0 - 300.0;
+            let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+            sign * mag.exp2().min(f64::MAX)
+        }
+    }
+    impl Arbitrary for f64 {
+        type Strategy = Any<f64>;
+        fn arbitrary() -> Any<f64> {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    /// `any::<T>()`: the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Vector lengths accepted by [`vec`], as upstream's `SizeRange`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty length range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty length range");
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// `vec(element, len)`: vectors whose length is uniform in the given
+    /// range (`a..b`, `a..=b`, or an exact `usize`) and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.min..self.len.max_exclusive);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (subset of upstream's fields).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+        /// Accepted for source compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Drives the cases of one property test.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        cases: u32,
+        name_hash: u64,
+        case: u64,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(config.cases);
+            // FNV-1a over the test name: distinct tests get distinct
+            // deterministic streams.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRunner {
+                cases,
+                name_hash: h,
+                case: 0,
+            }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The deterministic generator for the next case.
+        pub fn next_rng(&mut self) -> TestRng {
+            let seed = self
+                .name_hash
+                .wrapping_add(self.case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            self.case += 1;
+            TestRng::seed_from_u64(seed)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Run each `fn name(arg in strategy, ...)` body against deterministic
+/// random cases. Supports an optional leading
+/// `#![proptest_config(expr)]` item.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:expr;) => {};
+    (config = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner =
+                $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+            for _ in 0..runner.cases() {
+                let mut __proptest_rng = runner.next_rng();
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&$strat, &mut __proptest_rng);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+}
+
+/// Panic-based stand-ins for upstream's early-return assertions.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// Expands to `continue`, so it is only valid directly inside a
+/// [`proptest!`] body (which is where upstream allows it too).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Weighted choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as f64, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 10u64..20, y in 0usize..3) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+        #[test]
+        fn config_cases_is_respected(_x in 0u32..10) {
+            // Runs without panicking; case count is exercised below.
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn tuples_maps_and_vecs_compose(
+            v in crate::collection::vec((0u16..4, any::<bool>()), 0..50),
+            z in (0u8..5).prop_map(|a| a as u32 + 1),
+        ) {
+            prop_assert!(v.len() < 50);
+            prop_assert!(v.iter().all(|&(a, _)| a < 4));
+            prop_assert!((1..=5).contains(&z));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_just(
+            x in prop_oneof![3 => (1u32..1_000).prop_map(|d| d as f64), 1 => Just(f64::INFINITY)],
+        ) {
+            prop_assert!(x.is_infinite() || (1.0..1_000.0).contains(&x));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn assume_skips_cases(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let cfg = ProptestConfig::default();
+        let mut a = crate::test_runner::TestRunner::new(cfg.clone(), "t");
+        let mut b = crate::test_runner::TestRunner::new(cfg, "t");
+        let s = 0u64..1_000_000;
+        for _ in 0..16 {
+            let x = s.sample(&mut a.next_rng());
+            let y = s.sample(&mut b.next_rng());
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn flat_map_chains() {
+        let strat = (1usize..5).prop_flat_map(|n| crate::collection::vec(0u8..10, n..n + 1));
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::default(), "fm");
+        for _ in 0..32 {
+            let v = strat.sample(&mut runner.next_rng());
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+}
