@@ -19,6 +19,8 @@
 //!
 //! The shared machinery lives in [`common::UtilityRouter`].
 
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod direct;
 pub mod geocomm;

@@ -10,8 +10,8 @@
 //! ```
 
 use dtnflow_bench::experiments::{run_experiment, ALL_IDS};
+use dtnflow_bench::timing::Stopwatch;
 use std::path::PathBuf;
-use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,7 +52,7 @@ fn main() {
     }
 
     for id in &ids {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         println!("=== {id} ===");
         let tables = run_experiment(id, quick);
         for table in &tables {
@@ -63,7 +63,7 @@ fn main() {
         }
         println!(
             "({id} finished in {:.1}s; results under {})\n",
-            started.elapsed().as_secs_f64(),
+            started.elapsed_secs(),
             out_dir.display()
         );
     }

@@ -79,7 +79,7 @@ pub fn deploy() -> Vec<Table> {
             }
         }
     }
-    links.sort_by(|x, y| y.2.partial_cmp(&x.2).unwrap());
+    links.sort_by(|x, y| y.2.total_cmp(&x.2).then((x.0, x.1).cmp(&(y.0, y.1))));
     for (li, lj, bw) in &links {
         b.row(vec![format!("{li}->{lj}"), format!("{bw:.2}")]);
     }

@@ -7,10 +7,13 @@
 //! See DESIGN.md §5 for the experiment ↔ paper artifact mapping and
 //! EXPERIMENTS.md for measured-vs-paper comparisons.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod report;
 pub mod runners;
 pub mod scenarios;
+pub mod timing;
 
 pub use report::Table;
 pub use runners::{parallel_map, run_method, Method, MethodOutcome};

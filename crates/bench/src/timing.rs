@@ -1,0 +1,42 @@
+//! Wall-clock timing for bench progress reporting.
+//!
+//! This is the one place the bench harness is allowed to read the real
+//! clock. Simulated outcomes must never depend on wall time — anything
+//! outcome-affecting uses `SimTime` and seeded RNG streams — so the
+//! ambient `Instant::now` read is quarantined here behind an explicitly
+//! waived helper instead of being sprinkled through experiment code.
+
+use std::time::Instant;
+
+/// A started wall-clock stopwatch. Only for operator-facing progress
+/// lines; never feed its readings back into a simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            // detlint: allow(D2, reason = "bench-only wall-clock for progress output; never reaches simulation state")
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone_nonnegative() {
+        let sw = Stopwatch::start();
+        assert!(sw.elapsed_secs() >= 0.0);
+    }
+}

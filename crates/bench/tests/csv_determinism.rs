@@ -1,0 +1,40 @@
+//! Byte-equal CSV determinism: running the same experiment twice in one
+//! process must produce identical bytes. This is the regression net for
+//! the detlint D1 rule — `std::collections::HashMap` seeds its hasher
+//! per *instance*, so any iteration order leaking into results shows up
+//! as a diff between two in-process runs.
+
+use dtnflow_bench::experiments::run_experiment;
+
+/// All tables of one experiment, concatenated as CSV bytes.
+fn csv_of(id: &str, quick: bool) -> String {
+    run_experiment(id, quick)
+        .iter()
+        .map(|t| format!("# {}\n{}", t.id, t.to_csv()))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn assert_byte_equal(id: &str, quick: bool) {
+    let first = csv_of(id, quick);
+    let second = csv_of(id, quick);
+    assert!(
+        first == second,
+        "experiment `{id}` is not run-to-run deterministic: CSV outputs differ"
+    );
+    assert!(!first.is_empty(), "experiment `{id}` produced no CSV");
+}
+
+/// Cheap analysis experiments: always run, even in debug builds.
+#[test]
+fn trace_analysis_and_routing_are_byte_deterministic() {
+    assert_byte_equal("table1", true);
+    assert_byte_equal("fig7", true);
+}
+
+/// The full fault-injection sweep (PR 1) through the same net.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full simulation; run with --release")]
+fn resilience_is_byte_deterministic() {
+    assert_byte_equal("resilience", true);
+}

@@ -1,0 +1,98 @@
+//! Which rules apply where: rule→crate scoping and path exclusions.
+
+use std::path::Path;
+
+/// Linter configuration. The defaults encode this repository's policy;
+/// tests construct custom configs to point at fixture trees.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crate directory names (under `crates/`) whose iteration order can
+    /// escape into experiment outcomes: `D1` (no `HashMap`/`HashSet`)
+    /// applies to these.
+    pub d1_crates: Vec<String>,
+    /// Crates whose non-test code must not panic: `P1` scope.
+    pub p1_crates: Vec<String>,
+    /// Directory names skipped entirely while walking.
+    pub skip_dirs: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let s = |xs: &[&str]| xs.iter().map(|x| x.to_string()).collect();
+        Config {
+            d1_crates: s(&["dtnflow", "baselines", "sim", "predictor", "landmark"]),
+            p1_crates: s(&["sim", "dtnflow"]),
+            // `fixtures` holds deliberate violations for detlint's own
+            // tests; `vendor` is third-party API stubs; `results` is
+            // experiment output.
+            skip_dirs: s(&["target", "vendor", ".git", "fixtures", "results"]),
+        }
+    }
+}
+
+/// Per-file facts the rule engine needs: which crate the file belongs to
+/// and whether the whole file is test/bench code.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Crate directory name (`crates/<name>/...`), or `"."` for the root
+    /// package (`src/`, `tests/`, `examples/` at the workspace root).
+    pub crate_name: String,
+    /// Whole file is test or bench code (`tests/`, `benches/` dirs).
+    pub is_test_file: bool,
+    pub d1_applies: bool,
+    pub p1_applies: bool,
+}
+
+impl FileContext {
+    /// Classify a workspace-relative path.
+    pub fn classify(rel: &Path, cfg: &Config) -> FileContext {
+        let comps: Vec<&str> = rel
+            .components()
+            .filter_map(|c| c.as_os_str().to_str())
+            .collect();
+        let crate_name = match comps.as_slice() {
+            ["crates", name, ..] => (*name).to_string(),
+            _ => ".".to_string(),
+        };
+        let is_test_file = comps
+            .iter()
+            .any(|c| *c == "tests" || *c == "benches" || *c == "examples");
+        let d1_applies = cfg.d1_crates.contains(&crate_name);
+        let p1_applies = cfg.p1_crates.contains(&crate_name);
+        FileContext {
+            crate_name,
+            is_test_file,
+            d1_applies,
+            p1_applies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn classifies_crate_and_test_paths() {
+        let cfg = Config::default();
+        let c = FileContext::classify(&PathBuf::from("crates/sim/src/engine.rs"), &cfg);
+        assert_eq!(c.crate_name, "sim");
+        assert!(!c.is_test_file);
+        assert!(c.d1_applies && c.p1_applies);
+
+        let t = FileContext::classify(&PathBuf::from("crates/sim/tests/props.rs"), &cfg);
+        assert!(t.is_test_file);
+
+        let b = FileContext::classify(&PathBuf::from("crates/bench/src/report.rs"), &cfg);
+        assert_eq!(b.crate_name, "bench");
+        assert!(!b.d1_applies && !b.p1_applies);
+
+        let r = FileContext::classify(&PathBuf::from("tests/determinism.rs"), &cfg);
+        assert_eq!(r.crate_name, ".");
+        assert!(r.is_test_file);
+
+        let e = FileContext::classify(&PathBuf::from("examples/quickstart.rs"), &cfg);
+        assert!(e.is_test_file, "examples are demo code, not hot paths");
+    }
+}

@@ -1,0 +1,94 @@
+//! Machine-readable diagnostics: `file:line:rule` text and JSON.
+
+use std::fmt;
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id: `D1`, `D2`, `P1`, `P2`, or `W0` (malformed waiver).
+    pub rule: String,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Render diagnostics as a JSON array (hand-rolled: the environment is
+/// offline, so no serde).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&d.file),
+            d.line,
+            json_str(&d.rule),
+            json_str(&d.message)
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_file_line_rule() {
+        let d = Diagnostic {
+            file: "crates/sim/src/engine.rs".into(),
+            line: 95,
+            rule: "D1".into(),
+            message: "HashMap".into(),
+        };
+        assert_eq!(d.to_string(), "crates/sim/src/engine.rs:95:D1: HashMap");
+    }
+
+    #[test]
+    fn json_escapes() {
+        let d = Diagnostic {
+            file: "a.rs".into(),
+            line: 1,
+            rule: "W0".into(),
+            message: "say \"why\"\n".into(),
+        };
+        assert_eq!(
+            to_json(&[d]),
+            "[{\"file\":\"a.rs\",\"line\":1,\"rule\":\"W0\",\"message\":\"say \\\"why\\\"\\n\"}]"
+        );
+        assert_eq!(to_json(&[]), "[]");
+    }
+}

@@ -1,0 +1,453 @@
+//! A comment/string-aware token scanner for Rust sources.
+//!
+//! This is deliberately *not* a full Rust lexer: the rules only need
+//! identifiers and punctuation with line numbers, with the guarantee
+//! that nothing inside comments, string/char literals, or raw strings
+//! is ever mistaken for code (that is what makes grep insufficient).
+//! Line comments are additionally parsed for `detlint:` waivers.
+
+use std::collections::BTreeMap;
+
+/// One token the rule engine sees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`{`, `}`, `.`, `!`, `:`, …).
+    Punct(char),
+    /// Literals (numbers; strings and chars are consumed but emitted as
+    /// this placeholder so adjacency checks stay honest).
+    Lit,
+    /// A lifetime (`'a`) — distinct from a char literal.
+    Lifetime,
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    pub line: u32,
+    pub tok: Tok,
+}
+
+/// A parsed `// detlint: allow(RULE, reason = "...")` waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    pub rule: String,
+    pub reason: String,
+}
+
+/// Lexer output: the token stream, valid waivers per line, and malformed
+/// waiver comments (line, what is wrong).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<SpannedTok>,
+    pub waivers: BTreeMap<u32, Vec<Waiver>>,
+    pub waiver_errors: Vec<(u32, String)>,
+}
+
+/// Lex a whole source file.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, tok: Tok) {
+        self.out.tokens.push(SpannedTok {
+            line: self.line,
+            tok,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_literal(),
+                c => {
+                    self.bump();
+                    self.push(Tok::Punct(c));
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // A waiver must *start* the comment (after `//`, `///`, or `//!`);
+        // prose that merely mentions `detlint:` mid-sentence is not one.
+        let body = text.trim_start_matches(['/', '!']).trim_start();
+        if let Some(tail) = body.strip_prefix("detlint:") {
+            // A trailing waiver covers its own line; a waiver standing on
+            // a line of its own covers the line below it.
+            let own_line = self.out.tokens.last().is_none_or(|t| t.line != line);
+            let target = if own_line { line + 1 } else { line };
+            match parse_waiver(tail) {
+                Ok(w) => self.out.waivers.entry(target).or_default().push(w),
+                Err(e) => self.out.waiver_errors.push((line, e)),
+            }
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Consume `/*`, then run to the matching `*/` with nesting.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// An ordinary `"..."` string (escapes honoured, may span lines).
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                Some('\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some('"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => break,
+            }
+        }
+        self.out.tokens.push(SpannedTok {
+            line,
+            tok: Tok::Lit,
+        });
+    }
+
+    /// A raw string `r"..."` / `r#"..."#` (any number of `#`s), already
+    /// positioned past the prefix identifier, at `#` or `"`.
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: loop {
+            match self.bump() {
+                Some('"') => {
+                    // A quote closes only when followed by `hashes` #s.
+                    for k in 0..hashes {
+                        if self.peek(k) != Some('#') {
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        self.out.tokens.push(SpannedTok {
+            line,
+            tok: Tok::Lit,
+        });
+    }
+
+    /// `'a'` / `'\n'` char literal vs `'a` lifetime.
+    fn char_or_lifetime(&mut self) {
+        // A char literal is `'` + (escape | single char) + `'`. Anything
+        // else starting with `'` is a lifetime (or a loop label).
+        let is_char = matches!(
+            (self.peek(1), self.peek(2)),
+            (Some('\\'), _) | (Some(_), Some('\''))
+        );
+        self.bump(); // the quote
+        if is_char {
+            loop {
+                match self.peek(0) {
+                    Some('\\') => {
+                        self.bump();
+                        self.bump();
+                    }
+                    Some('\'') => {
+                        self.bump();
+                        break;
+                    }
+                    Some(_) => {
+                        self.bump();
+                    }
+                    None => break,
+                }
+            }
+            self.push(Tok::Lit);
+        } else {
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(Tok::Lifetime);
+        }
+    }
+
+    fn number(&mut self) {
+        // Integer part (decimal, hex, octal, binary) with `_` separators.
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fraction only when `.` is followed by a digit (so `0..n` stays
+        // two range dots).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_ascii_alphanumeric() {
+                    self.bump();
+                } else if (c == '+' || c == '-')
+                    && self
+                        .chars
+                        .get(self.pos.wrapping_sub(1))
+                        .is_some_and(|p| *p == 'e' || *p == 'E')
+                {
+                    self.bump(); // exponent sign, as in `1.5e-3`
+                } else {
+                    break;
+                }
+            }
+        }
+        self.push(Tok::Lit);
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let ident: String = self.chars[start..self.pos].iter().collect();
+        // String/char prefixes: r"", r#"", b"", br#"", c"", cr#"", b''.
+        match (ident.as_str(), self.peek(0)) {
+            ("r" | "br" | "b" | "c" | "cr", Some('"')) => self.raw_or_plain_string(&ident),
+            ("r" | "br" | "cr", Some('#')) if self.raw_hashes_then_quote() => {
+                self.raw_string();
+            }
+            ("b", Some('\'')) => self.char_or_lifetime(),
+            _ => self.push(Tok::Ident(ident)),
+        }
+    }
+
+    /// After `r`/`br`/`cr`, check the `#…#"` shape without consuming.
+    fn raw_hashes_then_quote(&self) -> bool {
+        let mut k = 0;
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        k > 0 && self.peek(k) == Some('"')
+    }
+
+    fn raw_or_plain_string(&mut self, prefix: &str) {
+        if prefix.contains('r') {
+            self.raw_string();
+        } else {
+            self.string();
+        }
+    }
+}
+
+/// Parse the tail of a waiver comment: `allow(RULE, reason = "...")`.
+fn parse_waiver(tail: &str) -> Result<Waiver, String> {
+    let tail = tail.trim_start();
+    let Some(rest) = tail.strip_prefix("allow(") else {
+        return Err("expected `allow(RULE, reason = \"...\")` after `detlint:`".into());
+    };
+    let Some(close) = rest.rfind(')') else {
+        return Err("unclosed `allow(`".into());
+    };
+    let inner = &rest[..close];
+    let Some((rule, reason_part)) = inner.split_once(',') else {
+        return Err("missing `, reason = \"...\"` (waivers must say why)".into());
+    };
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric()) {
+        return Err(format!("bad rule id `{rule}`"));
+    }
+    let reason_part = reason_part.trim();
+    let Some(q) = reason_part
+        .strip_prefix("reason")
+        .map(|r| r.trim_start())
+        .and_then(|r| r.strip_prefix('='))
+        .map(|r| r.trim_start())
+    else {
+        return Err("missing `reason = \"...\"`".into());
+    };
+    let reason = q.trim_matches('"').trim();
+    if reason.is_empty() {
+        return Err("empty waiver reason".into());
+    }
+    Ok(Waiver {
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let a = "HashMap::new() Instant::now()"; // HashMap in comment
+            /* thread_rng() and panic! live here, nested /* unwrap() */ too */
+            let b = r#"SystemTime::now() "quoted" "#;
+            let c = 'x';
+            let d: &'static str = "s";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap"));
+        assert!(!ids.iter().any(|i| i == "Instant"));
+        assert!(!ids.iter().any(|i| i == "thread_rng"));
+        assert!(!ids.iter().any(|i| i == "unwrap"));
+        assert!(!ids.iter().any(|i| i == "SystemTime"));
+        assert!(
+            ids.iter().any(|i| i == "str"),
+            "code after a lifetime lexes on"
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "let a = 1;\nlet unwrap = 2;\n";
+        let lexed = lex(src);
+        let unwrap_tok = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("unwrap".into()))
+            .unwrap();
+        assert_eq!(unwrap_tok.line, 2);
+    }
+
+    #[test]
+    fn range_dots_survive_numbers() {
+        let toks = lex("0..n 1.5e-3 0x_ff");
+        let puncts: Vec<char> = toks
+            .tokens
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!['.', '.'], "the range dots, nothing else");
+    }
+
+    #[test]
+    fn waivers_parse_and_misparse() {
+        let lexed = lex(concat!(
+            "a(); // detlint: allow(D2, reason = \"bench wall-clock\")\n",
+            "b(); // detlint: allow(P1)\n",
+            "//! Prose mentioning `detlint:` waivers is not itself a waiver.\n",
+            "// detlint: allow(D1, reason = \"own-line waiver covers the next line\")\n",
+            "c();\n",
+        ));
+        // The own-line waiver on line 4 registers against line 5.
+        assert_eq!(lexed.waivers[&5][0].rule, "D1");
+        assert!(!lexed.waivers.contains_key(&4));
+        let w = &lexed.waivers[&1][0];
+        assert_eq!(w.rule, "D2");
+        assert_eq!(w.reason, "bench wall-clock");
+        assert_eq!(lexed.waiver_errors.len(), 1);
+        assert_eq!(lexed.waiver_errors[0].0, 2);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let lexed = lex("'a' 'b fn<'c>");
+        let kinds: Vec<&Tok> = lexed.tokens.iter().map(|t| &t.tok).collect();
+        assert!(matches!(kinds[0], Tok::Lit));
+        assert!(matches!(kinds[1], Tok::Lifetime));
+    }
+}

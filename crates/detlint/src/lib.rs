@@ -1,0 +1,76 @@
+//! `detlint`: workspace-local determinism & panic-safety static analysis.
+//!
+//! The DTN-FLOW reproduction's scientific output — the delivery-rate and
+//! delay curves of Figs. 8–13 — must be bit-reproducible from a seed.
+//! PR 1 fixed a cross-process nondeterminism bug by hand (`std`
+//! `HashMap` iteration order leaking a per-process hasher seed into
+//! experiment CSVs); this crate turns that review lesson into mechanical
+//! enforcement, the way production network daemons gate merges on lints
+//! rather than reviewer vigilance.
+//!
+//! ## Rules
+//!
+//! | Rule | What it forbids | Where |
+//! |------|-----------------|-------|
+//! | `D1` | `std::collections::{HashMap,HashSet}` (randomized iteration order) | outcome-affecting crates: `dtnflow`, `baselines`, `sim`, `predictor`, `landmark` |
+//! | `D2` | ambient nondeterminism: `Instant::now`, `SystemTime::now`, `thread_rng`, `rand::random`/`rand::rng`, `RandomState`, `DefaultHasher` | everywhere |
+//! | `P1` | `unwrap()` / `expect()` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` | non-test simulator & router code (`sim`, `dtnflow`) |
+//! | `P2` | NaN-unsafe `partial_cmp(..).unwrap()` / `.expect(..)` (use `total_cmp`) | everywhere, tests included |
+//!
+//! `assert!`-family macros are deliberately *not* covered by `P1`: they
+//! state invariants, and removing them would hide bugs instead of
+//! surfacing them.
+//!
+//! ## Waivers
+//!
+//! A violation is silenced by a line comment on the same line:
+//!
+//! ```text
+//! let t = Instant::now(); // detlint: allow(D2, reason = "wall-clock bench reporting only")
+//! ```
+//!
+//! The `reason` is mandatory; a waiver without one does not suppress
+//! anything and is itself reported (`W0`), so waivers stay auditable.
+//!
+//! ## Running
+//!
+//! ```text
+//! cargo run -p detlint -- check [--root DIR] [--json]
+//! ```
+//!
+//! Diagnostics are `file:line:rule: message`, one per line (or a JSON
+//! array with `--json`); the exit code is non-zero when anything fires.
+//! The in-tree self-check test runs the same scan over the live
+//! workspace, so `cargo test -q` fails on any new violation.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+pub use config::Config;
+pub use diag::Diagnostic;
+
+/// Scan a workspace root with the default [`Config`] and return all
+/// diagnostics, sorted by `(file, line, rule)`.
+pub fn check_root(root: &Path) -> Result<Vec<Diagnostic>, std::io::Error> {
+    check_root_with(root, &Config::default())
+}
+
+/// Scan a workspace root with an explicit configuration.
+pub fn check_root_with(root: &Path, cfg: &Config) -> Result<Vec<Diagnostic>, std::io::Error> {
+    let files = walk::rust_sources(root, cfg)?;
+    let mut out = Vec::new();
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let ctx = config::FileContext::classify(&rel, cfg);
+        out.extend(rules::scan_file(&rel, &ctx, &src));
+    }
+    out.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(out)
+}

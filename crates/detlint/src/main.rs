@@ -1,0 +1,70 @@
+//! CLI: `cargo run -p detlint -- check [--root DIR] [--json]`.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return usage();
+    };
+    if cmd != "check" {
+        eprintln!("unknown command `{cmd}`");
+        return usage();
+    }
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory argument");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let diags = match detlint::check_root(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("detlint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", detlint::diag::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            eprintln!("detlint: workspace clean");
+        } else {
+            eprintln!(
+                "detlint: {} violation{} (waive with `// detlint: allow(<rule>, reason = \"...\")`)",
+                diags.len(),
+                if diags.len() == 1 { "" } else { "s" }
+            );
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: detlint check [--root DIR] [--json]");
+    ExitCode::from(2)
+}

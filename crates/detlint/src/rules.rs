@@ -1,0 +1,442 @@
+//! The rule engine: matches rule patterns over the token stream, tracks
+//! `#[cfg(test)]`/`#[test]` regions, and applies per-line waivers.
+
+use crate::config::FileContext;
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, SpannedTok, Tok};
+use std::path::Path;
+
+/// Idents that, called as macros (`ident!`), violate `P1`.
+const P1_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Idents that, called as methods (`.ident(`), violate `P1`.
+const P1_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Bare idents that violate `D2` wherever they appear in code.
+const D2_IDENTS: &[&str] = &["thread_rng", "RandomState", "DefaultHasher"];
+
+/// `A::b` paths that violate `D2`.
+const D2_PATHS: &[(&str, &str)] = &[
+    ("Instant", "now"),
+    ("SystemTime", "now"),
+    ("rand", "random"),
+    ("rand", "rng"),
+];
+
+/// Scan one file's source and return its diagnostics (unsorted).
+pub fn scan_file(rel: &Path, ctx: &FileContext, src: &str) -> Vec<Diagnostic> {
+    let file = rel
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect::<Vec<_>>()
+        .join("/");
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let push = |line: u32, rule: &str, message: String, raw: &mut Vec<Diagnostic>| {
+        raw.push(Diagnostic {
+            file: file.clone(),
+            line,
+            rule: rule.to_string(),
+            message,
+        });
+    };
+
+    // Malformed waivers are always reported: a waiver that silently
+    // fails to parse would silently fail to waive.
+    for (line, err) in &lexed.waiver_errors {
+        push(
+            *line,
+            "W0",
+            format!("malformed detlint waiver: {err}"),
+            &mut raw,
+        );
+    }
+
+    let mut depth: u32 = 0;
+    // Brace depths at which a test region (a `#[cfg(test)]` mod or a
+    // `#[test]` fn body) opened; inside any of them P1 is off.
+    let mut test_regions: Vec<u32> = Vec::new();
+    // A test-marking attribute was seen; the next `{` opens its region.
+    let mut armed = false;
+    // Token indices already claimed by a P2 match (so the trailing
+    // `.unwrap(` is not double-reported under P1).
+    let mut claimed: Vec<usize> = Vec::new();
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let SpannedTok { line, tok } = &toks[i];
+        let line = *line;
+        match tok {
+            Tok::Punct('#') => {
+                if let Some(consumed) = attribute_span(toks, i) {
+                    if attribute_marks_test(&toks[i..i + consumed]) {
+                        armed = true;
+                    }
+                    i += consumed;
+                    continue;
+                }
+            }
+            Tok::Punct('{') => {
+                if armed {
+                    test_regions.push(depth);
+                    armed = false;
+                }
+                depth += 1;
+            }
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if test_regions.last() == Some(&depth) {
+                    test_regions.pop();
+                }
+            }
+            Tok::Punct(';') => {
+                // `#[cfg(test)] use …;` — the attribute never opens a
+                // block; disarm so an unrelated later `{` is not tagged.
+                armed = false;
+            }
+            Tok::Ident(id) => {
+                let in_test = ctx.is_test_file || !test_regions.is_empty();
+
+                // --- P2: partial_cmp(..).unwrap() / .expect(..) -------
+                if id == "partial_cmp" && is_method_call(toks, i) {
+                    if let Some((end, panicky)) = call_then_panicky(toks, i) {
+                        if panicky {
+                            claimed.push(end); // the unwrap/expect ident
+                            push(
+                                line,
+                                "P2",
+                                "NaN-unsafe comparison: `partial_cmp(..).unwrap()` panics on NaN; \
+                                 use `f64::total_cmp` (or handle the `None`)"
+                                    .into(),
+                                &mut raw,
+                            );
+                        }
+                    }
+                }
+
+                // --- D1: std HashMap/HashSet ---------------------------
+                if ctx.d1_applies && (id == "HashMap" || id == "HashSet") {
+                    push(
+                        line,
+                        "D1",
+                        format!(
+                            "`{id}` iteration order is seeded per process and can leak into \
+                             outcomes; use `BTree{}` or waive with a proof iteration order \
+                             never escapes",
+                            &id[4..]
+                        ),
+                        &mut raw,
+                    );
+                }
+
+                // --- D2: ambient nondeterminism ------------------------
+                if D2_IDENTS.iter().any(|d| d == id) {
+                    push(
+                        line,
+                        "D2",
+                        format!(
+                            "`{id}` injects ambient nondeterminism; derive randomness from \
+                                 the experiment seed (`rngutil::rng_for`)"
+                        ),
+                        &mut raw,
+                    );
+                }
+                if let Some((_, b)) = D2_PATHS.iter().find(|(a, _)| a == id) {
+                    if path_member_is(toks, i, b) {
+                        push(
+                            line,
+                            "D2",
+                            format!(
+                                "`{id}::{b}` reads ambient state (clock/OS entropy); simulation \
+                                 code must use `SimTime` / seeded RNGs"
+                            ),
+                            &mut raw,
+                        );
+                    }
+                }
+
+                // --- P1: panics in non-test router/simulator code ------
+                if ctx.p1_applies && !in_test {
+                    if P1_MACROS.iter().any(|m| m == id) && next_is(toks, i, '!') {
+                        push(
+                            line,
+                            "P1",
+                            format!(
+                                "`{id}!` in non-test {} code; return a typed error or make \
+                                     the invariant unrepresentable",
+                                ctx.crate_name
+                            ),
+                            &mut raw,
+                        );
+                    }
+                    if P1_METHODS.iter().any(|m| m == id)
+                        && is_method_call(toks, i)
+                        && next_is(toks, i, '(')
+                        && !claimed.contains(&i)
+                    {
+                        push(
+                            line,
+                            "P1",
+                            format!(
+                                "`.{id}()` in non-test {} code; propagate the error or \
+                                     carry the invariant in the type",
+                                ctx.crate_name
+                            ),
+                            &mut raw,
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // Apply per-line waivers (never to W0 itself).
+    raw.retain(|d| {
+        d.rule == "W0"
+            || !lexed
+                .waivers
+                .get(&d.line)
+                .is_some_and(|ws| ws.iter().any(|w| w.rule == d.rule))
+    });
+    raw
+}
+
+/// `.ident` — the token before is a dot (method call, not a free fn).
+fn is_method_call(toks: &[SpannedTok], i: usize) -> bool {
+    i > 0 && toks[i - 1].tok == Tok::Punct('.')
+}
+
+/// The token after `i` is the given punct.
+fn next_is(toks: &[SpannedTok], i: usize, p: char) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.tok == Tok::Punct(p))
+}
+
+/// `ident :: member` — path access to a specific member.
+fn path_member_is(toks: &[SpannedTok], i: usize, member: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.tok == Tok::Punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.tok == Tok::Punct(':'))
+        && toks
+            .get(i + 3)
+            .is_some_and(|t| t.tok == Tok::Ident(member.to_string()))
+}
+
+/// From an ident at `i` followed by a call `(...)`, find whether the call
+/// is chained into `.unwrap` / `.expect`. Returns the index of that
+/// trailing method ident and whether it is panicky.
+fn call_then_panicky(toks: &[SpannedTok], i: usize) -> Option<(usize, bool)> {
+    if !next_is(toks, i, '(') {
+        return None;
+    }
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    while j < toks.len() {
+        match toks[j].tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    // After the close paren: `.unwrap` / `.expect` ?
+    if toks.get(j + 1).is_some_and(|t| t.tok == Tok::Punct('.')) {
+        if let Some(SpannedTok {
+            tok: Tok::Ident(m), ..
+        }) = toks.get(j + 2)
+        {
+            if m == "unwrap" || m == "expect" {
+                return Some((j + 2, true));
+            }
+        }
+    }
+    Some((j, false))
+}
+
+/// An attribute starting at `#`: return how many tokens it spans
+/// (`#` `[` … `]`), or `None` if this `#` is not an attribute.
+fn attribute_span(toks: &[SpannedTok], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.tok == Tok::Punct('!')) {
+        j += 1; // inner attribute `#![…]`
+    }
+    if !toks.get(j).is_some_and(|t| t.tok == Tok::Punct('[')) {
+        return None;
+    }
+    let mut depth = 0i32;
+    while j < toks.len() {
+        match toks[j].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j - i + 1);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Whether an attribute token slice marks test code: `#[test]`,
+/// `#[cfg(test)]`, `#[cfg(any(test, …))]` — but not `#[cfg(not(test))]`.
+fn attribute_marks_test(attr: &[SpannedTok]) -> bool {
+    let mut has_test = false;
+    let mut has_not = false;
+    for t in attr {
+        if let Tok::Ident(id) = &t.tok {
+            match id.as_str() {
+                "test" => has_test = true,
+                "not" => has_not = true,
+                _ => {}
+            }
+        }
+    }
+    has_test && !has_not
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use std::path::PathBuf;
+
+    fn scan(path: &str, src: &str) -> Vec<Diagnostic> {
+        let rel = PathBuf::from(path);
+        let ctx = FileContext::classify(&rel, &Config::default());
+        scan_file(&rel, &ctx, src)
+    }
+
+    fn rules(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn d1_fires_only_in_scoped_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules(&scan("crates/sim/src/lib.rs", src)), vec!["D1"]);
+        assert!(scan("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p1_skips_cfg_test_modules_and_test_files() {
+        let src = concat!(
+            "fn live() { x.unwrap(); }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { y.unwrap(); panic!(\"in test\"); }\n",
+            "}\n",
+            "fn live2() { panic!(\"boom\"); }\n",
+        );
+        let d = scan("crates/dtnflow/src/x.rs", src);
+        assert_eq!(rules(&d), vec!["P1", "P1"]);
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[1].line, 6);
+        assert!(scan("crates/dtnflow/tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p2_beats_p1_and_fires_everywhere() {
+        let src = "fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        // In a P1 crate the unwrap is reported once, as P2.
+        assert_eq!(rules(&scan("crates/sim/src/x.rs", src)), vec!["P2"]);
+        // Outside P1 scope — and even in test files — P2 still fires.
+        assert_eq!(rules(&scan("crates/bench/src/x.rs", src)), vec!["P2"]);
+        assert_eq!(rules(&scan("crates/bench/tests/x.rs", src)), vec!["P2"]);
+        // total_cmp is the fix and is clean.
+        let fixed = "fn f() { v.sort_by(|a, b| a.total_cmp(b)); }\n";
+        assert!(scan("crates/sim/src/x.rs", fixed).is_empty());
+        // partial_cmp without a panicky tail is fine.
+        let handled = "fn f() { a.partial_cmp(b).unwrap_or(Ordering::Equal); }\n";
+        assert!(scan("crates/sim/src/x.rs", handled).is_empty());
+    }
+
+    #[test]
+    fn d2_catches_clocks_and_rngs() {
+        let src = concat!(
+            "let t = Instant::now();\n",
+            "let s = std::time::SystemTime::now();\n",
+            "let r = rand::random::<f64>();\n",
+            "let g = thread_rng();\n",
+        );
+        let d = scan("crates/mobility/src/x.rs", src);
+        assert_eq!(rules(&d), vec!["D2", "D2", "D2", "D2"]);
+    }
+
+    #[test]
+    fn waivers_suppress_exactly_their_rule_and_line() {
+        let src = concat!(
+            "let t = Instant::now(); // detlint: allow(D2, reason = \"bench wall-clock\")\n",
+            "let u = Instant::now(); // detlint: allow(P1, reason = \"wrong rule\")\n",
+            "let v = Instant::now(); // detlint: allow(D2)\n",
+        );
+        let d = scan("crates/bench/src/x.rs", src);
+        // Line 1 waived; line 2 wrong rule; line 3 malformed waiver: the
+        // D2 stands and the bad waiver is reported.
+        assert_eq!(rules(&d), vec!["W0", "D2", "D2"]);
+        assert_eq!(d.iter().filter(|x| x.rule == "D2").count(), 2);
+    }
+
+    #[test]
+    fn own_line_waiver_covers_the_next_line() {
+        let src = concat!(
+            "// detlint: allow(D2, reason = \"quarantined wall-clock helper\")\n",
+            "let t = Instant::now();\n",
+            "let u = Instant::now();\n",
+        );
+        let d = scan("crates/bench/src/x.rs", src);
+        // Line 2 is waived by the comment above it; line 3 is not.
+        assert_eq!(rules(&d), vec!["D2"]);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = concat!(
+            "// HashMap Instant::now() unwrap() panic!\n",
+            "let s = \"HashMap thread_rng() partial_cmp\";\n",
+            "let r = r#\"SystemTime::now()\"#;\n",
+            "/* todo! unreachable! */\n",
+        );
+        assert!(scan("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_like_names_are_not_unwrap() {
+        let src = "fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.expect_err(\"e\"); }\n";
+        assert!(scan("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_still_counts_as_live_code() {
+        let src = concat!(
+            "#[cfg(not(test))]\n",
+            "mod live {\n",
+            "    fn f() { x.unwrap(); }\n",
+            "}\n",
+        );
+        assert_eq!(rules(&scan("crates/sim/src/x.rs", src)), vec!["P1"]);
+    }
+
+    #[test]
+    fn multiline_p2_is_matched() {
+        let src = concat!(
+            "links.sort_by(|a, b| {\n",
+            "    b.2.partial_cmp(&a.2)\n",
+            "        .unwrap()\n",
+            "        .then(a.0.cmp(&b.0))\n",
+            "});\n",
+        );
+        let d = scan("crates/mobility/src/x.rs", src);
+        assert_eq!(rules(&d), vec!["P2"]);
+        assert_eq!(d[0].line, 2, "anchored at the partial_cmp call");
+    }
+}

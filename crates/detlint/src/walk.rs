@@ -1,0 +1,61 @@
+//! Recursive `.rs` discovery under a workspace root.
+
+use crate::config::Config;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// All `.rs` files under `root`, as workspace-relative paths with `/`
+/// separators, sorted (the scan must itself be deterministic). Skips the
+/// configured directory names at any depth.
+pub fn rust_sources(root: &Path, cfg: &Config) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    visit(root, Path::new(""), cfg, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn visit(abs: &Path, rel: &Path, cfg: &Config, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(abs)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let child_rel = rel.join(name);
+        if path.is_dir() {
+            if cfg.skip_dirs.iter().any(|d| d == name) || name.starts_with('.') {
+                continue;
+            }
+            visit(&path, &child_rel, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(child_rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_own_sources_and_skips_fixtures() {
+        // The detlint crate root: src/ is found, tests/fixtures/ is not.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = rust_sources(root, &Config::default()).unwrap();
+        assert!(files.iter().any(|f| f.ends_with("src/lexer.rs")));
+        // The fixtures *directory* is skipped (tests/fixtures.rs, the
+        // integration test driving it, is a file and is found).
+        assert!(files
+            .iter()
+            .all(|f| !f.components().any(|c| c.as_os_str() == "fixtures")));
+        assert!(files.iter().any(|f| f.ends_with("tests/fixtures.rs")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk order is deterministic");
+    }
+}

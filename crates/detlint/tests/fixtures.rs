@@ -1,0 +1,76 @@
+//! End-to-end rule coverage over the fixture workspaces in
+//! `tests/fixtures/`. Each fixture is a miniature repo layout (never
+//! compiled — the walker only reads the files), so these tests exercise
+//! the full pipeline: walking, crate classification, lexing, rule
+//! matching, and waivers.
+
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// `(file, line, rule)` triples, in detlint's deterministic order.
+fn check(name: &str) -> Vec<(String, u32, String)> {
+    detlint::check_root(&fixture(name))
+        .expect("fixture scan")
+        .into_iter()
+        .map(|d| (d.file, d.line, d.rule))
+        .collect()
+}
+
+fn triple(file: &str, line: u32, rule: &str) -> (String, u32, String) {
+    (file.to_string(), line, rule.to_string())
+}
+
+#[test]
+fn violations_fixture_flags_each_rule_in_scope() {
+    let got = check("violations");
+    let want = vec![
+        // bench: out of D1/P1 scope, D2 still applies.
+        triple("crates/bench/src/lib.rs", 7, "D2"),
+        triple("crates/bench/src/lib.rs", 8, "D2"),
+        // sim/src: everything fires.
+        triple("crates/sim/src/engine.rs", 2, "D1"),
+        triple("crates/sim/src/engine.rs", 5, "D1"),
+        triple("crates/sim/src/engine.rs", 5, "D1"),
+        triple("crates/sim/src/engine.rs", 6, "D2"),
+        triple("crates/sim/src/engine.rs", 7, "P1"),
+        triple("crates/sim/src/engine.rs", 8, "P2"),
+        triple("crates/sim/src/engine.rs", 9, "P1"),
+        // sim/tests: P1 exempt, P2 and D1 are not.
+        triple("crates/sim/tests/it.rs", 5, "P2"),
+        triple("crates/sim/tests/it.rs", 6, "D1"),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn waivers_fixture_suppresses_exactly_what_it_says() {
+    let got = check("waivers");
+    let want = vec![
+        // Line 3 (trailing waiver) and line 5 (own-line waiver above)
+        // are suppressed; a wrong-rule waiver and a malformed waiver
+        // leave their D2s standing.
+        triple("crates/sim/src/lib.rs", 6, "D2"),
+        triple("crates/sim/src/lib.rs", 7, "D2"),
+        triple("crates/sim/src/lib.rs", 7, "W0"),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    assert_eq!(check("clean"), Vec::new());
+}
+
+#[test]
+fn json_output_is_well_formed() {
+    let diags = detlint::check_root(&fixture("waivers")).expect("fixture scan");
+    let json = detlint::diag::to_json(&diags);
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    assert!(json.contains("\"rule\":\"W0\""));
+    assert!(json.contains("\"line\":6"));
+}

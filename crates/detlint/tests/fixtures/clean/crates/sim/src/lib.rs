@@ -1,0 +1,12 @@
+// Fixture: forbidden spellings inside comments and literals never fire.
+// HashMap HashSet Instant::now() unwrap() expect() panic! thread_rng()
+
+pub fn run(xs: &mut Vec<f64>) {
+    let s = "HashMap thread_rng partial_cmp unwrap";
+    let r = r#"SystemTime::now() panic!("boom")"#;
+    /* unreachable! todo! RandomState
+    DefaultHasher rand::random */
+    let ord = "it's fine: unwrap_or and expect_err are not panicky";
+    xs.sort_by(f64::total_cmp);
+    drop((s, r, ord));
+}

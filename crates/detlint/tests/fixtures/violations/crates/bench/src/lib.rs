@@ -1,0 +1,10 @@
+// Fixture: bench is outside D1/P1 scope; D2 still applies everywhere.
+use std::collections::HashMap; // no D1: bench may hash
+
+pub fn run() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.get(&0).unwrap(); // no P1: bench is not simulator code
+    let g = thread_rng(); // line 7: D2
+    let t = SystemTime::now(); // line 8: D2
+    drop((g, t));
+}

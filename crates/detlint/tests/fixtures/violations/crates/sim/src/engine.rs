@@ -1,0 +1,18 @@
+// Fixture: every rule fires in an in-scope crate. Never compiled.
+use std::collections::HashMap; // line 2: D1
+
+pub fn run(xs: &mut Vec<f64>) {
+    let m: HashMap<u32, f64> = HashMap::new(); // line 5: D1 x2
+    let t = Instant::now(); // line 6: D2
+    let v = m.get(&0).unwrap(); // line 7: P1
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 8: P2 (not P1)
+    panic!("{t:?} {v}"); // line 9: P1
+}
+
+#[cfg(test)]
+mod tests {
+    fn inside_test_region() {
+        let y: Option<u8> = None;
+        y.unwrap(); // in a test region: no P1
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: integration tests are exempt from P1 but not from P2/D1/D2.
+pub fn helper(xs: &mut Vec<f64>) {
+    let x: Option<u8> = None;
+    x.unwrap(); // test file: no P1
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 5: P2 fires even here
+    let s: std::collections::HashSet<u32> = Default::default(); // line 6: D1 (tests included)
+    drop(s);
+}

@@ -1,0 +1,9 @@
+// Fixture: waiver forms. Never compiled.
+pub fn run() {
+    let a = Instant::now(); // detlint: allow(D2, reason = "trailing waiver on the offending line")
+    // detlint: allow(D2, reason = "own-line waiver covers the next line")
+    let b = Instant::now();
+    let c = Instant::now(); // detlint: allow(P1, reason = "wrong rule, D2 must still fire")
+    let d = Instant::now(); // detlint: allow(D2)
+    drop((a, b, c, d));
+}

@@ -1,0 +1,25 @@
+//! The workspace polices itself: `cargo test` fails if anyone introduces
+//! a new determinism or panic-safety violation anywhere in the repo.
+//! This is the same scan CI runs as `cargo run -p detlint -- check`.
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_is_violation_free() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("detlint lives at <root>/crates/detlint");
+    let diags = detlint::check_root(root).expect("workspace scan");
+    assert!(
+        diags.is_empty(),
+        "detlint found {} violation(s); fix them or add a \
+         `// detlint: allow(<rule>, reason = \"...\")` waiver:\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -9,6 +9,8 @@
 //! Nothing here knows about routing or simulation mechanics; those live in
 //! `dtnflow-sim`, `dtnflow-router` and `dtnflow-baselines`.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod geometry;
 pub mod ids;

@@ -183,17 +183,14 @@ pub struct FiveNum {
 }
 
 impl FiveNum {
-    /// Compute the summary; `None` on an empty sample. NaNs are rejected.
+    /// Compute the summary; `None` on an empty sample. NaN values are
+    /// skipped (an all-NaN sample is treated as empty).
     pub fn of(sample: &[f64]) -> Option<FiveNum> {
-        if sample.is_empty() {
+        let mut s: Vec<f64> = sample.iter().copied().filter(|v| !v.is_nan()).collect();
+        if s.is_empty() {
             return None;
         }
-        assert!(
-            sample.iter().all(|v| !v.is_nan()),
-            "sample must not contain NaN"
-        );
-        let mut s = sample.to_vec();
-        s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        s.sort_by(f64::total_cmp);
         let mean = s.iter().sum::<f64>() / s.len() as f64;
         Some(FiveNum {
             min: s[0],
@@ -277,6 +274,17 @@ mod tests {
         assert!((f.mean - 3.0).abs() < 1e-12);
         assert!((f.q1 - 2.0).abs() < 1e-12);
         assert!((f.q3 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_num_skips_nan() {
+        // NaN entries are ignored rather than panicking the percentile path.
+        let f = FiveNum::of(&[f64::NAN, 4.0, 1.0, f64::NAN, 3.0, 2.0, 5.0]).unwrap();
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.max, 5.0);
+        assert!((f.mean - 3.0).abs() < 1e-12);
+        assert!(FiveNum::of(&[f64::NAN, f64::NAN]).is_none());
+        assert!(FiveNum::of(&[]).is_none());
     }
 
     #[test]

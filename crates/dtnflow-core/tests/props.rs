@@ -45,7 +45,7 @@ proptest! {
         q1 in 0.0f64..1.0,
         q2 in 0.0f64..1.0,
     ) {
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(f64::total_cmp);
         let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
         prop_assert!(quantile_sorted(&xs, lo) <= quantile_sorted(&xs, hi) + 1e-9);
     }

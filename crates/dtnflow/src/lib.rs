@@ -14,6 +14,11 @@
 //! * [`hybrid::HybridFlowRouter`] — the §VI future-work extension adding
 //!   opportunistic node-to-node handoffs on top of DTN-FLOW.
 
+#![forbid(unsafe_code)]
+// Non-test code in this crate must not unwrap/expect (detlint P1);
+// clippy enforces the same invariant at compile time.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bandwidth;
 pub mod config;
 pub mod hybrid;

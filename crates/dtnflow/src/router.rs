@@ -25,7 +25,7 @@ use dtnflow_core::packet::PacketLoc;
 use dtnflow_core::time::SimDuration;
 use dtnflow_predictor::{AccuracyTracker, MarkovPredictor, VisitHistory};
 use dtnflow_sim::{LossReason, Router, TransferError, World};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Routing-table snapshot + control info a node carries between landmarks.
 #[derive(Debug, Clone)]
@@ -74,14 +74,14 @@ struct LandmarkState {
     bw: BandwidthTable,
     rt: RoutingTable,
     /// Station packets waiting for a carrier toward a next-hop landmark.
-    by_next_hop: HashMap<u16, BTreeSet<PacketId>>,
+    by_next_hop: BTreeMap<u16, BTreeSet<PacketId>>,
     /// Station packets indexed by final destination (direct-delivery
     /// opportunities, §IV-D.2).
-    by_dst: HashMap<u16, BTreeSet<PacketId>>,
+    by_dst: BTreeMap<u16, BTreeSet<PacketId>>,
     /// Station packets addressed to a mobile node (§IV-E.4).
-    by_dst_node: HashMap<u32, BTreeSet<PacketId>>,
+    by_dst_node: BTreeMap<u32, BTreeSet<PacketId>>,
     pending_corrections: Vec<(u64, Correction)>,
-    seen_corrections: HashSet<(u16, u16)>,
+    seen_corrections: BTreeSet<(u16, u16)>,
     /// Per-next-hop packet counts this unit (load balancing, §IV-E.3).
     lb_incoming: Vec<u64>,
     lb_outgoing: Vec<u64>,
@@ -170,11 +170,11 @@ impl FlowRouter {
             .map(|l| LandmarkState {
                 bw: BandwidthTable::new(num_landmarks, cfg.bandwidth_alpha),
                 rt: RoutingTable::new(LandmarkId::from(l), num_landmarks),
-                by_next_hop: HashMap::new(),
-                by_dst: HashMap::new(),
-                by_dst_node: HashMap::new(),
+                by_next_hop: BTreeMap::new(),
+                by_dst: BTreeMap::new(),
+                by_dst_node: BTreeMap::new(),
                 pending_corrections: Vec::new(),
-                seen_corrections: HashSet::new(),
+                seen_corrections: BTreeSet::new(),
                 lb_incoming: vec![0; num_landmarks],
                 lb_outgoing: vec![0; num_landmarks],
                 overloaded: vec![false; num_landmarks],
@@ -745,9 +745,14 @@ impl Router for FlowRouter {
             let ns = &self.nodes[node.index()];
             (ns.last_landmark, ns.predicted)
         };
-        let is_transit = recorded && prev.is_some() && prev != Some(lm);
-        if is_transit {
-            let from = prev.expect("transit has a source");
+        // `filter` encodes "a transit has a distinct source" in the type:
+        // no source, or a revisit of the same landmark, is not a transit.
+        let transit_from = if recorded {
+            prev.filter(|&p| p != lm)
+        } else {
+            None
+        };
+        if let Some(from) = transit_from {
             if station_up {
                 self.landmarks[lm.index()].bw.record_arrival_from(from);
             }
@@ -914,8 +919,11 @@ impl Router for FlowRouter {
     }
 
     fn on_packet_generated(&mut self, world: &mut World, pkt: PacketId) {
+        // Station-mode packets are born at their source station; anything
+        // else would be a sim-side bug, and dropping the event is strictly
+        // safer than bringing the whole run down.
         let PacketLoc::AtStation(src) = world.packet(pkt).loc else {
-            unreachable!("station-mode packets are born at their source station");
+            return;
         };
         self.station_accept(world, src, pkt, None);
     }

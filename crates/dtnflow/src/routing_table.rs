@@ -10,7 +10,7 @@
 //! computation at no extra communication cost.
 
 use dtnflow_core::ids::LandmarkId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One routing-table row (Table V layout: destination, next hop, overall
 /// delay, backup next hop, backup delay).
@@ -46,7 +46,7 @@ pub struct StoredVector {
 pub struct RoutingTable {
     me: LandmarkId,
     num: usize,
-    vectors: HashMap<u16, StoredVector>,
+    vectors: BTreeMap<u16, StoredVector>,
     entries: Vec<RouteEntry>,
 }
 
@@ -64,7 +64,7 @@ impl RoutingTable {
         RoutingTable {
             me,
             num,
-            vectors: HashMap::new(),
+            vectors: BTreeMap::new(),
             entries,
         }
     }

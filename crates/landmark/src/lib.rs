@@ -7,6 +7,8 @@
 //! to the nearest landmark (a Voronoi partition, which satisfies all three
 //! division rules of §IV-A.2).
 
+#![forbid(unsafe_code)]
+
 pub mod division;
 pub mod selection;
 

@@ -18,6 +18,8 @@
 //! * [`io`] — a plain-text trace format with parser, so externally
 //!   collected traces can be loaded.
 
+#![forbid(unsafe_code)]
+
 pub mod io;
 pub mod prep;
 pub mod stats;

@@ -14,6 +14,8 @@
 //! * [`fallback::FallbackPredictor`] — a back-off variant that answers
 //!   from the highest order whose context has been seen.
 
+#![forbid(unsafe_code)]
+
 pub mod accuracy;
 pub mod eval;
 pub mod fallback;

@@ -13,7 +13,7 @@
 //! concatenation. The prediction is the `c` maximizing this probability.
 
 use dtnflow_core::ids::LandmarkId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Maximum supported order: contexts are packed into a `u64` key with 16
 /// bits per landmark.
@@ -23,7 +23,7 @@ pub const MAX_ORDER: usize = 4;
 #[derive(Debug, Clone, Default)]
 struct CtxStats {
     total: u32,
-    next: HashMap<u16, u32>,
+    next: BTreeMap<u16, u32>,
 }
 
 /// An online order-k Markov predictor over landmark visits.
@@ -32,7 +32,7 @@ pub struct MarkovPredictor {
     k: usize,
     /// The last up-to-k observed landmarks, oldest first.
     recent: Vec<LandmarkId>,
-    counts: HashMap<u64, CtxStats>,
+    counts: BTreeMap<u64, CtxStats>,
     observations: usize,
 }
 
@@ -57,7 +57,7 @@ impl MarkovPredictor {
         MarkovPredictor {
             k,
             recent: Vec::with_capacity(k),
-            counts: HashMap::new(),
+            counts: BTreeMap::new(),
             observations: 0,
         }
     }
@@ -157,7 +157,7 @@ impl MarkovPredictor {
             .iter()
             .map(|(&lm, &c)| (LandmarkId(lm), c as f64 / stats.total as f64))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
 }
@@ -247,6 +247,21 @@ mod tests {
         let total: f64 = d.iter().map(|&(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-12);
         assert!((d[0].1 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_breaks_ties_by_landmark_id() {
+        // Equal-probability successors order by id: the sort is total
+        // (f64::total_cmp) and deterministic, never panicking on edge
+        // float values the way `partial_cmp(..).unwrap()` would on NaN.
+        let mut p = MarkovPredictor::new(1);
+        feed(&mut p, &[1, 7, 1, 3, 1, 5, 1]);
+        let d = p.distribution();
+        assert_eq!(
+            d.iter().map(|&(lm, _)| lm.0).collect::<Vec<_>>(),
+            vec![3, 5, 7]
+        );
+        assert!(d.iter().all(|&(_, pr)| (pr - 1.0 / 3.0).abs() < 1e-12));
     }
 
     #[test]

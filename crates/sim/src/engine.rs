@@ -92,7 +92,8 @@ pub fn run_with_faults<R: Router + ?Sized>(
     let station_mode = router.uses_stations();
 
     // Truncation fractions by visit index (sparse: most visits complete).
-    let truncated: std::collections::HashMap<u32, f64> = plan.truncations.iter().copied().collect();
+    let truncated: std::collections::BTreeMap<u32, f64> =
+        plan.truncations.iter().copied().collect();
     // Record-loss flags, dense for O(1) dispatch lookups.
     let mut record_lost = vec![false; trace.visits().len()];
     for &idx in &plan.lost_records {

@@ -145,13 +145,17 @@ impl FaultPlan {
     }
 
     /// Draw a concrete plan for `trace` from seeded streams. Same
-    /// `(cfg, trace)` → same plan, always.
+    /// `(cfg, trace)` → same plan, always. Panics if `cfg` fails
+    /// [`FaultConfig::validate`].
     ///
     /// Each subsystem uses its own `rng_for` stream (per-station,
     /// per-node, per-visit-scan), so enabling one fault class never
     /// shifts the draws of another.
     pub fn generate(cfg: &FaultConfig, trace: &Trace) -> Self {
-        cfg.validate().expect("invalid fault config");
+        if let Err(e) = cfg.validate() {
+            // detlint: allow(P1, reason = "documented contract: generate() requires a validated config")
+            panic!("invalid fault config: {e}");
+        }
         let horizon = trace.duration().secs();
         let mut plan = FaultPlan::default();
 

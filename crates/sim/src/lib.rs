@@ -16,6 +16,11 @@
 //! * [`engine`] — the event loop ([`engine::run`],
 //!   [`engine::run_with_faults`]).
 
+#![forbid(unsafe_code)]
+// Non-test code in this crate must not unwrap/expect (detlint P1);
+// clippy enforces the same invariant at compile time.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod engine;
 pub mod faults;
 pub mod router;

@@ -126,6 +126,7 @@ impl World {
     pub fn new(cfg: SimConfig, num_nodes: usize, num_landmarks: usize) -> Self {
         match Self::try_new(cfg, num_nodes, num_landmarks) {
             Ok(w) => w,
+            // detlint: allow(P1, reason = "documented panicking constructor; try_new is the fallible path")
             Err(e) => panic!("{e}"),
         }
     }
@@ -517,8 +518,11 @@ impl World {
         }
         let carried: Vec<PacketId> = self.node_store[node.index()].iter().collect();
         for pkt in &carried {
-            self.drop_lost(*pkt, LossReason::Churn)
-                .expect("carried packets are live");
+            // A packet in a node's store is live by construction; a stale
+            // entry is a bookkeeping bug worth catching in debug, not a
+            // reason to abort a release run mid-experiment.
+            let dropped = self.drop_lost(*pkt, LossReason::Churn);
+            debug_assert!(dropped.is_ok(), "carried packets are live: {dropped:?}");
         }
         carried.len()
     }

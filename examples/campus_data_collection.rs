@@ -57,7 +57,7 @@ fn main() {
             }
         }
     }
-    links.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    links.sort_by(|a, b| b.2.total_cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
     for (i, j, bw) in links.iter().take(8) {
         println!("  l{i} -> l{j}: {bw:.2}");
     }

@@ -51,6 +51,8 @@
 //! | [`router`] | the DTN-FLOW router with all §IV-E extensions |
 //! | [`baselines`] | SimBet, PROPHET, PGR, GeoComm, PER |
 
+#![forbid(unsafe_code)]
+
 pub use dtnflow_baselines as baselines;
 pub use dtnflow_core as core;
 pub use dtnflow_landmark as landmark;
