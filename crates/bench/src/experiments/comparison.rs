@@ -3,26 +3,39 @@
 //! the paper's four panels — success rate, average delay, forwarding cost,
 //! total cost — for all six methods.
 
+use crate::experiments::ObsCell;
 use crate::report::Table;
-use crate::runners::{parallel_map, run_method, Method, MethodOutcome};
+use crate::runners::{parallel_map, run_method, run_method_observed, Method, MethodOutcome};
 use crate::scenarios::Scenario;
 use dtnflow_core::config::SimConfig;
+use dtnflow_obs::Snapshot;
+use dtnflow_sim::FaultPlan;
 
-/// One sweep: x-axis points × all six methods → the four metric tables.
+/// One sweep: x-axis points × all six methods → the four metric tables,
+/// plus (when `obs`) one observability snapshot per (point, method) cell.
+/// With `obs` off no sink is ever attached, so the tables are byte-for-
+/// byte what the untraced sweep produces — and they must stay identical
+/// with `obs` on (`csv_determinism` enforces this).
 fn sweep(
     scenario: &Scenario,
     fig: &str,
     xlabel: &str,
     points: &[(String, SimConfig)],
-) -> Vec<Table> {
+    obs: bool,
+) -> (Vec<Table>, Vec<ObsCell>) {
     // Flatten (point, method) into independent jobs.
     let jobs: Vec<(usize, Method)> = (0..points.len())
         .flat_map(|p| Method::ALL.iter().map(move |&m| (p, m)))
         .collect();
-    let outcomes: Vec<MethodOutcome> = parallel_map(&jobs, |&(p, m)| {
+    let outcomes: Vec<(MethodOutcome, Option<Snapshot>)> = parallel_map(&jobs, |&(p, m)| {
         let cfg = &points[p].1;
         let wl = scenario.workload(cfg);
-        run_method(&scenario.trace, cfg, &wl, m)
+        if obs {
+            let (o, snap) = run_method_observed(&scenario.trace, cfg, &wl, &FaultPlan::none(), m);
+            (o, Some(snap))
+        } else {
+            (run_method(&scenario.trace, cfg, &wl, m), None)
+        }
     });
 
     let methods: Vec<&str> = Method::ALL.iter().map(|m| m.name()).collect();
@@ -53,7 +66,7 @@ fn sweep(
                     Method::ALL
                         .iter()
                         .enumerate()
-                        .map(|(mi, _)| f(&outcomes[p * Method::ALL.len() + mi])),
+                        .map(|(mi, _)| f(&outcomes[p * Method::ALL.len() + mi].0)),
                 )
                 .collect()
         };
@@ -64,7 +77,17 @@ fn sweep(
         tables[2].row(row_of(&|o| o.summary.forwarding_ops.to_string()));
         tables[3].row(row_of(&|o| format!("{:.0}", o.summary.total_cost)));
     }
-    tables
+    let cells: Vec<ObsCell> = jobs
+        .iter()
+        .zip(&outcomes)
+        .filter_map(|(&(p, m), (_, snap))| {
+            snap.as_ref().map(|s| ObsCell {
+                label: format!("{}/{}", points[p].0, m.name()),
+                snapshot: s.clone(),
+            })
+        })
+        .collect();
+    (tables, cells)
 }
 
 fn memory_points(base: &SimConfig, seed: u64, quick: bool) -> Vec<(String, SimConfig)> {
@@ -100,32 +123,68 @@ fn rate_points(base: &SimConfig, seed: u64, quick: bool) -> Vec<(String, SimConf
         .collect()
 }
 
-/// Fig. 11: campus, memory 1200..=3000 kB, rate 500.
-pub fn memory_sweep_campus(quick: bool) -> Vec<Table> {
+fn memory_campus(quick: bool, obs: bool) -> (Vec<Table>, Vec<ObsCell>) {
     let s = Scenario::campus();
     let pts = memory_points(&s.base_cfg, 0xF11, quick);
-    sweep(&s, "fig11", "memory (kB)", &pts)
+    sweep(&s, "fig11", "memory (kB)", &pts, obs)
+}
+
+fn memory_bus(quick: bool, obs: bool) -> (Vec<Table>, Vec<ObsCell>) {
+    let s = Scenario::bus();
+    let pts = memory_points(&s.base_cfg, 0xF12, quick);
+    sweep(&s, "fig12", "memory (kB)", &pts, obs)
+}
+
+fn rate_campus(quick: bool, obs: bool) -> (Vec<Table>, Vec<ObsCell>) {
+    let s = Scenario::campus();
+    let pts = rate_points(&s.base_cfg, 0xF13, quick);
+    sweep(&s, "fig13", "packets/landmark/day", &pts, obs)
+}
+
+fn rate_bus(quick: bool, obs: bool) -> (Vec<Table>, Vec<ObsCell>) {
+    let s = Scenario::bus();
+    let pts = rate_points(&s.base_cfg, 0xF14, quick);
+    sweep(&s, "fig14", "packets/landmark/day", &pts, obs)
+}
+
+/// Fig. 11: campus, memory 1200..=3000 kB, rate 500.
+pub fn memory_sweep_campus(quick: bool) -> Vec<Table> {
+    memory_campus(quick, false).0
+}
+
+/// Fig. 11 with per-cell observability snapshots.
+pub fn memory_sweep_campus_obs(quick: bool) -> (Vec<Table>, Vec<ObsCell>) {
+    memory_campus(quick, true)
 }
 
 /// Fig. 12: bus, memory 1200..=3000 kB, rate 500.
 pub fn memory_sweep_bus(quick: bool) -> Vec<Table> {
-    let s = Scenario::bus();
-    let pts = memory_points(&s.base_cfg, 0xF12, quick);
-    sweep(&s, "fig12", "memory (kB)", &pts)
+    memory_bus(quick, false).0
+}
+
+/// Fig. 12 with per-cell observability snapshots.
+pub fn memory_sweep_bus_obs(quick: bool) -> (Vec<Table>, Vec<ObsCell>) {
+    memory_bus(quick, true)
 }
 
 /// Fig. 13: campus, rate 100..=1000, memory 2000 kB.
 pub fn rate_sweep_campus(quick: bool) -> Vec<Table> {
-    let s = Scenario::campus();
-    let pts = rate_points(&s.base_cfg, 0xF13, quick);
-    sweep(&s, "fig13", "packets/landmark/day", &pts)
+    rate_campus(quick, false).0
+}
+
+/// Fig. 13 with per-cell observability snapshots.
+pub fn rate_sweep_campus_obs(quick: bool) -> (Vec<Table>, Vec<ObsCell>) {
+    rate_campus(quick, true)
 }
 
 /// Fig. 14: bus, rate 100..=1000, memory 2000 kB.
 pub fn rate_sweep_bus(quick: bool) -> Vec<Table> {
-    let s = Scenario::bus();
-    let pts = rate_points(&s.base_cfg, 0xF14, quick);
-    sweep(&s, "fig14", "packets/landmark/day", &pts)
+    rate_bus(quick, false).0
+}
+
+/// Fig. 14 with per-cell observability snapshots.
+pub fn rate_sweep_bus_obs(quick: bool) -> (Vec<Table>, Vec<ObsCell>) {
+    rate_bus(quick, true)
 }
 
 #[cfg(test)]

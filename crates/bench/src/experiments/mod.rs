@@ -13,6 +13,15 @@ pub mod scheduling;
 pub mod trace_analysis;
 
 use crate::report::Table;
+use dtnflow_obs::Snapshot;
+
+/// One experiment cell's observability export: the cell label (sweep
+/// point × method) and its flight-recorder snapshot.
+#[derive(Debug, Clone)]
+pub struct ObsCell {
+    pub label: String,
+    pub snapshot: Snapshot,
+}
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: &[&str] = &[
@@ -61,6 +70,21 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
         "sched" => scheduling::sched(quick),
         "resilience" => resilience::resilience(quick),
         other => panic!("unknown experiment id `{other}`; known: {ALL_IDS:?}"),
+    }
+}
+
+/// Like [`run_experiment`], but the simulation-heavy sweeps also attach a
+/// flight recorder per cell and return the observability snapshots.
+/// Experiments without traced variants fall back to [`run_experiment`]
+/// with no cells. Tables are byte-identical with tracing on and off.
+pub fn run_experiment_with_obs(id: &str, quick: bool) -> (Vec<Table>, Vec<ObsCell>) {
+    match id {
+        "fig11" => comparison::memory_sweep_campus_obs(quick),
+        "fig12" => comparison::memory_sweep_bus_obs(quick),
+        "fig13" => comparison::rate_sweep_campus_obs(quick),
+        "fig14" => comparison::rate_sweep_bus_obs(quick),
+        "resilience" => resilience::resilience_obs(quick),
+        other => (run_experiment(other, quick), Vec::new()),
     }
 }
 

@@ -9,13 +9,15 @@
 //! duty grows, while still surfacing what the faults cost it
 //! (`lost: outage/churn`, retries, recovery time).
 
+use crate::experiments::ObsCell;
 use crate::report::Table;
-use crate::runners::{parallel_map, run_method_with_faults, Method};
+use crate::runners::{parallel_map, run_method_observed, run_method_with_faults, Method};
 use crate::scenarios::Scenario;
 use dtnflow_core::config::SimConfig;
 use dtnflow_core::metrics::MetricsSummary;
+use dtnflow_obs::{Recorder, Snapshot, DEFAULT_RING_CAPACITY};
 use dtnflow_router::{FlowConfig, FlowRouter};
-use dtnflow_sim::{run_with_faults, FaultConfig, FaultPlan, Workload};
+use dtnflow_sim::{run_traced, run_with_faults, FaultConfig, FaultPlan, Workload};
 
 /// DTN-FLOW plus two station-less baselines: the baselines carry packets
 /// only on nodes, so station outages cost them nothing and they anchor
@@ -58,8 +60,48 @@ fn run_one(
     }
 }
 
+/// [`run_one`] with a flight recorder attached; same summary, plus the
+/// cell's observability snapshot.
+fn run_one_observed(
+    s: &Scenario,
+    cfg: &SimConfig,
+    wl: &Workload,
+    plan: &FaultPlan,
+    method: Method,
+) -> (MetricsSummary, Snapshot) {
+    match method {
+        Method::Flow => {
+            let mut router = FlowRouter::new(
+                FlowConfig::with_degradation(),
+                s.trace.num_nodes(),
+                s.trace.num_landmarks(),
+            );
+            let out = run_traced(
+                &s.trace,
+                cfg,
+                wl,
+                plan,
+                &mut router,
+                Box::new(Recorder::new(DEFAULT_RING_CAPACITY)),
+            );
+            let snap = out
+                .trace
+                .and_then(Recorder::downcast)
+                .map(|r| r.snapshot())
+                .unwrap_or_default();
+            (out.metrics.summary(), snap)
+        }
+        m => {
+            let (o, snap) = run_method_observed(&s.trace, cfg, wl, plan, m);
+            (o.summary, snap)
+        }
+    }
+}
+
 /// The resilience sweep: outage duty × churn rate × method, per trace.
-pub fn resilience(quick: bool) -> Vec<Table> {
+/// With `obs` the sweep also exports one observability snapshot per cell;
+/// the table itself must be byte-identical either way.
+fn resilience_impl(quick: bool, obs: bool) -> (Vec<Table>, Vec<ObsCell>) {
     let duties: Vec<f64> = if quick {
         vec![0.0, 0.2]
     } else {
@@ -81,6 +123,7 @@ pub fn resilience(quick: bool) -> Vec<Table> {
             "avg recovery (min)",
         ],
     );
+    let mut cells: Vec<ObsCell> = Vec::new();
     for s in [Scenario::bus(), Scenario::campus()] {
         let cfg = s.cfg(0x7E51);
         let wl = s.workload(&cfg);
@@ -92,11 +135,17 @@ pub fn resilience(quick: bool) -> Vec<Table> {
                     .flat_map(move |&c| METHODS.iter().map(move |&m| (d, c, m)))
             })
             .collect();
-        let runs = parallel_map(&jobs, |&(duty, churn, method)| {
-            let plan = FaultPlan::generate(&fault_cfg(duty, churn), &s.trace);
-            run_one(&s, &cfg, &wl, &plan, method)
-        });
-        for (&(duty, churn, method), r) in jobs.iter().zip(&runs) {
+        let runs: Vec<(MetricsSummary, Option<Snapshot>)> =
+            parallel_map(&jobs, |&(duty, churn, method)| {
+                let plan = FaultPlan::generate(&fault_cfg(duty, churn), &s.trace);
+                if obs {
+                    let (summary, snap) = run_one_observed(&s, &cfg, &wl, &plan, method);
+                    (summary, Some(snap))
+                } else {
+                    (run_one(&s, &cfg, &wl, &plan, method), None)
+                }
+            });
+        for (&(duty, churn, method), (r, snap)) in jobs.iter().zip(&runs) {
             t.row(vec![
                 s.name.to_string(),
                 format!("{duty:.2}"),
@@ -108,10 +157,26 @@ pub fn resilience(quick: bool) -> Vec<Table> {
                 r.retries.to_string(),
                 format!("{:.0}", r.average_recovery_secs / 60.0),
             ]);
+            if let Some(snap) = snap {
+                cells.push(ObsCell {
+                    label: format!("{}/duty{duty:.2}/churn{churn:.2}/{}", s.name, method.name()),
+                    snapshot: snap.clone(),
+                });
+            }
         }
     }
     t.note("DTN-FLOW should degrade smoothly with outage duty, not cliff to zero");
-    vec![t]
+    (vec![t], cells)
+}
+
+/// The resilience sweep (tables only).
+pub fn resilience(quick: bool) -> Vec<Table> {
+    resilience_impl(quick, false).0
+}
+
+/// The resilience sweep with per-cell observability snapshots.
+pub fn resilience_obs(quick: bool) -> (Vec<Table>, Vec<ObsCell>) {
+    resilience_impl(quick, true)
 }
 
 #[cfg(test)]

@@ -6,8 +6,9 @@ use dtnflow_core::config::SimConfig;
 use dtnflow_core::metrics::MetricsSummary;
 use dtnflow_core::time::SimDuration;
 use dtnflow_mobility::Trace;
+use dtnflow_obs::{Recorder, Snapshot, DEFAULT_RING_CAPACITY};
 use dtnflow_router::{FlowConfig, FlowRouter};
-use dtnflow_sim::{run_with_faults, run_with_workload, FaultPlan, Router, Workload};
+use dtnflow_sim::{run_traced, run_with_faults, run_with_workload, FaultPlan, Router, Workload};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -108,6 +109,42 @@ pub fn run_method_with_faults(
             .metrics
             .overall_average_delay_secs(SimDuration::from_secs(trace.duration().secs())),
     }
+}
+
+/// Run one method with a flight recorder attached and export its
+/// observability snapshot. Tracing must never perturb the simulation:
+/// the returned `MethodOutcome` is identical to what
+/// [`run_method_with_faults`] produces for the same inputs (enforced by
+/// the `csv_determinism` and `obs_props` suites).
+pub fn run_method_observed(
+    trace: &Trace,
+    cfg: &SimConfig,
+    workload: &Workload,
+    plan: &FaultPlan,
+    method: Method,
+) -> (MethodOutcome, Snapshot) {
+    let mut router = method.build(trace.num_nodes(), trace.num_landmarks());
+    let out = run_traced(
+        trace,
+        cfg,
+        workload,
+        plan,
+        router.as_mut(),
+        Box::new(Recorder::new(DEFAULT_RING_CAPACITY)),
+    );
+    let outcome = MethodOutcome {
+        method,
+        summary: out.metrics.summary(),
+        overall_delay_secs: out
+            .metrics
+            .overall_average_delay_secs(SimDuration::from_secs(trace.duration().secs())),
+    };
+    let snapshot = out
+        .trace
+        .and_then(Recorder::downcast)
+        .map(|r| r.snapshot())
+        .unwrap_or_default();
+    (outcome, snapshot)
 }
 
 /// Map a function over items using all available cores (sweep points are

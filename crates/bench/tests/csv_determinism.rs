@@ -4,7 +4,7 @@
 //! per *instance*, so any iteration order leaking into results shows up
 //! as a diff between two in-process runs.
 
-use dtnflow_bench::experiments::run_experiment;
+use dtnflow_bench::experiments::{run_experiment, run_experiment_with_obs};
 
 /// All tables of one experiment, concatenated as CSV bytes.
 fn csv_of(id: &str, quick: bool) -> String {
@@ -37,4 +37,38 @@ fn trace_analysis_and_routing_are_byte_deterministic() {
 #[cfg_attr(debug_assertions, ignore = "full simulation; run with --release")]
 fn resilience_is_byte_deterministic() {
     assert_byte_equal("resilience", true);
+}
+
+/// Observability must not perturb results: the experiment tables with a
+/// flight recorder attached are byte-identical to the plain run, and the
+/// obs run actually records events.
+fn assert_obs_transparent(id: &str) {
+    let plain = csv_of(id, true);
+    let (tables, cells) = run_experiment_with_obs(id, true);
+    let observed = tables
+        .iter()
+        .map(|t| format!("# {}\n{}", t.id, t.to_csv()))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        plain == observed,
+        "experiment `{id}`: tables differ with tracing on vs off"
+    );
+    assert!(!cells.is_empty(), "experiment `{id}` returned no obs cells");
+    assert!(
+        cells.iter().all(|c| c.snapshot.events_recorded > 0),
+        "experiment `{id}`: a traced cell recorded no events"
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full simulation; run with --release")]
+fn fig12_tables_identical_with_tracing_on() {
+    assert_obs_transparent("fig12");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full simulation; run with --release")]
+fn resilience_tables_identical_with_tracing_on() {
+    assert_obs_transparent("resilience");
 }

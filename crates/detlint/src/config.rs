@@ -20,8 +20,15 @@ impl Default for Config {
     fn default() -> Self {
         let s = |xs: &[&str]| xs.iter().map(|x| x.to_string()).collect();
         Config {
-            d1_crates: s(&["dtnflow", "baselines", "sim", "predictor", "landmark"]),
-            p1_crates: s(&["sim", "dtnflow"]),
+            d1_crates: s(&[
+                "dtnflow",
+                "baselines",
+                "sim",
+                "predictor",
+                "landmark",
+                "obs",
+            ]),
+            p1_crates: s(&["sim", "dtnflow", "obs"]),
             // `fixtures` holds deliberate violations for detlint's own
             // tests; `vendor` is third-party API stubs; `results` is
             // experiment output.

@@ -24,7 +24,7 @@ use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
 use dtnflow_core::packet::PacketLoc;
 use dtnflow_core::time::SimDuration;
 use dtnflow_predictor::{AccuracyTracker, MarkovPredictor, VisitHistory};
-use dtnflow_sim::{LossReason, Router, TransferError, World};
+use dtnflow_sim::{LossReason, Router, SimEvent, TransferError, World};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Routing-table snapshot + control info a node carries between landmarks.
@@ -767,6 +767,7 @@ impl Router for FlowRouter {
         if station_up {
             if let Some(carried) = self.nodes[node.index()].carried.take() {
                 if carried.from != lm {
+                    let (c_from, c_entries) = (carried.from, carried.entries);
                     let accepted = self.landmarks[lm.index()].rt.receive(
                         carried.from,
                         StoredVector {
@@ -775,6 +776,13 @@ impl Router for FlowRouter {
                         },
                     );
                     world.record_table_exchange(carried.entries);
+                    world.emit(|at| SimEvent::TableExchanged {
+                        at,
+                        from: c_from,
+                        to: lm,
+                        entries: c_entries,
+                        accepted,
+                    });
                     self.stats.tables_received += 1;
                     if let Some((addressee, value, seq)) = carried.report {
                         if addressee == lm
@@ -821,6 +829,17 @@ impl Router for FlowRouter {
             let upload = dst == lm
                 || meta.next_hop == Some(lm)
                 || here_delay < meta.expected * (1.0 + self.cfg.mis_transit_tolerance);
+            // §IV-D mis-transit: the packet was stamped toward a different
+            // landmark than the one its carrier actually reached.
+            if meta.next_hop.is_some_and(|nh| nh != lm && dst != lm) {
+                world.emit(|at| SimEvent::MisTransit {
+                    at,
+                    pkt,
+                    node,
+                    lm,
+                    uploaded: upload,
+                });
+            }
             if !upload {
                 continue;
             }
@@ -953,6 +972,21 @@ impl Router for FlowRouter {
             {
                 let st = &mut self.landmarks[l];
                 st.bw.end_of_unit();
+                // Snapshot the freshly-folded Eq. 4 estimates for the
+                // trace; only links with measured traffic are reported.
+                if world.trace_enabled() {
+                    for j in (0..st.overloaded.len()).map(LandmarkId::from) {
+                        let value = st.bw.incoming(j);
+                        if value > 0.0 {
+                            world.emit(|at| SimEvent::BandwidthUpdated {
+                                at,
+                                from: j,
+                                to: lm,
+                                value,
+                            });
+                        }
+                    }
+                }
                 // Degradation: age out neighbour vectors that have not
                 // been refreshed (e.g. across a station outage) before
                 // the recompute below re-ranks routes.
@@ -987,7 +1021,20 @@ impl Router for FlowRouter {
         }
     }
 
-    fn on_observe(&mut self, _world: &mut World, idx: usize) {
+    fn on_observe(&mut self, world: &mut World, idx: usize) {
+        if world.trace_enabled() {
+            for (l, st) in self.landmarks.iter().enumerate() {
+                let lm = LandmarkId::from(l);
+                let coverage = st.rt.coverage();
+                let revision = st.rt.revision();
+                world.emit(|at| SimEvent::RouteCoverage {
+                    at,
+                    lm,
+                    coverage,
+                    revision,
+                });
+            }
+        }
         let per_landmark = self
             .landmarks
             .iter()
@@ -1098,6 +1145,7 @@ impl Router for FlowRouter {
             }
             self.set_meta(pkt, meta);
             world.record_retry();
+            world.emit(|at| SimEvent::RetryQueued { at, lm, pkt });
             self.stats.stranded_requeues += 1;
         }
         self.rebucket(world, lm);

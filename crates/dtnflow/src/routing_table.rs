@@ -48,6 +48,10 @@ pub struct RoutingTable {
     num: usize,
     vectors: BTreeMap<u16, StoredVector>,
     entries: Vec<RouteEntry>,
+    /// Bumped whenever the stored vectors change (accepted receive,
+    /// claim injection, distrust, stale decay) — lets observers tell
+    /// "table content changed" apart from "recompute over same inputs".
+    revision: u64,
 }
 
 impl RoutingTable {
@@ -66,12 +70,18 @@ impl RoutingTable {
             num,
             vectors: BTreeMap::new(),
             entries,
+            revision: 0,
         }
     }
 
     /// The landmark owning this table.
     pub fn me(&self) -> LandmarkId {
         self.me
+    }
+
+    /// How many times the stored vectors have changed (observability).
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Store a vector received from `from` unless an equally-new or newer
@@ -84,6 +94,7 @@ impl RoutingTable {
             Some(old) if old.seq >= vector.seq => false,
             _ => {
                 self.vectors.insert(from.0, vector);
+                self.revision += 1;
                 true
             }
         }
@@ -100,16 +111,22 @@ impl RoutingTable {
         });
         v.seq = v.seq.max(seq);
         v.delays[dest.index()] = delay;
+        self.revision += 1;
     }
 
     /// Drop the stored entries for `dest` that came from the given
     /// landmarks (§IV-E.2 loop correction: distrust the loop members'
     /// claims about this destination until fresh vectors arrive).
     pub fn distrust(&mut self, dest: LandmarkId, members: &[LandmarkId]) {
+        let mut touched = false;
         for m in members {
             if let Some(v) = self.vectors.get_mut(&m.0) {
                 v.delays[dest.index()] = f64::INFINITY;
+                touched = true;
             }
+        }
+        if touched {
+            self.revision += 1;
         }
     }
 
@@ -139,6 +156,9 @@ impl RoutingTable {
             if touched {
                 decayed += 1;
             }
+        }
+        if decayed > 0 {
+            self.revision += 1;
         }
         decayed
     }

@@ -1,0 +1,452 @@
+//! Structured simulation events for the flight recorder.
+//!
+//! Every event carries the simulation timestamp it occurred at (`SimTime`,
+//! never wall-clock time), so a recorded stream is deterministic for a
+//! fixed scenario and seed. The `Display` impl renders one compact,
+//! byte-stable line per event — that rendering is what the cross-process
+//! trace-stability test compares.
+
+use std::fmt;
+
+use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
+use dtnflow_core::time::{SimDuration, SimTime};
+
+/// Where a packet currently sits, from the tracer's point of view.
+///
+/// Mirrors the simulator's live `PacketLoc` states; terminal states
+/// (delivered/expired/lost) are events, not places.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Place {
+    /// Generated at a landmark but not yet picked up by any carrier.
+    Pending(LandmarkId),
+    /// Carried by a mobile node.
+    Node(NodeId),
+    /// Buffered in a landmark station's queue.
+    Station(LandmarkId),
+}
+
+impl fmt::Display for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Place::Pending(lm) => write!(f, "pending@{lm}"),
+            Place::Node(n) => write!(f, "{n}"),
+            Place::Station(lm) => write!(f, "station@{lm}"),
+        }
+    }
+}
+
+/// Why a packet was lost (mirrors the simulator's loss reasons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LossKind {
+    /// Dropped because a station was down (record loss / stillborn).
+    Outage,
+    /// Dropped because its carrier node failed.
+    Churn,
+}
+
+impl fmt::Display for LossKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LossKind::Outage => f.write_str("outage"),
+            LossKind::Churn => f.write_str("churn"),
+        }
+    }
+}
+
+/// One structured observability record.
+///
+/// Variants cover the full packet lifecycle, contact and fault
+/// transitions, and the router-internal state changes the paper's
+/// evaluation cares about (table exchanges, EWMA bandwidth folds,
+/// mis-transit decisions, retry queueing, route coverage).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimEvent {
+    /// A node arrived at a landmark station (contact opened).
+    ContactOpen {
+        at: SimTime,
+        node: NodeId,
+        lm: LandmarkId,
+    },
+    /// A node departed a landmark station (contact closed).
+    ContactClose {
+        at: SimTime,
+        node: NodeId,
+        lm: LandmarkId,
+    },
+    /// A time-unit boundary (Eq. 4 bandwidth fold happens here).
+    UnitBoundary { at: SimTime, unit: u64 },
+    /// A packet entered the simulation. `start` is `None` for stillborn
+    /// packets generated at a station that was down.
+    PacketGenerated {
+        at: SimTime,
+        pkt: PacketId,
+        src: LandmarkId,
+        dst: LandmarkId,
+        start: Option<Place>,
+    },
+    /// A packet moved between a node and a station (either direction).
+    PacketForwarded {
+        at: SimTime,
+        pkt: PacketId,
+        from: Place,
+        to: Place,
+    },
+    /// A packet reached its destination landmark.
+    PacketDelivered {
+        at: SimTime,
+        pkt: PacketId,
+        lm: LandmarkId,
+        delay: SimDuration,
+        hops: u32,
+        from: Place,
+    },
+    /// A packet's TTL ran out.
+    PacketExpired {
+        at: SimTime,
+        pkt: PacketId,
+        from: Place,
+    },
+    /// A packet was destroyed by a fault. `from` is `None` for stillborn
+    /// packets that never occupied a place.
+    PacketLost {
+        at: SimTime,
+        pkt: PacketId,
+        from: Option<Place>,
+        kind: LossKind,
+    },
+    /// A landmark station went down (fault injection).
+    StationDown { at: SimTime, lm: LandmarkId },
+    /// A landmark station recovered.
+    StationUp { at: SimTime, lm: LandmarkId },
+    /// A node failed, destroying the packets it carried.
+    NodeFailed {
+        at: SimTime,
+        node: NodeId,
+        lost_packets: u64,
+    },
+    /// A failed node rejoined the simulation.
+    NodeRecovered { at: SimTime, node: NodeId },
+    /// A carried routing table from `from` was offered to `to`.
+    TableExchanged {
+        at: SimTime,
+        from: LandmarkId,
+        to: LandmarkId,
+        entries: usize,
+        accepted: bool,
+    },
+    /// End-of-unit EWMA fold produced a new smoothed bandwidth B(from→to).
+    BandwidthUpdated {
+        at: SimTime,
+        from: LandmarkId,
+        to: LandmarkId,
+        value: f64,
+    },
+    /// A carrier holding a packet transited to a landmark that was not the
+    /// predicted next hop (§IV-D). `uploaded` records the router's
+    /// keep-vs-forward decision.
+    MisTransit {
+        at: SimTime,
+        pkt: PacketId,
+        node: NodeId,
+        lm: LandmarkId,
+        uploaded: bool,
+    },
+    /// A stranded packet was re-queued for retry after a station recovered.
+    RetryQueued {
+        at: SimTime,
+        lm: LandmarkId,
+        pkt: PacketId,
+    },
+    /// Periodic routing-table health sample for one landmark.
+    RouteCoverage {
+        at: SimTime,
+        lm: LandmarkId,
+        coverage: f64,
+        revision: u64,
+    },
+}
+
+impl SimEvent {
+    /// Timestamp the event occurred at.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            SimEvent::ContactOpen { at, .. }
+            | SimEvent::ContactClose { at, .. }
+            | SimEvent::UnitBoundary { at, .. }
+            | SimEvent::PacketGenerated { at, .. }
+            | SimEvent::PacketForwarded { at, .. }
+            | SimEvent::PacketDelivered { at, .. }
+            | SimEvent::PacketExpired { at, .. }
+            | SimEvent::PacketLost { at, .. }
+            | SimEvent::StationDown { at, .. }
+            | SimEvent::StationUp { at, .. }
+            | SimEvent::NodeFailed { at, .. }
+            | SimEvent::NodeRecovered { at, .. }
+            | SimEvent::TableExchanged { at, .. }
+            | SimEvent::BandwidthUpdated { at, .. }
+            | SimEvent::MisTransit { at, .. }
+            | SimEvent::RetryQueued { at, .. }
+            | SimEvent::RouteCoverage { at, .. } => at,
+        }
+    }
+
+    /// Stable machine-readable kind tag (used for event-count registries).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimEvent::ContactOpen { .. } => "contact_open",
+            SimEvent::ContactClose { .. } => "contact_close",
+            SimEvent::UnitBoundary { .. } => "unit_boundary",
+            SimEvent::PacketGenerated { .. } => "packet_generated",
+            SimEvent::PacketForwarded { .. } => "packet_forwarded",
+            SimEvent::PacketDelivered { .. } => "packet_delivered",
+            SimEvent::PacketExpired { .. } => "packet_expired",
+            SimEvent::PacketLost { .. } => "packet_lost",
+            SimEvent::StationDown { .. } => "station_down",
+            SimEvent::StationUp { .. } => "station_up",
+            SimEvent::NodeFailed { .. } => "node_failed",
+            SimEvent::NodeRecovered { .. } => "node_recovered",
+            SimEvent::TableExchanged { .. } => "table_exchanged",
+            SimEvent::BandwidthUpdated { .. } => "bandwidth_updated",
+            SimEvent::MisTransit { .. } => "mis_transit",
+            SimEvent::RetryQueued { .. } => "retry_queued",
+            SimEvent::RouteCoverage { .. } => "route_coverage",
+        }
+    }
+}
+
+impl fmt::Display for SimEvent {
+    /// One compact line per event: `@<secs> <kind> <fields>`.
+    ///
+    /// Floats render via `{:?}` (shortest round-trip form), which is
+    /// byte-stable for identical bit patterns across processes.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.at().secs();
+        match self {
+            SimEvent::ContactOpen { node, lm, .. } => {
+                write!(f, "@{t} contact_open {node} {lm}")
+            }
+            SimEvent::ContactClose { node, lm, .. } => {
+                write!(f, "@{t} contact_close {node} {lm}")
+            }
+            SimEvent::UnitBoundary { unit, .. } => write!(f, "@{t} unit_boundary u{unit}"),
+            SimEvent::PacketGenerated {
+                pkt,
+                src,
+                dst,
+                start,
+                ..
+            } => match start {
+                Some(place) => write!(f, "@{t} packet_generated {pkt} {src}->{dst} at {place}"),
+                None => write!(f, "@{t} packet_generated {pkt} {src}->{dst} stillborn"),
+            },
+            SimEvent::PacketForwarded { pkt, from, to, .. } => {
+                write!(f, "@{t} packet_forwarded {pkt} {from}->{to}")
+            }
+            SimEvent::PacketDelivered {
+                pkt,
+                lm,
+                delay,
+                hops,
+                from,
+                ..
+            } => write!(
+                f,
+                "@{t} packet_delivered {pkt} at {lm} delay={}s hops={hops} from {from}",
+                delay.0
+            ),
+            SimEvent::PacketExpired { pkt, from, .. } => {
+                write!(f, "@{t} packet_expired {pkt} at {from}")
+            }
+            SimEvent::PacketLost {
+                pkt, from, kind, ..
+            } => match from {
+                Some(place) => write!(f, "@{t} packet_lost {pkt} at {place} kind={kind}"),
+                None => write!(f, "@{t} packet_lost {pkt} stillborn kind={kind}"),
+            },
+            SimEvent::StationDown { lm, .. } => write!(f, "@{t} station_down {lm}"),
+            SimEvent::StationUp { lm, .. } => write!(f, "@{t} station_up {lm}"),
+            SimEvent::NodeFailed {
+                node, lost_packets, ..
+            } => {
+                write!(f, "@{t} node_failed {node} lost={lost_packets}")
+            }
+            SimEvent::NodeRecovered { node, .. } => write!(f, "@{t} node_recovered {node}"),
+            SimEvent::TableExchanged {
+                from,
+                to,
+                entries,
+                accepted,
+                ..
+            } => write!(
+                f,
+                "@{t} table_exchanged {from}->{to} entries={entries} accepted={accepted}"
+            ),
+            SimEvent::BandwidthUpdated {
+                from, to, value, ..
+            } => {
+                write!(f, "@{t} bandwidth_updated {from}->{to} value={value:?}")
+            }
+            SimEvent::MisTransit {
+                pkt,
+                node,
+                lm,
+                uploaded,
+                ..
+            } => {
+                write!(
+                    f,
+                    "@{t} mis_transit {pkt} {node} at {lm} uploaded={uploaded}"
+                )
+            }
+            SimEvent::RetryQueued { lm, pkt, .. } => write!(f, "@{t} retry_queued {pkt} at {lm}"),
+            SimEvent::RouteCoverage {
+                lm,
+                coverage,
+                revision,
+                ..
+            } => {
+                write!(
+                    f,
+                    "@{t} route_coverage {lm} coverage={coverage:?} rev={revision}"
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_and_stable() {
+        let ev = SimEvent::PacketDelivered {
+            at: SimTime(3661),
+            pkt: PacketId(7),
+            lm: LandmarkId(2),
+            delay: SimDuration(600),
+            hops: 3,
+            from: Place::Node(NodeId(4)),
+        };
+        assert_eq!(
+            ev.to_string(),
+            "@3661 packet_delivered p7 at l2 delay=600s hops=3 from n4"
+        );
+        assert_eq!(ev.kind(), "packet_delivered");
+        assert_eq!(ev.at(), SimTime(3661));
+    }
+
+    #[test]
+    fn stillborn_renders_without_place() {
+        let ev = SimEvent::PacketLost {
+            at: SimTime(0),
+            pkt: PacketId(0),
+            from: None,
+            kind: LossKind::Outage,
+        };
+        assert_eq!(ev.to_string(), "@0 packet_lost p0 stillborn kind=outage");
+    }
+
+    #[test]
+    fn every_variant_has_a_distinct_kind() {
+        use std::collections::BTreeSet;
+        let evs = [
+            SimEvent::ContactOpen {
+                at: SimTime(0),
+                node: NodeId(0),
+                lm: LandmarkId(0),
+            },
+            SimEvent::ContactClose {
+                at: SimTime(0),
+                node: NodeId(0),
+                lm: LandmarkId(0),
+            },
+            SimEvent::UnitBoundary {
+                at: SimTime(0),
+                unit: 0,
+            },
+            SimEvent::PacketGenerated {
+                at: SimTime(0),
+                pkt: PacketId(0),
+                src: LandmarkId(0),
+                dst: LandmarkId(1),
+                start: Some(Place::Pending(LandmarkId(0))),
+            },
+            SimEvent::PacketForwarded {
+                at: SimTime(0),
+                pkt: PacketId(0),
+                from: Place::Station(LandmarkId(0)),
+                to: Place::Node(NodeId(0)),
+            },
+            SimEvent::PacketDelivered {
+                at: SimTime(0),
+                pkt: PacketId(0),
+                lm: LandmarkId(0),
+                delay: SimDuration(0),
+                hops: 0,
+                from: Place::Node(NodeId(0)),
+            },
+            SimEvent::PacketExpired {
+                at: SimTime(0),
+                pkt: PacketId(0),
+                from: Place::Pending(LandmarkId(0)),
+            },
+            SimEvent::PacketLost {
+                at: SimTime(0),
+                pkt: PacketId(0),
+                from: None,
+                kind: LossKind::Churn,
+            },
+            SimEvent::StationDown {
+                at: SimTime(0),
+                lm: LandmarkId(0),
+            },
+            SimEvent::StationUp {
+                at: SimTime(0),
+                lm: LandmarkId(0),
+            },
+            SimEvent::NodeFailed {
+                at: SimTime(0),
+                node: NodeId(0),
+                lost_packets: 0,
+            },
+            SimEvent::NodeRecovered {
+                at: SimTime(0),
+                node: NodeId(0),
+            },
+            SimEvent::TableExchanged {
+                at: SimTime(0),
+                from: LandmarkId(0),
+                to: LandmarkId(1),
+                entries: 0,
+                accepted: false,
+            },
+            SimEvent::BandwidthUpdated {
+                at: SimTime(0),
+                from: LandmarkId(0),
+                to: LandmarkId(1),
+                value: 0.0,
+            },
+            SimEvent::MisTransit {
+                at: SimTime(0),
+                pkt: PacketId(0),
+                node: NodeId(0),
+                lm: LandmarkId(0),
+                uploaded: false,
+            },
+            SimEvent::RetryQueued {
+                at: SimTime(0),
+                lm: LandmarkId(0),
+                pkt: PacketId(0),
+            },
+            SimEvent::RouteCoverage {
+                at: SimTime(0),
+                lm: LandmarkId(0),
+                coverage: 0.0,
+                revision: 0,
+            },
+        ];
+        let kinds: BTreeSet<&'static str> = evs.iter().map(SimEvent::kind).collect();
+        assert_eq!(kinds.len(), evs.len());
+    }
+}

@@ -1,0 +1,228 @@
+//! Trace sinks: where emitted `SimEvent`s go.
+//!
+//! The simulator holds an `Option<Box<dyn TraceSink>>`; with no sink
+//! attached, event construction is skipped entirely (the emit closure is
+//! never invoked), so tracing has zero overhead when disabled. The
+//! `Recorder` keeps the last `capacity` events in a bounded
+//! flight-recorder ring buffer and folds *every* event (including ones
+//! later evicted from the ring) into an `ObsMetrics` registry.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::event::SimEvent;
+use crate::metrics::ObsMetrics;
+use crate::snapshot::Snapshot;
+
+/// Receiver for structured simulation events.
+///
+/// `Debug` is a supertrait because sinks are stored inside `Debug`-derived
+/// simulator state. `into_any` enables recovering a concrete sink (e.g. a
+/// [`Recorder`]) from the boxed trait object a run returns.
+pub trait TraceSink: std::fmt::Debug {
+    /// Observe one event. Called in simulation order with monotonically
+    /// non-decreasing timestamps.
+    fn record(&mut self, ev: SimEvent);
+
+    /// Downcast support: surrender the box as `Any`.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// A sink that discards everything (useful for overhead measurements and
+/// as an explicit "tracing attached but ignored" baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record(&mut self, _ev: SimEvent) {}
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Default ring capacity used by [`Recorder::default`].
+pub const DEFAULT_RING_CAPACITY: usize = 4_096;
+
+/// Bounded flight recorder plus always-on metric fold.
+///
+/// The ring holds the most recent `capacity` events; older events are
+/// evicted (counted in `dropped`) but remain reflected in the folded
+/// metrics, so counters and histograms are exact even when the ring
+/// wraps.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    capacity: usize,
+    ring: VecDeque<SimEvent>,
+    recorded: u64,
+    dropped: u64,
+    metrics: ObsMetrics,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl Recorder {
+    /// Create a recorder whose ring holds at most `capacity` events
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> Recorder {
+        let capacity = capacity.max(1);
+        Recorder {
+            capacity,
+            ring: VecDeque::with_capacity(capacity),
+            recorded: 0,
+            dropped: 0,
+            metrics: ObsMetrics::new(),
+        }
+    }
+
+    /// Configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently retained in the ring.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total events observed, including evicted ones.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted from the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &SimEvent> {
+        self.ring.iter()
+    }
+
+    /// The folded metric registries.
+    pub fn metrics(&self) -> &ObsMetrics {
+        &self.metrics
+    }
+
+    /// Export the current registries plus ring statistics.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::from_metrics(
+            &self.metrics,
+            self.recorded,
+            self.dropped,
+            self.capacity as u64,
+        )
+    }
+
+    /// Render the retained events as one line each (oldest first).
+    ///
+    /// This is the byte-stable textual form compared by the cross-process
+    /// trace-stability tests.
+    pub fn render_log(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.ring {
+            let _ = writeln!(out, "{ev}");
+        }
+        out
+    }
+
+    /// Recover a `Recorder` from a boxed sink, if that is what it is.
+    pub fn downcast(sink: Box<dyn TraceSink>) -> Option<Recorder> {
+        sink.into_any().downcast::<Recorder>().ok().map(|r| *r)
+    }
+}
+
+impl TraceSink for Recorder {
+    fn record(&mut self, ev: SimEvent) {
+        self.metrics.apply(&ev);
+        self.recorded += 1;
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtnflow_core::ids::LandmarkId;
+    use dtnflow_core::time::SimTime;
+
+    fn unit_event(i: u64) -> SimEvent {
+        SimEvent::UnitBoundary {
+            at: SimTime(i),
+            unit: i,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let mut r = Recorder::new(3);
+        for i in 0..10 {
+            r.record(unit_event(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.dropped(), 7);
+        let kept: Vec<u64> = r.events().map(|e| e.at().0).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+        // Metrics reflect all 10 events, not just the retained 3.
+        assert_eq!(r.metrics().event_counts["unit_boundary"], 10);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let r = Recorder::new(0);
+        assert_eq!(r.capacity(), 1);
+    }
+
+    #[test]
+    fn render_log_matches_ring() {
+        let mut r = Recorder::new(8);
+        r.record(unit_event(5));
+        r.record(SimEvent::StationDown {
+            at: SimTime(6),
+            lm: LandmarkId(1),
+        });
+        assert_eq!(r.render_log(), "@5 unit_boundary u5\n@6 station_down l1\n");
+    }
+
+    #[test]
+    fn downcast_roundtrip() {
+        let mut r = Recorder::new(4);
+        r.record(unit_event(1));
+        let boxed: Box<dyn TraceSink> = Box::new(r);
+        let back = Recorder::downcast(boxed).unwrap();
+        assert_eq!(back.recorded(), 1);
+        assert!(Recorder::downcast(Box::new(NoopSink)).is_none());
+    }
+
+    #[test]
+    fn snapshot_reports_ring_stats() {
+        let mut r = Recorder::new(2);
+        for i in 0..5 {
+            r.record(unit_event(i));
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.events_recorded, 5);
+        assert_eq!(snap.events_dropped, 3);
+        assert_eq!(snap.ring_capacity, 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the flight-recorder ring buffer: the ring never
+//! exceeds its bound, eviction accounting is exact, and the metric fold
+//! sees every event regardless of ring churn.
+
+use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
+use dtnflow_core::time::SimTime;
+use dtnflow_obs::{Recorder, SimEvent, TraceSink};
+use proptest::prelude::*;
+
+/// A small assortment of event shapes; the ring treats them uniformly.
+fn arb_event() -> impl Strategy<Value = SimEvent> {
+    (0u64..100_000, 0u32..8, 0u16..8, any::<u8>()).prop_map(|(t, n, l, pick)| {
+        let at = SimTime(t);
+        match pick % 4 {
+            0 => SimEvent::ContactOpen {
+                at,
+                node: NodeId(n),
+                lm: LandmarkId(l),
+            },
+            1 => SimEvent::UnitBoundary { at, unit: t / 900 },
+            2 => SimEvent::StationDown {
+                at,
+                lm: LandmarkId(l),
+            },
+            _ => SimEvent::RetryQueued {
+                at,
+                lm: LandmarkId(l),
+                pkt: PacketId(n),
+            },
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn ring_never_exceeds_capacity(
+        capacity in 1usize..64,
+        events in proptest::collection::vec(arb_event(), 0..300),
+    ) {
+        let mut r = Recorder::new(capacity);
+        for (i, ev) in events.iter().enumerate() {
+            r.record(ev.clone());
+            prop_assert!(r.len() <= capacity);
+            prop_assert_eq!(r.recorded(), i as u64 + 1);
+        }
+        let n = events.len();
+        prop_assert_eq!(r.len(), n.min(capacity));
+        prop_assert_eq!(r.dropped(), n.saturating_sub(capacity) as u64);
+        // The ring retains exactly the newest `capacity` events, in order.
+        let kept: Vec<&SimEvent> = r.events().collect();
+        let expect: Vec<&SimEvent> = events.iter().skip(n.saturating_sub(capacity)).collect();
+        prop_assert_eq!(kept, expect);
+    }
+
+    #[test]
+    fn metric_fold_counts_all_events_even_after_eviction(
+        capacity in 1usize..8,
+        events in proptest::collection::vec(arb_event(), 0..200),
+    ) {
+        let mut r = Recorder::new(capacity);
+        for ev in &events {
+            r.record(ev.clone());
+        }
+        let total: u64 = r.metrics().event_counts.values().sum();
+        prop_assert_eq!(total, events.len() as u64);
+        // Snapshot ring stats agree with the recorder.
+        let snap = r.snapshot();
+        prop_assert_eq!(snap.events_recorded, events.len() as u64);
+        prop_assert_eq!(snap.events_dropped, r.dropped());
+        prop_assert_eq!(
+            snap.events_recorded - snap.events_dropped,
+            r.len() as u64
+        );
+    }
+
+    #[test]
+    fn render_log_has_one_line_per_retained_event(
+        capacity in 1usize..32,
+        events in proptest::collection::vec(arb_event(), 0..120),
+    ) {
+        let mut r = Recorder::new(capacity);
+        for ev in &events {
+            r.record(ev.clone());
+        }
+        prop_assert_eq!(r.render_log().lines().count(), r.len());
+    }
+}

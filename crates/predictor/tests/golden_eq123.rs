@@ -1,0 +1,128 @@
+//! Golden tests for the paper's prediction equations (Eq. 1–3, §IV-B,
+//! §IV-D.4): hand-computed probabilities on small worked landmark
+//! sequences, pinned so any refactor of the Markov counting or the
+//! accuracy weighting shows up as an exact-value diff.
+
+use dtnflow_core::ids::LandmarkId;
+use dtnflow_predictor::{AccuracyTracker, MarkovPredictor};
+
+fn lm(i: u16) -> LandmarkId {
+    LandmarkId(i)
+}
+
+fn feed(p: &mut MarkovPredictor, seq: &[u16]) {
+    for &s in seq {
+        p.observe(lm(s));
+    }
+}
+
+/// Order-1 (Eq. 1): `P(c | l) = N(l ⊕ c) / N(l)` over the §IV-B-style
+/// worked sequence l1 l2 l3 l2 l1 l2. Counted contexts (the landmark a
+/// transit left from): N(1)=2 {2:2}, N(2)=2 {3:1, 1:1}, N(3)=1 {2:1}.
+#[test]
+fn order1_probabilities_match_hand_counts() {
+    let mut p = MarkovPredictor::new(1);
+    feed(&mut p, &[1, 2, 3, 2, 1, 2]);
+
+    assert!((p.probability_from(&[lm(2)], lm(3)) - 0.5).abs() < 1e-12);
+    assert!((p.probability_from(&[lm(2)], lm(1)) - 0.5).abs() < 1e-12);
+    assert!((p.probability_from(&[lm(1)], lm(2)) - 1.0).abs() < 1e-12);
+    assert!((p.probability_from(&[lm(3)], lm(2)) - 1.0).abs() < 1e-12);
+    // Never-seen successor.
+    assert_eq!(p.probability_from(&[lm(1)], lm(3)), 0.0);
+
+    // Current context is [2]; the 50/50 tie breaks to the lowest id.
+    assert_eq!(p.current(), Some(lm(2)));
+    let (next, prob) = p.predict().expect("context is complete");
+    assert_eq!(next, lm(1));
+    assert!((prob - 0.5).abs() < 1e-12);
+}
+
+/// Order-2 (Eq. 2): contexts are landmark pairs. In
+/// 1 2 3 1 2 4 1 2 3 the pair (1,2) occurs 3 times, followed twice by 3
+/// and once by 4.
+#[test]
+fn order2_probabilities_match_hand_counts() {
+    let mut p = MarkovPredictor::new(2);
+    feed(&mut p, &[1, 2, 3, 1, 2, 4, 1, 2, 3]);
+
+    let ctx = [lm(1), lm(2)];
+    assert!((p.probability_from(&ctx, lm(3)) - 2.0 / 3.0).abs() < 1e-12);
+    assert!((p.probability_from(&ctx, lm(4)) - 1.0 / 3.0).abs() < 1e-12);
+    let (next, prob) = p.predict_from(&ctx).expect("pair was seen");
+    assert_eq!(next, lm(3));
+    assert!((prob - 2.0 / 3.0).abs() < 1e-12);
+
+    // (2,3) → 1 every time it had a successor.
+    assert!((p.probability_from(&[lm(2), lm(3)], lm(1)) - 1.0).abs() < 1e-12);
+    // A pair never seen as a context predicts nothing (§IV-B.2's missed
+    // k-hop pattern).
+    assert!(p.predict_from(&[lm(4), lm(2)]).is_none());
+}
+
+/// Order-3 (Eq. 3 generalization): in 1 2 3 4 1 2 3 5 1 2 3 4 the triple
+/// (1,2,3) is followed by 4, 5, 4.
+#[test]
+fn order3_probabilities_match_hand_counts() {
+    let mut p = MarkovPredictor::new(3);
+    feed(&mut p, &[1, 2, 3, 4, 1, 2, 3, 5, 1, 2, 3, 4]);
+
+    let ctx = [lm(1), lm(2), lm(3)];
+    assert!((p.probability_from(&ctx, lm(4)) - 2.0 / 3.0).abs() < 1e-12);
+    assert!((p.probability_from(&ctx, lm(5)) - 1.0 / 3.0).abs() < 1e-12);
+    let (next, prob) = p.predict_from(&ctx).expect("triple was seen");
+    assert_eq!(next, lm(4));
+    assert!((prob - 2.0 / 3.0).abs() < 1e-12);
+}
+
+/// Consecutive repeats are continued stays, not transits: they must not
+/// change any count.
+#[test]
+fn repeated_visits_do_not_create_transits() {
+    let mut a = MarkovPredictor::new(1);
+    feed(&mut a, &[1, 2, 3, 2, 1, 2]);
+    let mut b = MarkovPredictor::new(1);
+    feed(&mut b, &[1, 1, 2, 2, 2, 3, 3, 2, 1, 1, 2]);
+    assert_eq!(a.observations(), b.observations());
+    for (ctx, next) in [(1u16, 2u16), (2, 1), (2, 3), (3, 2)] {
+        assert_eq!(
+            a.probability_from(&[lm(ctx)], lm(next)),
+            b.probability_from(&[lm(ctx)], lm(next)),
+            "ctx {ctx} → {next}"
+        );
+    }
+}
+
+/// §IV-D.4 accuracy weighting: `p_t = p_a · p_pred` with the paper's
+/// multiplicative update (init 0.5, ×1.1 up capped at 1, ×0.8 down
+/// floored at 0.05), hand-computed over a short outcome sequence.
+#[test]
+fn overall_transit_probability_weights_prediction_by_accuracy() {
+    let mut acc = AccuracyTracker::new(3);
+    assert_eq!(acc.get(lm(0)), 0.5);
+
+    // correct, correct, wrong at l0: 0.5·1.1·1.1·0.8 = 0.484.
+    acc.record(lm(0), true);
+    acc.record(lm(0), true);
+    acc.record(lm(0), false);
+    assert!((acc.get(lm(0)) - 0.484).abs() < 1e-12);
+    // Other landmarks untouched.
+    assert_eq!(acc.get(lm(1)), 0.5);
+
+    // Combine with an Eq. 1 prediction: the l2-after-l2 probability from
+    // the order-1 worked sequence is 0.5, so p_t = 0.484 · 0.5 = 0.242.
+    let mut p = MarkovPredictor::new(1);
+    feed(&mut p, &[1, 2, 3, 2, 1, 2]);
+    let p_pred = p.probability_from(&[lm(2)], lm(3));
+    assert!((acc.overall(lm(0), p_pred) - 0.242).abs() < 1e-12);
+
+    // Cap and floor are golden too.
+    for _ in 0..20 {
+        acc.record(lm(1), true);
+    }
+    assert_eq!(acc.get(lm(1)), 1.0);
+    for _ in 0..40 {
+        acc.record(lm(1), false);
+    }
+    assert!((acc.get(lm(1)) - 0.05).abs() < 1e-12);
+}

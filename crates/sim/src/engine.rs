@@ -12,6 +12,7 @@ use dtnflow_core::metrics::RunMetrics;
 use dtnflow_core::packet::Packet;
 use dtnflow_core::time::SimTime;
 use dtnflow_mobility::Trace;
+use dtnflow_obs::{SimEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -23,6 +24,10 @@ pub struct SimOutcome {
     /// Every packet with its final state and visited-landmark path
     /// (for loop/path diagnostics).
     pub packets: Vec<Packet>,
+    /// The observability sink attached via [`run_traced`], if any
+    /// (downcast it — e.g. with `Recorder::downcast` — to read the
+    /// recorded events and counters).
+    pub trace: Option<Box<dyn TraceSink>>,
 }
 
 /// Event kinds, ordered by dispatch priority within a timestamp: unit
@@ -87,8 +92,38 @@ pub fn run_with_faults<R: Router + ?Sized>(
     plan: &FaultPlan,
     router: &mut R,
 ) -> SimOutcome {
+    run_inner(trace, cfg, workload, plan, router, None)
+}
+
+/// Like [`run_with_faults`], but with an observability sink attached: the
+/// world emits structured [`SimEvent`]s into it for the whole run, and the
+/// outcome returns the sink in [`SimOutcome::trace`]. Tracing is
+/// observation-only — metrics, packets and CSVs are byte-identical to an
+/// untraced run (enforced by `csv_determinism` and the obs proptests).
+pub fn run_traced<R: Router + ?Sized>(
+    trace: &Trace,
+    cfg: &SimConfig,
+    workload: &Workload,
+    plan: &FaultPlan,
+    router: &mut R,
+    sink: Box<dyn TraceSink>,
+) -> SimOutcome {
+    run_inner(trace, cfg, workload, plan, router, Some(sink))
+}
+
+fn run_inner<R: Router + ?Sized>(
+    trace: &Trace,
+    cfg: &SimConfig,
+    workload: &Workload,
+    plan: &FaultPlan,
+    router: &mut R,
+    sink: Option<Box<dyn TraceSink>>,
+) -> SimOutcome {
     plan.check_against(trace);
     let mut world = World::new(cfg.clone(), trace.num_nodes(), trace.num_landmarks());
+    if let Some(sink) = sink {
+        world.set_trace_sink(sink);
+    }
     let station_mode = router.uses_stations();
 
     // Truncation fractions by visit index (sparse: most visits complete).
@@ -208,6 +243,7 @@ pub fn run_with_faults<R: Router + ?Sized>(
         world.set_now(ev.at);
         match ev.kind {
             EventKind::TimeUnit(u) => {
+                world.emit(|at| SimEvent::UnitBoundary { at, unit: u });
                 world.purge_expired();
                 world.reset_radio_budget();
                 router.on_time_unit(&mut world, u);
@@ -286,8 +322,13 @@ pub fn run_with_faults<R: Router + ?Sized>(
     let end = (SimTime::ZERO + duration).max(world.now());
     world.set_now(end);
     world.purge_expired();
+    let trace_sink = world.take_trace_sink();
     let (metrics, packets) = world.into_outcome();
-    SimOutcome { metrics, packets }
+    SimOutcome {
+        metrics,
+        packets,
+        trace: trace_sink,
+    }
 }
 
 #[cfg(test)]

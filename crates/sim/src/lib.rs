@@ -14,7 +14,12 @@
 //! * [`faults`] — seeded fault plans (outages, churn, truncation,
 //!   record loss) for resilience experiments;
 //! * [`engine`] — the event loop ([`engine::run`],
-//!   [`engine::run_with_faults`]).
+//!   [`engine::run_with_faults`], [`engine::run_traced`]).
+//!
+//! Observability (DESIGN.md §9): attach a [`dtnflow_obs::TraceSink`] via
+//! [`engine::run_traced`] and the world emits structured
+//! [`dtnflow_obs::SimEvent`]s — contact, packet-lifecycle and fault
+//! transitions — without perturbing outcomes.
 
 #![forbid(unsafe_code)]
 // Non-test code in this crate must not unwrap/expect (detlint P1);
@@ -28,9 +33,13 @@ pub mod store;
 pub mod workload;
 pub mod world;
 
-pub use engine::{run, run_with_faults, run_with_workload, SimOutcome};
+pub use engine::{run, run_traced, run_with_faults, run_with_workload, SimOutcome};
 pub use faults::{FaultConfig, FaultPlan, NodeOutage, StationOutage};
 pub use router::Router;
 pub use store::PacketStore;
 pub use workload::Workload;
 pub use world::{LossReason, TransferError, TransferOutcome, World, WorldError};
+
+// Re-export the observability vocabulary so downstream crates can attach
+// sinks without a direct dtnflow-obs dependency.
+pub use dtnflow_obs::{NoopSink, Recorder, SimEvent, TraceSink};

@@ -59,6 +59,14 @@ impl Workload {
         Self::build(cfg, num_landmarks, duration, Some(sink), &[])
     }
 
+    /// Explicit schedule: exactly these generations (sorted by time, then
+    /// source, then destination). For tests and micro-scenarios that need
+    /// full control over when each packet appears.
+    pub fn from_events(mut events: Vec<GenEvent>, warmup_end: SimTime) -> Self {
+        events.sort_by_key(|e| (e.at, e.src, e.dst));
+        Workload { events, warmup_end }
+    }
+
     fn build(
         cfg: &SimConfig,
         num_landmarks: usize,

@@ -13,7 +13,19 @@ use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
 use dtnflow_core::metrics::RunMetrics;
 use dtnflow_core::packet::{Packet, PacketLoc};
 use dtnflow_core::time::SimTime;
+use dtnflow_obs::{LossKind, Place, SimEvent, TraceSink};
 use std::collections::BTreeSet;
+
+/// Map a live packet location to its observability [`Place`]; terminal
+/// states have no place.
+fn place_of(loc: PacketLoc) -> Option<Place> {
+    match loc {
+        PacketLoc::PendingAtSource(l) => Some(Place::Pending(l)),
+        PacketLoc::OnNode(n) => Some(Place::Node(n)),
+        PacketLoc::AtStation(l) => Some(Place::Station(l)),
+        _ => None,
+    }
+}
 
 /// Why a transfer was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +128,9 @@ pub struct World {
     visit_recorded: bool,
     /// Timers requested by the router, drained by the engine.
     pub(crate) pending_timers: Vec<(SimTime, u64)>,
+    /// Attached observability sink (`None` = tracing disabled; event
+    /// construction is skipped entirely, see [`World::emit`]).
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 impl World {
@@ -168,6 +183,7 @@ impl World {
             awaiting_recovery: vec![None; num_landmarks],
             visit_recorded: true,
             pending_timers: Vec::new(),
+            trace: None,
             cfg,
         })
     }
@@ -276,6 +292,38 @@ impl World {
         self.visit_recorded
     }
 
+    // ---- observability ---------------------------------------------------
+
+    /// Attach an observability sink; subsequent state changes emit
+    /// [`SimEvent`]s into it.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Detach and return the sink (e.g. to downcast a recorder after a
+    /// run).
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Whether a sink is attached. Emission call sites that need to do
+    /// extra work to *assemble* an event (beyond moving already-computed
+    /// values) should check this first.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Emit one event. The closure receives the current [`SimTime`] and is
+    /// only invoked while a sink is attached — with tracing disabled, not
+    /// even the event struct is constructed (zero overhead).
+    #[inline]
+    pub fn emit(&mut self, make: impl FnOnce(SimTime) -> SimEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(make(self.now));
+        }
+    }
+
     // ---- router services -------------------------------------------------
 
     /// Ask the engine to call `Router::on_timer(token)` at `at` (clamped to
@@ -355,6 +403,14 @@ impl World {
         p.loc = PacketLoc::OnNode(to);
         p.hops += 1;
         self.metrics.record_forward();
+        if let Some(from) = place_of(loc) {
+            self.emit(|at| SimEvent::PacketForwarded {
+                at,
+                pkt,
+                from,
+                to: Place::Node(to),
+            });
+        }
         Ok(())
     }
 
@@ -372,7 +428,8 @@ impl World {
             return Err(TransferError::StationDown);
         }
         let size = self.cfg.packet_size;
-        match self.packets[pkt.index()].loc {
+        let loc = self.packets[pkt.index()].loc;
+        match loc {
             PacketLoc::OnNode(m) => {
                 if self.node_loc[m.index()] != Some(lm) {
                     return Err(TransferError::NotColocated);
@@ -399,7 +456,18 @@ impl World {
         if p.dst == lm && p.dst_node.is_none() {
             p.loc = PacketLoc::Delivered(now);
             let delay = now.since(p.created);
+            let hops = p.hops;
             self.metrics.record_delivery(delay);
+            if let Some(from) = place_of(loc) {
+                self.emit(|at| SimEvent::PacketDelivered {
+                    at,
+                    pkt,
+                    lm,
+                    delay,
+                    hops,
+                    from,
+                });
+            }
             return Ok(TransferOutcome {
                 delivered: true,
                 loop_closed: false,
@@ -412,6 +480,14 @@ impl World {
             self.station_store[lm.index()].insert(pkt, size),
             "unbounded station store refused an insert"
         );
+        if let Some(from) = place_of(loc) {
+            self.emit(|at| SimEvent::PacketForwarded {
+                at,
+                pkt,
+                from,
+                to: Place::Station(lm),
+            });
+        }
         Ok(TransferOutcome {
             delivered: false,
             loop_closed,
@@ -443,8 +519,17 @@ impl World {
         p.loc = PacketLoc::Delivered(now);
         p.hops += 1;
         let delay = now.since(p.created);
+        let hops = p.hops;
         self.metrics.record_delivery(delay);
         self.metrics.record_forward();
+        self.emit(|at| SimEvent::PacketDelivered {
+            at,
+            pkt,
+            lm: l,
+            delay,
+            hops,
+            from: Place::Station(l),
+        });
         Ok(())
     }
 
@@ -490,10 +575,23 @@ impl World {
             _ => return Err(TransferError::NotLive),
         }
         self.packets[pkt.index()].loc = PacketLoc::Lost;
-        match reason {
-            LossReason::Outage => self.metrics.record_lost_to_outage(),
-            LossReason::Churn => self.metrics.record_lost_to_churn(),
-        }
+        let kind = match reason {
+            LossReason::Outage => {
+                self.metrics.record_lost_to_outage();
+                LossKind::Outage
+            }
+            LossReason::Churn => {
+                self.metrics.record_lost_to_churn();
+                LossKind::Churn
+            }
+        };
+        let from = place_of(loc);
+        self.emit(|at| SimEvent::PacketLost {
+            at,
+            pkt,
+            from,
+            kind,
+        });
         Ok(())
     }
 
@@ -502,11 +600,13 @@ impl World {
         // An outage starting before the previous one's recovery completed
         // voids that pending measurement.
         self.awaiting_recovery[lm.index()] = None;
+        self.emit(|at| SimEvent::StationDown { at, lm });
     }
 
     pub(crate) fn station_recover(&mut self, lm: LandmarkId) {
         self.station_up[lm.index()] = true;
         self.awaiting_recovery[lm.index()] = Some(self.now);
+        self.emit(|at| SimEvent::StationUp { at, lm });
     }
 
     /// Fail a node: drop it off the network and destroy everything it
@@ -515,6 +615,8 @@ impl World {
         self.node_failed[node.index()] = true;
         if let Some(lm) = self.node_loc[node.index()].take() {
             self.present[lm.index()].remove(&node);
+            // The failure ends any in-progress contact.
+            self.emit(|at| SimEvent::ContactClose { at, node, lm });
         }
         let carried: Vec<PacketId> = self.node_store[node.index()].iter().collect();
         for pkt in &carried {
@@ -524,6 +626,12 @@ impl World {
             let dropped = self.drop_lost(*pkt, LossReason::Churn);
             debug_assert!(dropped.is_ok(), "carried packets are live: {dropped:?}");
         }
+        let lost_packets = carried.len() as u64;
+        self.emit(|at| SimEvent::NodeFailed {
+            at,
+            node,
+            lost_packets,
+        });
         carried.len()
     }
 
@@ -531,6 +639,7 @@ impl World {
         self.node_failed[node.index()] = false;
         // The node rejoins the network at its next trace arrival; it is
         // not teleported back mid-visit.
+        self.emit(|at| SimEvent::NodeRecovered { at, node });
     }
 
     pub(crate) fn set_visit_recorded(&mut self, recorded: bool) {
@@ -576,12 +685,14 @@ impl World {
         );
         self.node_loc[node.index()] = Some(lm);
         self.present[lm.index()].insert(node);
+        self.emit(|at| SimEvent::ContactOpen { at, node, lm });
     }
 
     pub(crate) fn node_depart(&mut self, node: NodeId, lm: LandmarkId) {
         debug_assert_eq!(self.node_loc[node.index()], Some(lm));
         self.node_loc[node.index()] = None;
         self.present[lm.index()].remove(&node);
+        self.emit(|at| SimEvent::ContactClose { at, node, lm });
     }
 
     /// Create a packet addressed to a mobile node (§IV-E.4): `via` is one
@@ -623,6 +734,19 @@ impl World {
                 self.packets.push(p);
                 self.metrics.generated += 1;
                 self.metrics.record_lost_to_outage();
+                self.emit(|at| SimEvent::PacketGenerated {
+                    at,
+                    pkt: id,
+                    src,
+                    dst,
+                    start: None,
+                });
+                self.emit(|at| SimEvent::PacketLost {
+                    at,
+                    pkt: id,
+                    from: None,
+                    kind: LossKind::Outage,
+                });
                 return id;
             }
             p.loc = PacketLoc::AtStation(src);
@@ -635,8 +759,16 @@ impl World {
         } else {
             self.pending[src.index()].insert(id);
         }
+        let start = place_of(p.loc);
         self.packets.push(p);
         self.metrics.generated += 1;
+        self.emit(|at| SimEvent::PacketGenerated {
+            at,
+            pkt: id,
+            src,
+            dst,
+            start,
+        });
         id
     }
 
@@ -658,6 +790,9 @@ impl World {
         }
         self.packets[pkt.index()].loc = PacketLoc::Expired;
         self.metrics.record_expiry();
+        if let Some(from) = place_of(loc) {
+            self.emit(|at| SimEvent::PacketExpired { at, pkt, from });
+        }
     }
 
     /// Drop every live packet whose TTL has elapsed.
@@ -695,7 +830,16 @@ impl World {
             let p = &mut self.packets[pkt.index()];
             p.loc = PacketLoc::Delivered(now);
             let delay = now.since(p.created);
+            let hops = p.hops;
             self.metrics.record_delivery(delay);
+            self.emit(|at| SimEvent::PacketDelivered {
+                at,
+                pkt,
+                lm,
+                delay,
+                hops,
+                from: Place::Node(node),
+            });
         }
     }
 

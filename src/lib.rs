@@ -48,6 +48,7 @@
 //! | [`predictor`] | order-k Markov transit predictor (§IV-B) |
 //! | [`landmark`] | landmark selection + Voronoi subarea division (§IV-A) |
 //! | [`sim`] | the trace-driven discrete-event simulator |
+//! | [`obs`] | event tracing, counters, delay histograms, snapshots |
 //! | [`router`] | the DTN-FLOW router with all §IV-E extensions |
 //! | [`baselines`] | SimBet, PROPHET, PGR, GeoComm, PER |
 
@@ -57,6 +58,7 @@ pub use dtnflow_baselines as baselines;
 pub use dtnflow_core as core;
 pub use dtnflow_landmark as landmark;
 pub use dtnflow_mobility as mobility;
+pub use dtnflow_obs as obs;
 pub use dtnflow_predictor as predictor;
 pub use dtnflow_router as router;
 pub use dtnflow_sim as sim;
@@ -76,14 +78,15 @@ pub mod prelude {
     pub use dtnflow_mobility::synth::campus::{CampusConfig, CampusModel};
     pub use dtnflow_mobility::synth::deployment::{DeploymentConfig, DeploymentModel};
     pub use dtnflow_mobility::{Trace, Visit};
+    pub use dtnflow_obs::{NoopSink, Recorder, SimEvent, Snapshot, TraceSink};
     pub use dtnflow_predictor::{AccuracyTracker, MarkovPredictor, VisitHistory};
     pub use dtnflow_router::{
         DeadEndConfig, DegradationConfig, FlowConfig, FlowRouter, HybridFlowRouter, LinkDelayModel,
         LoadBalanceConfig,
     };
     pub use dtnflow_sim::{
-        run, run_with_faults, run_with_workload, FaultConfig, FaultPlan, LossReason, NodeOutage,
-        Router, SimOutcome, StationOutage, Workload, World, WorldError,
+        run, run_traced, run_with_faults, run_with_workload, FaultConfig, FaultPlan, LossReason,
+        NodeOutage, Router, SimOutcome, StationOutage, Workload, World, WorldError,
     };
 }
 
