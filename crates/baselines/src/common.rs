@@ -11,11 +11,11 @@
 //! * delivery happens when a carrier reaches the destination landmark
 //!   (handled by the engine).
 
+use dtnflow_core::dense::{DenseMap, DenseSet};
 use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
 use dtnflow_core::packet::PacketLoc;
 use dtnflow_core::time::{SimDuration, SimTime};
 use dtnflow_sim::{Router, TransferError, World};
-use std::collections::{BTreeMap, BTreeSet};
 
 /// The algorithm-specific part of a baseline: a per-node suitability
 /// estimate for carrying packets to each destination landmark.
@@ -57,11 +57,14 @@ pub struct UtilityRouter<U: UtilityModel> {
     model: U,
     /// Per node: packets grouped by destination landmark (lazily validated
     /// against the world, since auto-delivery and expiry bypass us).
-    /// Ordered map: the forward pass walks destinations in key order, and
-    /// with a hash map that order would vary per process (per-process
-    /// hasher seed) — a full receiver aborts the pass midway, so iteration
-    /// order is observable in the outcome.
-    groups: Vec<BTreeMap<u16, BTreeSet<PacketId>>>,
+    /// Dense-indexed map: the forward pass walks destinations in id order
+    /// — the same observable order the ordered tree it replaces gave — and
+    /// a full receiver aborts the pass midway, so that order matters.
+    groups: Vec<DenseMap<u16, DenseSet<PacketId>>>,
+    /// Reusable buffers for the forward pass (encounters are the hottest
+    /// router path; allocating per pass dominates the pass itself).
+    scratch_dsts: Vec<u16>,
+    scratch_pkts: Vec<PacketId>,
 }
 
 impl<U: UtilityModel> UtilityRouter<U> {
@@ -69,6 +72,8 @@ impl<U: UtilityModel> UtilityRouter<U> {
         UtilityRouter {
             model,
             groups: Vec::new(),
+            scratch_dsts: Vec::new(),
+            scratch_pkts: Vec::new(),
         }
     }
 
@@ -79,50 +84,34 @@ impl<U: UtilityModel> UtilityRouter<U> {
 
     fn ensure_node(&mut self, node: NodeId) {
         if self.groups.len() <= node.index() {
-            self.groups.resize_with(node.index() + 1, BTreeMap::new);
+            self.groups.resize_with(node.index() + 1, DenseMap::new);
         }
     }
 
     fn index_packet(&mut self, node: NodeId, dst: LandmarkId, pkt: PacketId) {
         self.ensure_node(node);
-        self.groups[node.index()]
-            .entry(dst.0)
-            .or_default()
-            .insert(pkt);
-    }
-
-    /// The holder's live packets for one destination, dropping stale index
-    /// entries as a side effect.
-    fn validated_group(&mut self, world: &World, node: NodeId, dst: u16) -> Vec<PacketId> {
-        self.ensure_node(node);
-        let Some(set) = self.groups[node.index()].get_mut(&dst) else {
-            return Vec::new();
-        };
-        let mut live = Vec::with_capacity(set.len());
-        let mut stale = Vec::new();
-        for &p in set.iter() {
-            if world.packet(p).loc == PacketLoc::OnNode(node) {
-                live.push(p);
-            } else {
-                stale.push(p);
-            }
-        }
-        for p in stale {
-            set.remove(&p);
-        }
-        live
+        self.groups[node.index()].get_or_default(dst.0).insert(pkt);
     }
 
     /// One direction of an encounter: move `holder`'s packets to `other`
-    /// where the model says so.
+    /// where the model says so. Stale index entries (auto-delivery and
+    /// expiry bypass us) are dropped in the same pass.
     fn forward_pass(&mut self, world: &mut World, holder: NodeId, other: NodeId) {
         self.ensure_node(holder);
-        let dsts: Vec<u16> = self.groups[holder.index()].keys().copied().collect();
+        let mut dsts = std::mem::take(&mut self.scratch_dsts);
+        dsts.clear();
+        dsts.extend(self.groups[holder.index()].keys());
+        let mut pkts = std::mem::take(&mut self.scratch_pkts);
         let now = world.now();
-        for dst in dsts {
-            let pkts = self.validated_group(world, holder, dst);
+        'pass: for &dst in &dsts {
+            let Some(set) = self.groups[holder.index()].get_mut(dst) else {
+                continue;
+            };
+            set.retain(|p| world.packet(p).loc == PacketLoc::OnNode(holder));
+            pkts.clear();
+            pkts.extend(set.iter());
             let dst_lm = LandmarkId(dst);
-            for pkt in pkts {
+            for &pkt in pkts.iter() {
                 let remaining = world.packet(pkt).remaining_ttl(now);
                 if remaining == SimDuration::ZERO {
                     continue;
@@ -139,17 +128,18 @@ impl<U: UtilityModel> UtilityRouter<U> {
                 }
                 match world.transfer_to_node(pkt, other) {
                     Ok(()) => {
-                        self.groups[holder.index()]
-                            .get_mut(&dst)
-                            .expect("group exists")
-                            .remove(&pkt);
+                        if let Some(g) = self.groups[holder.index()].get_mut(dst) {
+                            g.remove(pkt);
+                        }
                         self.index_packet(other, dst_lm, pkt);
                     }
-                    Err(TransferError::NoSpace) => return, // receiver full
+                    Err(TransferError::NoSpace) => break 'pass, // receiver full
                     Err(_) => continue,
                 }
             }
         }
+        self.scratch_dsts = dsts;
+        self.scratch_pkts = pkts;
     }
 }
 
@@ -161,8 +151,10 @@ impl<U: UtilityModel> Router for UtilityRouter<U> {
     fn on_arrive(&mut self, world: &mut World, node: NodeId, lm: LandmarkId) {
         self.model.on_visit(node, lm, world.now());
         // Pick up packets waiting in this subarea (first carrier wins).
-        let pending: Vec<PacketId> = world.pending_at(lm).collect();
-        for pkt in pending {
+        let mut pending = std::mem::take(&mut self.scratch_pkts);
+        pending.clear();
+        pending.extend(world.pending_at(lm));
+        for &pkt in pending.iter() {
             let dst = world.packet(pkt).dst;
             match world.transfer_to_node(pkt, node) {
                 Ok(()) => self.index_packet(node, dst, pkt),
@@ -170,6 +162,7 @@ impl<U: UtilityModel> Router for UtilityRouter<U> {
                 Err(_) => continue,
             }
         }
+        self.scratch_pkts = pending;
     }
 
     fn on_encounter(
@@ -196,7 +189,7 @@ impl<U: UtilityModel> Router for UtilityRouter<U> {
         let remaining = p.ttl;
         // Hand it to the best-scoring node already in the subarea.
         let mut best: Option<(f64, NodeId)> = None;
-        for &n in world.nodes_at(src) {
+        for n in world.nodes_at(src).iter() {
             if !world.node_has_space(n) {
                 continue;
             }

@@ -41,7 +41,8 @@ impl Router for Direct {
             dtnflow_core::packet::PacketLoc::PendingAtSource(l) => l,
             _ => return,
         };
-        if let Some(&n) = world.nodes_at(src).iter().next() {
+        let first = world.nodes_at(src).iter().next();
+        if let Some(n) = first {
             let _ = world.transfer_to_node(pkt, n);
         }
     }

@@ -14,9 +14,9 @@
 //! it with the highest forwarding cost (§V-A.2).
 
 use crate::common::UtilityModel;
+use dtnflow_core::dense::DenseMap;
 use dtnflow_core::ids::{LandmarkId, NodeId};
 use dtnflow_core::time::{SimDuration, SimTime};
-use std::collections::BTreeMap;
 
 /// Cap on the number of DP steps (hops) expanded per query.
 pub const MAX_STEPS: usize = 24;
@@ -24,7 +24,10 @@ pub const MAX_STEPS: usize = 24;
 /// Per-node semi-Markov mobility summary.
 struct NodeModel {
     /// Transit counts `from -> (to -> count)`.
-    transitions: BTreeMap<u16, BTreeMap<u16, u32>>,
+    transitions: DenseMap<u16, DenseMap<u16, u32>>,
+    /// One past the largest landmark id seen by this node (bounds the flat
+    /// DP distributions in [`NodeModel::compute_first_passage`]).
+    lm_bound: usize,
     current: Option<LandmarkId>,
     last_arrival: Option<SimTime>,
     /// Sum and count of observed hop times (arrival to next arrival).
@@ -32,18 +35,24 @@ struct NodeModel {
     hop_count: u64,
     /// Memoized first-passage curves: dst -> cumulative hit probability
     /// after `s+1` hops. Cleared whenever the node moves.
-    cache: BTreeMap<u16, Vec<f64>>,
+    cache: DenseMap<u16, Vec<f64>>,
+    /// Reusable DP distributions (never observable: cleared before use).
+    scratch_dist: Vec<f64>,
+    scratch_next: Vec<f64>,
 }
 
 impl NodeModel {
     fn new() -> Self {
         NodeModel {
-            transitions: BTreeMap::new(),
+            transitions: DenseMap::new(),
+            lm_bound: 0,
             current: None,
             last_arrival: None,
             hop_time_sum: 0,
             hop_count: 0,
-            cache: BTreeMap::new(),
+            cache: DenseMap::new(),
+            scratch_dist: Vec::new(),
+            scratch_next: Vec::new(),
         }
     }
 
@@ -58,47 +67,61 @@ impl NodeModel {
     /// probability of having visited `dst` within `s+1` hops from the
     /// current landmark.
     fn first_passage(&mut self, dst: LandmarkId) -> &[f64] {
-        if !self.cache.contains_key(&dst.0) {
+        if !self.cache.contains_key(dst.0) {
             let curve = self.compute_first_passage(dst);
             self.cache.insert(dst.0, curve);
         }
-        &self.cache[&dst.0]
+        &self.cache[dst.0]
     }
 
-    fn compute_first_passage(&self, dst: LandmarkId) -> Vec<f64> {
+    fn compute_first_passage(&mut self, dst: LandmarkId) -> Vec<f64> {
         let Some(at) = self.current else {
             return vec![0.0; MAX_STEPS];
         };
-        // Sparse distribution over landmarks, dst absorbing. Ordered maps
-        // throughout: mass is accumulated in floating point, so iteration
-        // order is observable in the scores and must not depend on the
-        // process's hasher seed.
-        let mut dist: BTreeMap<u16, f64> = BTreeMap::new();
-        dist.insert(at.0, 1.0);
+        // Flat distribution over landmark ids, dst absorbing. Mass is
+        // accumulated in floating point, so iteration order is observable
+        // in the scores: ascending-id scans reproduce exactly the ordered
+        // maps this replaces (entries present in those maps always carried
+        // positive mass, so skipping zero slots preserves the sparsity).
+        let side = self.lm_bound.max(at.0 as usize + 1);
+        let mut dist = std::mem::take(&mut self.scratch_dist);
+        let mut next = std::mem::take(&mut self.scratch_next);
+        dist.clear();
+        dist.resize(side, 0.0);
+        next.clear();
+        next.resize(side, 0.0);
+        dist[at.0 as usize] = 1.0;
         let mut absorbed = 0.0;
         let mut curve = Vec::with_capacity(MAX_STEPS);
         for _ in 0..MAX_STEPS {
-            let mut next: BTreeMap<u16, f64> = BTreeMap::new();
-            for (&from, &mass) in &dist {
-                let Some(outs) = self.transitions.get(&from) else {
+            for slot in next.iter_mut() {
+                *slot = 0.0;
+            }
+            for (from, mass) in dist.iter().copied().enumerate() {
+                if mass == 0.0 {
+                    continue;
+                }
+                let Some(outs) = self.transitions.get(from as u16) else {
                     continue; // unknown outs: the walk stalls here
                 };
                 let total: u32 = outs.values().sum();
                 if total == 0 {
                     continue;
                 }
-                for (&to, &cnt) in outs {
+                for (to, &cnt) in outs.iter() {
                     let m = mass * cnt as f64 / total as f64;
                     if to == dst.0 {
                         absorbed += m;
                     } else {
-                        *next.entry(to).or_insert(0.0) += m;
+                        next[to as usize] += m;
                     }
                 }
             }
-            dist = next;
+            std::mem::swap(&mut dist, &mut next);
             curve.push(absorbed);
         }
+        self.scratch_dist = dist;
+        self.scratch_next = next;
         curve
     }
 }
@@ -139,13 +162,10 @@ impl UtilityModel for Per {
 
     fn on_visit(&mut self, node: NodeId, lm: LandmarkId, now: SimTime) {
         let m = &mut self.nodes[node.index()];
+        m.lm_bound = m.lm_bound.max(lm.0 as usize + 1);
         if let (Some(prev), Some(since)) = (m.current, m.last_arrival) {
             if prev != lm {
-                *m.transitions
-                    .entry(prev.0)
-                    .or_default()
-                    .entry(lm.0)
-                    .or_insert(0) += 1;
+                *m.transitions.get_or_default(prev.0).get_or_default(lm.0) += 1;
                 m.hop_time_sum += now.since(since).secs();
                 m.hop_count += 1;
             }

@@ -9,9 +9,9 @@
 //! SimBet's pairwise-normalized utility.
 
 use crate::common::UtilityModel;
+use dtnflow_core::dense::DenseSet;
 use dtnflow_core::ids::{LandmarkId, NodeId};
 use dtnflow_core::time::{SimDuration, SimTime};
-use std::collections::BTreeSet;
 
 /// The SimBet utility model.
 pub struct SimBet {
@@ -19,7 +19,7 @@ pub struct SimBet {
     /// Visit counts per (node, landmark) — the similarity signal.
     visits: Vec<u32>,
     /// Distinct landmarks visited per node — the centrality signal.
-    seen: Vec<BTreeSet<u16>>,
+    seen: Vec<DenseSet<u16>>,
     /// Weight of the similarity component (`α`; 1−α goes to centrality).
     alpha: f64,
 }
@@ -29,7 +29,7 @@ impl SimBet {
         SimBet {
             num_landmarks,
             visits: vec![0; num_nodes * num_landmarks],
-            seen: vec![BTreeSet::new(); num_nodes],
+            seen: (0..num_nodes).map(|_| DenseSet::new()).collect(),
             alpha: 0.5,
         }
     }

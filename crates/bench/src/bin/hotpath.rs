@@ -1,0 +1,346 @@
+//! Hot-path microbenchmarks pinning the dense-ID storage perf trajectory.
+//!
+//! ```text
+//! hotpath [--quick] [--out FILE]
+//! hotpath --check NEW --against BASELINE [--strict]
+//!
+//! --quick    fewer samples / smaller op batches (CI smoke mode)
+//! --out      where to write BENCH_hotpath.json
+//!            (default: results/BENCH_hotpath.json)
+//! --check    compare a freshly generated BENCH_hotpath.json against a
+//!            committed baseline: any bench slower by more than 2x is
+//!            reported as a regression. Soft gate by default (exit 0);
+//!            --strict exits 1 on regression.
+//! ```
+//!
+//! Each bench isolates one inner loop that the fig11-class sweeps spend
+//! their time in (§IV-C table maintenance, §IV-D carrier selection):
+//!
+//! * `carrier_selection` — argmax over per-node Markov transit
+//!   probabilities toward a destination landmark.
+//! * `routing_table_recompute` — one `RoutingTable::recompute` pass over
+//!   a fully-claimed distance-vector table.
+//! * `ewma_fold` — a unit's worth of `BandwidthTable` arrival recording
+//!   plus the end-of-unit EWMA fold across the landmark matrix.
+//! * `markov_update` — order-1 `MarkovPredictor::observe` on a synthetic
+//!   landmark walk.
+//! * `dense_map_churn` — insert/lookup/iterate/remove cycle on the
+//!   `DenseMap` that backs all of the above.
+//!
+//! Wall-clock readings come from the bench crate's quarantined
+//! [`Stopwatch`]; results are medians over repeated samples so a single
+//! scheduler hiccup cannot move the pinned numbers by much.
+
+use dtnflow_bench::timing::Stopwatch;
+use dtnflow_core::dense::DenseMap;
+use dtnflow_core::ids::LandmarkId;
+use dtnflow_obs::json::{parse, Value};
+use dtnflow_predictor::MarkovPredictor;
+use dtnflow_router::{BandwidthMatrix, RoutingTable};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+/// JSON schema tag for `BENCH_hotpath.json`.
+const SCHEMA: &str = "dtnflow-hotpath-bench-v1";
+/// Landmark-set size for every synthetic workload (campus-scenario scale).
+const NUM_LANDMARKS: usize = 40;
+/// Node count for the carrier-selection scan.
+const NUM_NODES: usize = 200;
+/// A bench is a regression when it is more than this factor slower.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+struct BenchResult {
+    id: &'static str,
+    ns_per_op: f64,
+    ops_per_sec: f64,
+    ops: u64,
+    samples: usize,
+}
+
+/// Deterministic 64-bit LCG; the benches must not depend on ambient
+/// randomness (detlint D-rules) and do not need statistical quality.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_lm(&mut self, n: usize) -> LandmarkId {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        LandmarkId(((self.0 >> 33) % n as u64) as u16)
+    }
+}
+
+/// Run `op` in `ops`-sized batches `samples` times; report the median.
+fn run_bench(
+    id: &'static str,
+    samples: usize,
+    ops: u64,
+    mut op: impl FnMut(u64) -> u64,
+) -> BenchResult {
+    let mut per_op_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let sw = Stopwatch::start();
+        let mut sink = 0u64;
+        for i in 0..ops {
+            sink = sink.wrapping_add(op(i));
+        }
+        black_box(sink);
+        per_op_ns.push(sw.elapsed_secs() * 1e9 / ops as f64);
+    }
+    per_op_ns.sort_by(f64::total_cmp);
+    let ns_per_op = per_op_ns[per_op_ns.len() / 2];
+    BenchResult {
+        id,
+        ns_per_op,
+        ops_per_sec: 1e9 / ns_per_op,
+        ops,
+        samples,
+    }
+}
+
+/// §IV-D: pick the best connected carrier for a destination landmark by
+/// scanning every node's predicted transit probability.
+fn bench_carrier_selection(samples: usize, ops: u64) -> BenchResult {
+    let mut rng = Lcg(0x5EED_CA44);
+    let mut nodes: Vec<MarkovPredictor> = (0..NUM_NODES)
+        .map(|_| MarkovPredictor::with_landmarks(1, NUM_LANDMARKS))
+        .collect();
+    for p in nodes.iter_mut() {
+        for _ in 0..64 {
+            p.observe(rng.next_lm(NUM_LANDMARKS));
+        }
+    }
+    run_bench("carrier_selection", samples, ops, move |i| {
+        let dst = LandmarkId((i % NUM_LANDMARKS as u64) as u16);
+        let mut best = 0usize;
+        let mut best_p = -1.0f64;
+        for (n, pred) in nodes.iter().enumerate() {
+            let p = pred.probability(dst);
+            if p > best_p {
+                best_p = p;
+                best = n;
+            }
+        }
+        best as u64
+    })
+}
+
+/// §IV-C: one distance-vector relaxation pass over a table whose every
+/// destination has a claim from every neighbor.
+fn bench_routing_table_recompute(samples: usize, ops: u64) -> BenchResult {
+    let mut table = RoutingTable::new(LandmarkId(0), NUM_LANDMARKS);
+    for from in 1..NUM_LANDMARKS as u16 {
+        for dest in 1..NUM_LANDMARKS as u16 {
+            if from != dest {
+                let delay = f64::from(from) * 17.0 + f64::from(dest) * 3.0 + 60.0;
+                table.set_claim(LandmarkId(from), LandmarkId(dest), delay, u64::from(from));
+            }
+        }
+    }
+    let link_delay = |lm: LandmarkId| 30.0 + f64::from(lm.0) * 5.0;
+    run_bench("routing_table_recompute", samples, ops, move |_| {
+        table.recompute(&link_delay);
+        table.revision()
+    })
+}
+
+/// §IV-C bandwidth estimation: a unit's arrivals plus the end-of-unit
+/// EWMA fold over the full landmark-pair matrix.
+fn bench_ewma_fold(samples: usize, ops: u64) -> BenchResult {
+    let mut table = BandwidthMatrix::new(NUM_LANDMARKS, 0.3);
+    let mut rng = Lcg(0xE3A4_F01D);
+    run_bench("ewma_fold", samples, ops, move |_| {
+        for _ in 0..NUM_LANDMARKS {
+            let me = rng.next_lm(NUM_LANDMARKS);
+            let from = rng.next_lm(NUM_LANDMARKS);
+            table.record_arrival_from(me, from);
+        }
+        table.end_of_unit_all();
+        table.incoming(LandmarkId(0), LandmarkId(1)).to_bits()
+    })
+}
+
+/// §IV-B: one order-1 Markov transition-table update per observed visit.
+fn bench_markov_update(samples: usize, ops: u64) -> BenchResult {
+    let mut pred = MarkovPredictor::with_landmarks(1, NUM_LANDMARKS);
+    let mut rng = Lcg(0x0B5E_77ED);
+    run_bench("markov_update", samples, ops, move |_| {
+        pred.observe(rng.next_lm(NUM_LANDMARKS));
+        pred.observations() as u64
+    })
+}
+
+/// The storage primitive itself: insert, point-lookup, ordered iteration,
+/// and removal on a `DenseMap` of landmark-id keys.
+fn bench_dense_map_churn(samples: usize, ops: u64) -> BenchResult {
+    let mut map: DenseMap<u16, u64> = DenseMap::new();
+    let mut rng = Lcg(0xD15E_0001);
+    run_bench("dense_map_churn", samples, ops, move |i| {
+        let k = rng.next_lm(NUM_LANDMARKS).0;
+        map.insert(k, i);
+        let mut acc = map.get(k).copied().unwrap_or(0);
+        if i % 8 == 0 {
+            acc = acc.wrapping_add(map.iter().map(|(_, v)| *v).sum());
+        }
+        if i % 4 == 0 {
+            map.remove(k);
+        }
+        acc
+    })
+}
+
+fn results_json(mode: &str, results: &[BenchResult]) -> String {
+    Value::object([
+        ("schema".to_owned(), Value::str(SCHEMA)),
+        ("mode".to_owned(), Value::str(mode)),
+        (
+            "benches".to_owned(),
+            Value::Array(
+                results
+                    .iter()
+                    .map(|r| {
+                        Value::object([
+                            ("id".to_owned(), Value::str(r.id)),
+                            ("ns_per_op".to_owned(), Value::Number(r.ns_per_op)),
+                            ("ops_per_sec".to_owned(), Value::Number(r.ops_per_sec)),
+                            ("ops".to_owned(), Value::int(r.ops)),
+                            ("samples".to_owned(), Value::int(r.samples as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .render_pretty()
+}
+
+/// Extract `(id, ns_per_op)` pairs from a `BENCH_hotpath.json` document.
+fn load_benches(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let benches = doc
+        .get("benches")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: no `benches` array"))?;
+    benches
+        .iter()
+        .map(|b| {
+            let id = b
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{path}: bench without `id`"))?;
+            let ns = b
+                .get("ns_per_op")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{path}: bench `{id}` without `ns_per_op`"))?;
+            Ok((id.to_owned(), ns))
+        })
+        .collect()
+}
+
+/// Compare a fresh run against the committed baseline. Returns the number
+/// of >2x regressions.
+fn check(new_path: &str, base_path: &str) -> Result<usize, String> {
+    let new = load_benches(new_path)?;
+    let base = load_benches(base_path)?;
+    let mut regressions = 0;
+    for (id, ns) in &new {
+        let Some((_, base_ns)) = base.iter().find(|(bid, _)| bid == id) else {
+            println!("NEW        {id}: {ns:.1} ns/op (no baseline entry)");
+            continue;
+        };
+        let ratio = ns / base_ns;
+        if ratio > REGRESSION_FACTOR {
+            regressions += 1;
+            println!("REGRESSION {id}: {base_ns:.1} -> {ns:.1} ns/op ({ratio:.2}x slower)");
+        } else {
+            println!("OK         {id}: {base_ns:.1} -> {ns:.1} ns/op ({ratio:.2}x)");
+        }
+    }
+    Ok(regressions)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut strict = false;
+    let mut out = PathBuf::from("results/BENCH_hotpath.json");
+    let mut check_new: Option<String> = None;
+    let mut check_base: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--strict" => strict = true,
+            "--out" => out = PathBuf::from(it.next().expect("--out requires a file argument")),
+            "--check" => {
+                check_new = Some(it.next().expect("--check requires a file argument").clone());
+            }
+            "--against" => {
+                check_base = Some(
+                    it.next()
+                        .expect("--against requires a file argument")
+                        .clone(),
+                );
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: hotpath [--quick] [--out FILE]");
+                eprintln!("       hotpath --check NEW --against BASELINE [--strict]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(new_path) = check_new {
+        let base_path = check_base.unwrap_or_else(|| {
+            eprintln!("--check requires --against BASELINE");
+            std::process::exit(2);
+        });
+        match check(&new_path, &base_path) {
+            Ok(0) => println!("hotpath check: no regressions > {REGRESSION_FACTOR}x"),
+            Ok(n) => {
+                println!("hotpath check: {n} regression(s) > {REGRESSION_FACTOR}x");
+                if strict {
+                    std::process::exit(1);
+                }
+                println!("(soft gate: not failing; pass --strict to enforce)");
+            }
+            Err(e) => {
+                eprintln!("hotpath check: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    let (samples, ops) = if quick { (3, 2_000) } else { (7, 20_000) };
+    let mode = if quick { "quick" } else { "full" };
+    let results = [
+        bench_carrier_selection(samples, ops),
+        bench_routing_table_recompute(samples, ops / 10),
+        bench_ewma_fold(samples, ops / 10),
+        bench_markov_update(samples, ops),
+        bench_dense_map_churn(samples, ops),
+    ];
+    for r in &results {
+        println!(
+            "{:<24} {:>12.1} ns/op {:>14.0} ops/s ({} ops x {} samples)",
+            r.id, r.ns_per_op, r.ops_per_sec, r.ops, r.samples
+        );
+    }
+    let json = results_json(mode, &results);
+    if let Some(dir) = out.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: could not create {}: {e}", dir.display());
+        }
+    }
+    match std::fs::write(&out, json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

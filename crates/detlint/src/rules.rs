@@ -122,8 +122,8 @@ pub fn scan_file(rel: &Path, ctx: &FileContext, src: &str) -> Vec<Diagnostic> {
                         "D1",
                         format!(
                             "`{id}` iteration order is seeded per process and can leak into \
-                             outcomes; use `BTree{}` or waive with a proof iteration order \
-                             never escapes",
+                             outcomes; use `Dense{0}`/`LinkMatrix` (id-keyed hot paths) or \
+                             `BTree{0}`, or waive with a proof iteration order never escapes",
                             &id[4..]
                         ),
                         &mut raw,

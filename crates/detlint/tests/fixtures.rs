@@ -63,7 +63,23 @@ fn waivers_fixture_suppresses_exactly_what_it_says() {
 
 #[test]
 fn clean_fixture_has_no_findings() {
+    // Includes `crates/sim/src/dense_ok.rs`: the approved dense containers
+    // (`DenseMap`/`DenseSet`/`LinkMatrix`) never trip D1.
     assert_eq!(check("clean"), Vec::new());
+}
+
+#[test]
+fn d1_message_names_the_approved_dense_containers() {
+    let diags = detlint::check_root(&fixture("violations")).expect("fixture scan");
+    let d1_map = diags
+        .iter()
+        .find(|d| d.rule == "D1" && d.message.contains("HashMap"))
+        .expect("a HashMap D1 finding");
+    assert!(
+        d1_map.message.contains("DenseMap") && d1_map.message.contains("LinkMatrix"),
+        "D1 should steer toward the dense hot-path containers: {}",
+        d1_map.message
+    );
 }
 
 #[test]

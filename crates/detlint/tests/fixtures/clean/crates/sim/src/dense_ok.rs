@@ -1,0 +1,12 @@
+// Fixture: the approved dense containers pass D1 in an in-scope crate.
+use dtnflow_core::dense::{DenseMap, DenseSet, LinkMatrix};
+
+pub fn run() -> usize {
+    let mut m: DenseMap<u16, u64> = DenseMap::new();
+    let mut s: DenseSet<u16> = DenseSet::new();
+    let mut bw = LinkMatrix::with_landmarks(4);
+    m.insert(3, 7);
+    s.insert(3);
+    bw.set(0, 1, 0.5);
+    m.len() + s.len() + bw.side()
+}

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod dense;
 pub mod geometry;
 pub mod ids;
 pub mod metrics;
@@ -20,6 +21,7 @@ pub mod rngutil;
 pub mod time;
 
 pub use config::SimConfig;
+pub use dense::{DenseKey, DenseMap, DenseSet, LinkMatrix};
 pub use geometry::Point;
 pub use ids::{LandmarkId, NodeId, PacketId};
 pub use metrics::{MetricsSummary, RunMetrics};

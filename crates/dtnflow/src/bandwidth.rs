@@ -14,89 +14,130 @@
 
 use crate::config::{FlowConfig, LinkDelayModel};
 use dtnflow_core::config::SimConfig;
+use dtnflow_core::dense::LinkMatrix;
 use dtnflow_core::ids::LandmarkId;
 
-/// One landmark's view of its transit links.
+/// All landmarks' transit-link measurements in one flat `n×n` store.
+///
+/// Row `me` holds landmark `me`'s view: this unit's incoming transit
+/// counts `n(from→me)`, the Eq. 4 smoothed incoming bandwidths
+/// `B(from→me)` (a [`LinkMatrix`] cell `me * n + from`), and the carried
+/// outgoing-bandwidth reports `B(me→to)`. Keeping every landmark's row in
+/// the same flat arrays lets the end-of-unit EWMA fold run as a single
+/// linear pass over all `n²` links instead of `n` per-landmark loops.
 #[derive(Debug, Clone)]
-pub struct BandwidthTable {
-    /// This unit's incoming transit counts, per source landmark.
+pub struct BandwidthMatrix {
+    n: usize,
+    /// This unit's incoming transit counts, cell `me * n + from`.
     counts: Vec<u32>,
-    /// Smoothed incoming bandwidth `B(i→me)` per source landmark (Eq. 4).
-    incoming: Vec<f64>,
-    /// Reported outgoing bandwidth `B(me→j)` per target landmark, with the
-    /// time-unit sequence of the report (freshness guard).
+    /// Smoothed incoming bandwidth `B(from→me)`, cell `me * n + from`.
+    incoming: LinkMatrix,
+    /// Reported outgoing bandwidth `B(me→to)` with the time-unit sequence
+    /// of the report (freshness guard), cell `me * n + to`.
     reported: Vec<Option<(f64, u64)>>,
     alpha: f64,
 }
 
-impl BandwidthTable {
-    /// Empty table for a network of `num_landmarks` landmarks.
+impl BandwidthMatrix {
+    /// Empty measurements for a network of `num_landmarks` landmarks.
     pub fn new(num_landmarks: usize, alpha: f64) -> Self {
         assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
-        BandwidthTable {
-            counts: vec![0; num_landmarks],
-            incoming: vec![0.0; num_landmarks],
-            reported: vec![None; num_landmarks],
+        BandwidthMatrix {
+            n: num_landmarks,
+            counts: vec![0; num_landmarks * num_landmarks],
+            incoming: LinkMatrix::filled(num_landmarks, 0.0),
+            reported: vec![None; num_landmarks * num_landmarks],
             alpha,
         }
     }
 
-    /// A node arrived here, reporting `from` as its previous landmark.
-    pub fn record_arrival_from(&mut self, from: LandmarkId) {
-        self.counts[from.index()] += 1;
+    #[inline]
+    fn cell(&self, me: LandmarkId, other: LandmarkId) -> usize {
+        me.index() * self.n + other.index()
     }
 
-    /// Close the current time unit: fold this unit's counts into the
-    /// smoothed incoming bandwidths (Eq. 4) and reset the counters.
-    pub fn end_of_unit(&mut self) {
-        for (b, c) in self.incoming.iter_mut().zip(self.counts.iter_mut()) {
-            *b = self.alpha * (*c as f64) + (1.0 - self.alpha) * *b;
+    /// A node arrived at `me`, reporting `from` as its previous landmark.
+    pub fn record_arrival_from(&mut self, me: LandmarkId, from: LandmarkId) {
+        let i = self.cell(me, from);
+        self.counts[i] += 1;
+    }
+
+    /// Close the current time unit for *every* landmark at once: fold
+    /// each link's count into its smoothed incoming bandwidth (Eq. 4,
+    /// `B = α·n + (1−α)·B_prev`) and reset the counters. Per-landmark
+    /// folds are independent, so one flat pass computes exactly what `n`
+    /// per-row folds would.
+    pub fn end_of_unit_all(&mut self) {
+        let alpha = self.alpha;
+        for (b, c) in self
+            .incoming
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.counts.iter_mut())
+        {
+            *b = alpha * (*c as f64) + (1.0 - alpha) * *b;
             *c = 0;
         }
     }
 
     /// The smoothed incoming bandwidth `B(from → me)`.
-    pub fn incoming(&self, from: LandmarkId) -> f64 {
-        self.incoming[from.index()]
+    #[inline]
+    pub fn incoming(&self, me: LandmarkId, from: LandmarkId) -> f64 {
+        self.incoming.at(me.0, from.0)
     }
 
-    /// Apply a carried report of our outgoing bandwidth `B(me → to)`
-    /// measured at `to`, stamped with the measuring unit. Stale reports
-    /// (sequence not newer than the stored one) are discarded, as in the
-    /// paper. Returns whether the report was accepted.
-    pub fn apply_report(&mut self, to: LandmarkId, value: f64, unit_seq: u64) -> bool {
-        match self.reported[to.index()] {
+    /// Apply at `me` a carried report of its outgoing bandwidth
+    /// `B(me → to)` measured at `to`, stamped with the measuring unit.
+    /// Stale reports (sequence not newer than the stored one) are
+    /// discarded, as in the paper. Returns whether the report was
+    /// accepted.
+    pub fn apply_report(
+        &mut self,
+        me: LandmarkId,
+        to: LandmarkId,
+        value: f64,
+        unit_seq: u64,
+    ) -> bool {
+        let i = self.cell(me, to);
+        match self.reported[i] {
             Some((_, seq)) if seq >= unit_seq => false,
             _ => {
-                self.reported[to.index()] = Some((value, unit_seq));
+                self.reported[i] = Some((value, unit_seq));
                 true
             }
         }
     }
 
-    /// Best available estimate of the outgoing bandwidth `B(me → to)`:
-    /// a received report when present, else the symmetric assumption
-    /// (our incoming measurement of `to → me`).
-    pub fn outgoing(&self, to: LandmarkId) -> f64 {
-        match self.reported[to.index()] {
+    /// Best available estimate at `me` of the outgoing bandwidth
+    /// `B(me → to)`: a received report when present, else the symmetric
+    /// assumption (its incoming measurement of `to → me`).
+    #[inline]
+    pub fn outgoing(&self, me: LandmarkId, to: LandmarkId) -> f64 {
+        match self.reported[self.cell(me, to)] {
             Some((v, _)) => v,
-            None => self.incoming[to.index()],
+            None => self.incoming.at(me.0, to.0),
         }
     }
 
-    /// All landmarks with usable outgoing bandwidth (the neighbour set of
-    /// the distance-vector protocol).
-    pub fn neighbors(&self, min_bandwidth: f64) -> Vec<LandmarkId> {
-        (0..self.incoming.len())
+    /// All landmarks with usable outgoing bandwidth from `me` (the
+    /// neighbour set of the distance-vector protocol).
+    pub fn neighbors(&self, me: LandmarkId, min_bandwidth: f64) -> Vec<LandmarkId> {
+        (0..self.n)
             .map(LandmarkId::from)
-            .filter(|&l| self.outgoing(l) >= min_bandwidth)
+            .filter(|&l| self.outgoing(me, l) >= min_bandwidth)
             .collect()
     }
 
     /// Expected per-hop delay of the link `me → to` in seconds, under the
     /// configured delay model; `f64::INFINITY` when the link is unusable.
-    pub fn link_delay(&self, to: LandmarkId, flow: &FlowConfig, sim: &SimConfig) -> f64 {
-        let b = self.outgoing(to);
+    pub fn link_delay(
+        &self,
+        me: LandmarkId,
+        to: LandmarkId,
+        flow: &FlowConfig,
+        sim: &SimConfig,
+    ) -> f64 {
+        let b = self.outgoing(me, to);
         if b < flow.min_bandwidth {
             return f64::INFINITY;
         }
@@ -105,6 +146,68 @@ impl BandwidthTable {
             LinkDelayModel::TransitInterval => t / b,
             LinkDelayModel::Throughput => t * sim.packet_size as f64 / (b * sim.node_memory as f64),
         }
+    }
+}
+
+/// One landmark's view of its transit links — a single-row façade over
+/// [`BandwidthMatrix`], kept as the stable single-landmark API (the
+/// worked-example and property tests for Eq. 4 speak it directly).
+#[derive(Debug, Clone)]
+pub struct BandwidthTable {
+    matrix: BandwidthMatrix,
+}
+
+impl BandwidthTable {
+    const ME: LandmarkId = LandmarkId(0);
+
+    /// Empty table for a network of `num_landmarks` landmarks.
+    pub fn new(num_landmarks: usize, alpha: f64) -> Self {
+        BandwidthTable {
+            matrix: BandwidthMatrix::new(num_landmarks, alpha),
+        }
+    }
+
+    /// A node arrived here, reporting `from` as its previous landmark.
+    pub fn record_arrival_from(&mut self, from: LandmarkId) {
+        self.matrix.record_arrival_from(Self::ME, from);
+    }
+
+    /// Close the current time unit: fold this unit's counts into the
+    /// smoothed incoming bandwidths (Eq. 4) and reset the counters.
+    pub fn end_of_unit(&mut self) {
+        self.matrix.end_of_unit_all();
+    }
+
+    /// The smoothed incoming bandwidth `B(from → me)`.
+    pub fn incoming(&self, from: LandmarkId) -> f64 {
+        self.matrix.incoming(Self::ME, from)
+    }
+
+    /// Apply a carried report of our outgoing bandwidth `B(me → to)`
+    /// measured at `to`, stamped with the measuring unit. Stale reports
+    /// (sequence not newer than the stored one) are discarded, as in the
+    /// paper. Returns whether the report was accepted.
+    pub fn apply_report(&mut self, to: LandmarkId, value: f64, unit_seq: u64) -> bool {
+        self.matrix.apply_report(Self::ME, to, value, unit_seq)
+    }
+
+    /// Best available estimate of the outgoing bandwidth `B(me → to)`:
+    /// a received report when present, else the symmetric assumption
+    /// (our incoming measurement of `to → me`).
+    pub fn outgoing(&self, to: LandmarkId) -> f64 {
+        self.matrix.outgoing(Self::ME, to)
+    }
+
+    /// All landmarks with usable outgoing bandwidth (the neighbour set of
+    /// the distance-vector protocol).
+    pub fn neighbors(&self, min_bandwidth: f64) -> Vec<LandmarkId> {
+        self.matrix.neighbors(Self::ME, min_bandwidth)
+    }
+
+    /// Expected per-hop delay of the link `me → to` in seconds, under the
+    /// configured delay model; `f64::INFINITY` when the link is unusable.
+    pub fn link_delay(&self, to: LandmarkId, flow: &FlowConfig, sim: &SimConfig) -> f64 {
+        self.matrix.link_delay(Self::ME, to, flow, sim)
     }
 }
 

@@ -26,7 +26,7 @@ pub mod observer;
 pub mod router;
 pub mod routing_table;
 
-pub use bandwidth::BandwidthTable;
+pub use bandwidth::{BandwidthMatrix, BandwidthTable};
 pub use config::{
     DeadEndConfig, DegradationConfig, FlowConfig, LinkDelayModel, LoadBalanceConfig, LoopInjection,
 };

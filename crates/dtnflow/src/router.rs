@@ -16,16 +16,17 @@
 //!   load-balance rate bookkeeping (§IV-E.3), station re-bucketing, and
 //!   any scheduled loop injections (the Table VII experiment).
 
-use crate::bandwidth::BandwidthTable;
+use crate::bandwidth::BandwidthMatrix;
 use crate::config::{FlowConfig, LoopInjection};
 use crate::observer::{ObservationRow, TableObserver};
 use crate::routing_table::{RoutingTable, StoredVector};
+use dtnflow_core::dense::{DenseMap, DenseSet};
 use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
 use dtnflow_core::packet::PacketLoc;
 use dtnflow_core::time::SimDuration;
 use dtnflow_predictor::{AccuracyTracker, MarkovPredictor, VisitHistory};
 use dtnflow_sim::{LossReason, Router, SimEvent, TransferError, World};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Routing-table snapshot + control info a node carries between landmarks.
 #[derive(Debug, Clone)]
@@ -71,15 +72,16 @@ struct NodeState {
 
 /// Per-landmark router state.
 struct LandmarkState {
-    bw: BandwidthTable,
     rt: RoutingTable,
     /// Station packets waiting for a carrier toward a next-hop landmark.
-    by_next_hop: BTreeMap<u16, BTreeSet<PacketId>>,
+    /// Bucket sets are cleared but never dropped on rebucket, so their
+    /// storage is reused tick after tick.
+    by_next_hop: DenseMap<LandmarkId, DenseSet<PacketId>>,
     /// Station packets indexed by final destination (direct-delivery
     /// opportunities, §IV-D.2).
-    by_dst: BTreeMap<u16, BTreeSet<PacketId>>,
+    by_dst: DenseMap<LandmarkId, DenseSet<PacketId>>,
     /// Station packets addressed to a mobile node (§IV-E.4).
-    by_dst_node: BTreeMap<u32, BTreeSet<PacketId>>,
+    by_dst_node: DenseMap<NodeId, DenseSet<PacketId>>,
     pending_corrections: Vec<(u64, Correction)>,
     seen_corrections: BTreeSet<(u16, u16)>,
     /// Per-next-hop packet counts this unit (load balancing, §IV-E.3).
@@ -87,6 +89,21 @@ struct LandmarkState {
     lb_outgoing: Vec<u64>,
     overloaded: Vec<bool>,
     unit_seq: u64,
+}
+
+impl LandmarkState {
+    /// Empty every station bucket, keeping the allocated sets for reuse.
+    fn clear_buckets(&mut self) {
+        for s in self.by_next_hop.values_mut() {
+            s.clear();
+        }
+        for s in self.by_dst.values_mut() {
+            s.clear();
+        }
+        for s in self.by_dst_node.values_mut() {
+            s.clear();
+        }
+    }
 }
 
 /// Routing metadata DTN-FLOW stamps on a packet when forwarding it
@@ -132,6 +149,8 @@ pub struct FlowRouter {
     cfg: FlowConfig,
     nodes: Vec<NodeState>,
     landmarks: Vec<LandmarkState>,
+    /// All landmarks' Eq. 4 bandwidth measurements, one flat matrix.
+    bw: BandwidthMatrix,
     meta: Vec<PktMeta>,
     observer: TableObserver,
     current_unit: u64,
@@ -142,6 +161,14 @@ pub struct FlowRouter {
     /// back to backup next hops around them.
     known_down: Vec<bool>,
     stats: FlowStats,
+    /// Reusable packet-id buffer for the per-contact and per-tick loops
+    /// (rebucket, uplink, §IV-E.4 delivery), taken and restored around
+    /// each use so the hot paths never allocate once warm.
+    scratch_pkts: Vec<PacketId>,
+    /// Reusable per-bucket candidate buffer for `assign_to_node`.
+    scratch_bucket: Vec<PacketId>,
+    /// Reusable successor-distribution buffer for `assign_to_node`.
+    scratch_dist: Vec<(LandmarkId, f64)>,
 }
 
 impl FlowRouter {
@@ -150,7 +177,7 @@ impl FlowRouter {
         cfg.validate();
         let nodes = (0..num_nodes)
             .map(|_| NodeState {
-                predictor: MarkovPredictor::new(cfg.order_k),
+                predictor: MarkovPredictor::with_landmarks(cfg.order_k, num_landmarks),
                 accuracy: AccuracyTracker::with_factors(
                     num_landmarks,
                     cfg.accuracy.init,
@@ -168,11 +195,10 @@ impl FlowRouter {
             .collect();
         let landmarks = (0..num_landmarks)
             .map(|l| LandmarkState {
-                bw: BandwidthTable::new(num_landmarks, cfg.bandwidth_alpha),
                 rt: RoutingTable::new(LandmarkId::from(l), num_landmarks),
-                by_next_hop: BTreeMap::new(),
-                by_dst: BTreeMap::new(),
-                by_dst_node: BTreeMap::new(),
+                by_next_hop: DenseMap::with_index_capacity(num_landmarks),
+                by_dst: DenseMap::with_index_capacity(num_landmarks),
+                by_dst_node: DenseMap::new(),
                 pending_corrections: Vec::new(),
                 seen_corrections: BTreeSet::new(),
                 lb_incoming: vec![0; num_landmarks],
@@ -182,10 +208,12 @@ impl FlowRouter {
             })
             .collect();
         let injections = cfg.inject_loops.clone();
+        let bandwidth_alpha = cfg.bandwidth_alpha;
         FlowRouter {
             cfg,
             nodes,
             landmarks,
+            bw: BandwidthMatrix::new(num_landmarks, bandwidth_alpha),
             meta: Vec::new(),
             observer: TableObserver::new(),
             current_unit: 0,
@@ -193,6 +221,9 @@ impl FlowRouter {
             registrations: vec![Vec::new(); num_nodes],
             known_down: vec![false; num_landmarks],
             stats: FlowStats::default(),
+            scratch_pkts: Vec::new(),
+            scratch_bucket: Vec::new(),
+            scratch_dist: Vec::new(),
         }
     }
 
@@ -213,7 +244,7 @@ impl FlowRouter {
 
     /// The effective outgoing bandwidth estimate `B(from→to)` (Fig. 16b).
     pub fn bandwidth(&self, from: LandmarkId, to: LandmarkId) -> f64 {
-        self.landmarks[from.index()].bw.outgoing(to)
+        self.bw.outgoing(from, to)
     }
 
     /// A node's current prediction, if any: (predicted landmark, prob).
@@ -280,9 +311,9 @@ impl FlowRouter {
     fn recompute_tables(&mut self, lm: LandmarkId, world: &World) {
         let flow = &self.cfg;
         let sim = world.config();
+        let bw = &self.bw;
         let st = &mut self.landmarks[lm.index()];
-        let bw = &st.bw;
-        st.rt.recompute(&|to| bw.link_delay(to, flow, sim));
+        st.rt.recompute(&|to| bw.link_delay(lm, to, flow, sim));
     }
 
     /// Choose the next hop for a `dst`-bound packet sitting at `lm`:
@@ -371,13 +402,13 @@ impl FlowRouter {
         );
 
         let st = &mut self.landmarks[lm.index()];
-        st.by_dst.entry(dst.0).or_default().insert(pkt);
+        st.by_dst.get_or_default(dst).insert(pkt);
         if let Some(nh) = next {
-            st.by_next_hop.entry(nh.0).or_default().insert(pkt);
+            st.by_next_hop.get_or_default(nh).insert(pkt);
             st.lb_incoming[nh.index()] += 1;
         }
         if let Some(n) = dst_node {
-            st.by_dst_node.entry(n.0).or_default().insert(pkt);
+            st.by_dst_node.get_or_default(n).insert(pkt);
         }
 
         self.try_assign_packet(world, lm, pkt, exclude);
@@ -409,7 +440,7 @@ impl FlowRouter {
         // connected node, not only nodes whose single most likely next
         // landmark matches.
         let mut best: Option<(bool, f64, NodeId, LandmarkId)> = None;
-        for &n in world.nodes_at(lm) {
+        for n in world.nodes_at(lm).iter() {
             if Some(n) == exclude || !world.node_has_space(n) {
                 continue;
             }
@@ -492,17 +523,17 @@ impl FlowRouter {
     ) {
         let meta = self.meta_of(pkt);
         let st = &mut self.landmarks[lm.index()];
-        if let Some(set) = st.by_dst.get_mut(&dst.0) {
-            set.remove(&pkt);
+        if let Some(set) = st.by_dst.get_mut(dst) {
+            set.remove(pkt);
         }
         if let Some(nh) = meta.next_hop {
-            if let Some(set) = st.by_next_hop.get_mut(&nh.0) {
-                set.remove(&pkt);
+            if let Some(set) = st.by_next_hop.get_mut(nh) {
+                set.remove(pkt);
             }
         }
         if let Some(n) = dst_node {
-            if let Some(set) = st.by_dst_node.get_mut(&n.0) {
-                set.remove(&pkt);
+            if let Some(set) = st.by_dst_node.get_mut(n) {
+                set.remove(pkt);
             }
         }
     }
@@ -519,11 +550,18 @@ impl FlowRouter {
         // delivery packets (dst == target) precede routed packets
         // (next hop == target), in minimum-remaining-TTL order (equal to
         // id order, since every packet shares one TTL).
-        let (dist, at_lm) = {
+        // The distribution and per-bucket candidate lists land in scratch
+        // buffers owned by the router (taken here, restored at the single
+        // exit below), so this per-contact path stops allocating once the
+        // buffers are warm.
+        let mut dist = std::mem::take(&mut self.scratch_dist);
+        let at_lm = {
             let ns = &self.nodes[node.index()];
-            (ns.predictor.distribution(), ns.predictor.current())
+            ns.predictor.distribution_into(&mut dist);
+            ns.predictor.current()
         };
         if at_lm != Some(lm) || dist.is_empty() {
+            self.scratch_dist = dist;
             return;
         }
         // `upload_cap` (K = 50) is the §IV-D.5 *per-round* granularity and
@@ -542,13 +580,14 @@ impl FlowRouter {
         // delay fits their remaining TTL go first. Phase 1 is best-effort
         // mop-up — a packet past its feasible window still rides along if
         // capacity remains, rather than freezing at the station.
-        for phase in 0..2 {
+        let mut bucket = std::mem::take(&mut self.scratch_bucket);
+        'phases: for phase in 0..2 {
             for &(h, p) in &dist {
                 if h == lm {
                     continue;
                 }
                 if assigned >= cap || !world.node_has_space(node) {
-                    return;
+                    break 'phases;
                 }
                 // Bulk-load proportionally to the transit confidence: a
                 // carrier that only sometimes heads to `h` takes only a
@@ -563,9 +602,10 @@ impl FlowRouter {
                     }
                     let st = &self.landmarks[lm.index()];
                     let index = if direct { &st.by_dst } else { &st.by_next_hop };
-                    let Some(set) = index.get(&h.0) else { continue };
-                    let candidates: Vec<PacketId> = set.iter().copied().collect();
-                    for pkt in candidates {
+                    let Some(set) = index.get(h) else { continue };
+                    bucket.clear();
+                    bucket.extend(set.iter());
+                    for &pkt in bucket.iter() {
                         if assigned >= cap || bucket_quota == 0 || !world.node_has_space(node) {
                             break;
                         }
@@ -596,6 +636,8 @@ impl FlowRouter {
                 }
             }
         }
+        self.scratch_bucket = bucket;
+        self.scratch_dist = dist;
     }
 
     /// A packet closed a loop at `lm`: raise and apply a correction
@@ -674,14 +716,11 @@ impl FlowRouter {
 
     /// Rebuild a landmark's station indices after a routing-table refresh.
     fn rebucket(&mut self, world: &World, lm: LandmarkId) {
-        let packets: Vec<PacketId> = world.station_packets(lm).collect();
-        {
-            let st = &mut self.landmarks[lm.index()];
-            st.by_next_hop.clear();
-            st.by_dst.clear();
-            st.by_dst_node.clear();
-        }
-        for pkt in packets {
+        let mut packets = std::mem::take(&mut self.scratch_pkts);
+        packets.clear();
+        packets.extend(world.station_packets(lm));
+        self.landmarks[lm.index()].clear_buckets();
+        for &pkt in packets.iter() {
             let p = world.packet(pkt);
             let dst = p.dst;
             let dst_node = p.dst_node;
@@ -699,14 +738,15 @@ impl FlowRouter {
                 },
             );
             let st = &mut self.landmarks[lm.index()];
-            st.by_dst.entry(dst.0).or_default().insert(pkt);
+            st.by_dst.get_or_default(dst).insert(pkt);
             if let Some(nh) = next {
-                st.by_next_hop.entry(nh.0).or_default().insert(pkt);
+                st.by_next_hop.get_or_default(nh).insert(pkt);
             }
             if let Some(n) = dst_node {
-                st.by_dst_node.entry(n.0).or_default().insert(pkt);
+                st.by_dst_node.get_or_default(n).insert(pkt);
             }
         }
+        self.scratch_pkts = packets;
     }
 
     fn timer_token(node: NodeId, episode: u64) -> u64 {
@@ -754,7 +794,7 @@ impl Router for FlowRouter {
         };
         if let Some(from) = transit_from {
             if station_up {
-                self.landmarks[lm.index()].bw.record_arrival_from(from);
+                self.bw.record_arrival_from(lm, from);
             }
             if let Some((made_at, to, _)) = predicted {
                 if made_at == from {
@@ -785,23 +825,16 @@ impl Router for FlowRouter {
                     });
                     self.stats.tables_received += 1;
                     if let Some((addressee, value, seq)) = carried.report {
-                        if addressee == lm
-                            && self.landmarks[lm.index()]
-                                .bw
-                                .apply_report(carried.from, value, seq)
-                        {
+                        if addressee == lm && self.bw.apply_report(lm, carried.from, value, seq) {
                             self.stats.reports_applied += 1;
                         }
                     }
                     if accepted {
                         self.recompute_tables(lm, world);
                     }
-                    for (_, c) in carried
-                        .corrections
-                        .iter()
-                        .map(|c| (0u64, c.clone()))
-                        .collect::<Vec<_>>()
-                    {
+                    // `carried` is owned here, so the corrections can be
+                    // consumed without the clone a borrowed walk would need.
+                    for c in carried.corrections {
                         self.apply_correction(world, lm, c);
                     }
                 }
@@ -820,8 +853,10 @@ impl Router for FlowRouter {
         }
 
         // 4. Uplink: hand over deliverable/improvable packets (§IV-D.1).
-        let carried_pkts: Vec<PacketId> = world.node_packets(node).collect();
-        for pkt in carried_pkts {
+        let mut carried_pkts = std::mem::take(&mut self.scratch_pkts);
+        carried_pkts.clear();
+        carried_pkts.extend(world.node_packets(node));
+        for &pkt in carried_pkts.iter() {
             let p = world.packet(pkt);
             let dst = p.dst;
             let meta = self.meta_of(pkt);
@@ -856,18 +891,20 @@ impl Router for FlowRouter {
             }
         }
 
-        // 5. §IV-E.4 deliveries: station packets addressed to this node.
-        let addressed: Vec<PacketId> = self.landmarks[lm.index()]
-            .by_dst_node
-            .get(&node.0)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default();
-        for pkt in addressed {
+        // 5. §IV-E.4 deliveries: station packets addressed to this node
+        //    (reusing the uplink buffer).
+        let mut addressed = carried_pkts;
+        addressed.clear();
+        if let Some(s) = self.landmarks[lm.index()].by_dst_node.get(node) {
+            addressed.extend(s.iter());
+        }
+        for &pkt in addressed.iter() {
             let dst = world.packet(pkt).dst;
             if world.deliver_to_dst_node(pkt, node).is_ok() {
                 self.unindex(lm, pkt, dst, Some(node));
             }
         }
+        self.scratch_pkts = addressed;
 
         // 6. Downlink: load the node with packets it can usefully carry.
         self.assign_to_node(world, lm, node);
@@ -920,7 +957,7 @@ impl Router for FlowRouter {
             .predicted
             .and_then(|(at, to, _)| (at == lm).then_some(to));
         let st = &self.landmarks[lm.index()];
-        let report = predicted_to.map(|h| (h, st.bw.incoming(h), st.unit_seq));
+        let report = predicted_to.map(|h| (h, self.bw.incoming(lm, h), st.unit_seq));
         let corrections = st
             .pending_corrections
             .iter()
@@ -950,14 +987,14 @@ impl Router for FlowRouter {
     fn on_time_unit(&mut self, world: &mut World, unit: u64) {
         self.current_unit = unit;
 
-        // Scheduled loop injections (Table VII experiment).
-        let due: Vec<LoopInjection> = self
-            .injections
-            .iter()
-            .filter(|i| i.at_unit == unit)
-            .cloned()
-            .collect();
-        for inj in due {
+        // Scheduled loop injections (Table VII experiment). An index walk
+        // instead of a filter/collect: only the (rare) due injections are
+        // cloned, and the common tick clones nothing.
+        for i in 0..self.injections.len() {
+            if self.injections[i].at_unit != unit {
+                continue;
+            }
+            let inj = self.injections[i].clone();
             let k = inj.members.len();
             for (idx, &m) in inj.members.iter().enumerate() {
                 let next = inj.members[(idx + 1) % k];
@@ -967,16 +1004,20 @@ impl Router for FlowRouter {
             }
         }
 
+        // One flat Eq. 4 fold over every landmark's incoming links (the
+        // per-landmark folds are independent, so folding them all before
+        // the per-landmark bookkeeping below computes identical values).
+        self.bw.end_of_unit_all();
+
         for l in 0..self.landmarks.len() {
             let lm = LandmarkId::from(l);
             {
                 let st = &mut self.landmarks[l];
-                st.bw.end_of_unit();
                 // Snapshot the freshly-folded Eq. 4 estimates for the
                 // trace; only links with measured traffic are reported.
                 if world.trace_enabled() {
                     for j in (0..st.overloaded.len()).map(LandmarkId::from) {
-                        let value = st.bw.incoming(j);
+                        let value = self.bw.incoming(lm, j);
                         if value > 0.0 {
                             world.emit(|at| SimEvent::BandwidthUpdated {
                                 at,
@@ -1013,11 +1054,12 @@ impl Router for FlowRouter {
             self.rebucket(world, lm);
         }
 
-        // Refresh §IV-E.4 registrations.
+        // Refresh §IV-E.4 registrations, reusing each node's buffer.
+        let top = self.cfg.frequent_landmarks;
         for n in 0..self.nodes.len() {
-            self.registrations[n] = self.nodes[n]
+            self.nodes[n]
                 .history
-                .frequent_landmarks(self.cfg.frequent_landmarks);
+                .frequent_landmarks_into(top, &mut self.registrations[n]);
         }
     }
 
@@ -1109,7 +1151,7 @@ impl Router for FlowRouter {
                     && world.station_is_up(l)
                     && self.landmarks[l.index()]
                         .by_next_hop
-                        .get(&lm.0)
+                        .get(lm)
                         .is_some_and(|s| !s.is_empty())
             })
             .collect();

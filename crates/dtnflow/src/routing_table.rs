@@ -9,8 +9,8 @@
 //! balancing extension (Table V) and is maintained by the same
 //! computation at no extra communication cost.
 
+use dtnflow_core::dense::DenseMap;
 use dtnflow_core::ids::LandmarkId;
-use std::collections::BTreeMap;
 
 /// One routing-table row (Table V layout: destination, next hop, overall
 /// delay, backup next hop, backup delay).
@@ -46,7 +46,7 @@ pub struct StoredVector {
 pub struct RoutingTable {
     me: LandmarkId,
     num: usize,
-    vectors: BTreeMap<u16, StoredVector>,
+    vectors: DenseMap<LandmarkId, StoredVector>,
     entries: Vec<RouteEntry>,
     /// Bumped whenever the stored vectors change (accepted receive,
     /// claim injection, distrust, stale decay) — lets observers tell
@@ -68,7 +68,7 @@ impl RoutingTable {
         RoutingTable {
             me,
             num,
-            vectors: BTreeMap::new(),
+            vectors: DenseMap::with_index_capacity(num),
             entries,
             revision: 0,
         }
@@ -90,10 +90,10 @@ impl RoutingTable {
     pub fn receive(&mut self, from: LandmarkId, vector: StoredVector) -> bool {
         assert_eq!(vector.delays.len(), self.num, "vector length mismatch");
         assert!(from != self.me, "cannot receive own vector");
-        match self.vectors.get(&from.0) {
+        match self.vectors.get(from) {
             Some(old) if old.seq >= vector.seq => false,
             _ => {
-                self.vectors.insert(from.0, vector);
+                self.vectors.insert(from, vector);
                 self.revision += 1;
                 true
             }
@@ -105,9 +105,10 @@ impl RoutingTable {
     /// claims out-of-band, and the Table VII experiment injects falsified
     /// claims to create loops.
     pub fn set_claim(&mut self, from: LandmarkId, dest: LandmarkId, delay: f64, seq: u64) {
-        let v = self.vectors.entry(from.0).or_insert_with(|| StoredVector {
+        let num = self.num;
+        let v = self.vectors.get_or_insert_with(from, || StoredVector {
             seq,
-            delays: vec![f64::INFINITY; self.num],
+            delays: vec![f64::INFINITY; num],
         });
         v.seq = v.seq.max(seq);
         v.delays[dest.index()] = delay;
@@ -120,7 +121,7 @@ impl RoutingTable {
     pub fn distrust(&mut self, dest: LandmarkId, members: &[LandmarkId]) {
         let mut touched = false;
         for m in members {
-            if let Some(v) = self.vectors.get_mut(&m.0) {
+            if let Some(v) = self.vectors.get_mut(*m) {
                 v.delays[dest.index()] = f64::INFINITY;
                 touched = true;
             }
@@ -168,20 +169,33 @@ impl RoutingTable {
     /// without a stored vector still provide their direct link (a vector
     /// in which only they are reachable, at delay 0).
     pub fn recompute(&mut self, link_delay: &dyn Fn(LandmarkId) -> f64) {
-        for dest in 0..self.num {
-            if dest == self.me.index() {
+        // Neighbour-outer, destination-inner: the link delay is evaluated
+        // once per neighbour (n calls, not n²) and each neighbour's stored
+        // vector is scanned contiguously. Per destination the candidate
+        // neighbours still arrive in ascending id order — the same update
+        // sequence as the destination-outer form — so best/backup choices
+        // and tie-breaks are unchanged.
+        let me = self.me.index();
+        for (dest, e) in self.entries.iter_mut().enumerate() {
+            if dest != me {
+                *e = RouteEntry::UNREACHABLE;
+            }
+        }
+        for n in 0..self.num {
+            if n == me {
                 continue;
             }
-            let mut best = RouteEntry::UNREACHABLE;
-            for n in 0..self.num {
-                if n == self.me.index() {
+            let nlm = LandmarkId::from(n);
+            let ld = link_delay(nlm);
+            if !ld.is_finite() {
+                continue;
+            }
+            let stored = self.vectors.get(nlm);
+            for dest in 0..self.num {
+                if dest == me {
                     continue;
                 }
-                let ld = link_delay(LandmarkId::from(n));
-                if !ld.is_finite() {
-                    continue;
-                }
-                let via = match self.vectors.get(&(n as u16)) {
+                let via = match stored {
                     Some(v) => v.delays[dest],
                     // No vector yet: only the neighbour itself is known.
                     None if n == dest => 0.0,
@@ -191,7 +205,7 @@ impl RoutingTable {
                 if !total.is_finite() {
                     continue;
                 }
-                let nlm = LandmarkId::from(n);
+                let best = &mut self.entries[dest];
                 if total < best.delay {
                     best.backup = best.next;
                     best.backup_delay = best.delay;
@@ -202,7 +216,6 @@ impl RoutingTable {
                     best.backup_delay = total;
                 }
             }
-            self.entries[dest] = best;
         }
     }
 

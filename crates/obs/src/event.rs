@@ -166,6 +166,32 @@ pub enum SimEvent {
     },
 }
 
+/// Every kind tag, sorted — `kind_index` is the position here, so a flat
+/// `[u64; KIND_COUNT]` counter array iterated in index order reads back
+/// in exactly the order a `BTreeMap<&str, u64>` keyed by tag would.
+pub const KIND_TAGS: [&str; 17] = [
+    "bandwidth_updated",
+    "contact_close",
+    "contact_open",
+    "mis_transit",
+    "node_failed",
+    "node_recovered",
+    "packet_delivered",
+    "packet_expired",
+    "packet_forwarded",
+    "packet_generated",
+    "packet_lost",
+    "retry_queued",
+    "route_coverage",
+    "station_down",
+    "station_up",
+    "table_exchanged",
+    "unit_boundary",
+];
+
+/// Number of distinct event kinds.
+pub const KIND_COUNT: usize = KIND_TAGS.len();
+
 impl SimEvent {
     /// Timestamp the event occurred at.
     pub fn at(&self) -> SimTime {
@@ -192,24 +218,30 @@ impl SimEvent {
 
     /// Stable machine-readable kind tag (used for event-count registries).
     pub fn kind(&self) -> &'static str {
+        KIND_TAGS[self.kind_index()]
+    }
+
+    /// This event's position in [`KIND_TAGS`] — a dense index for flat
+    /// per-kind counter arrays.
+    pub fn kind_index(&self) -> usize {
         match self {
-            SimEvent::ContactOpen { .. } => "contact_open",
-            SimEvent::ContactClose { .. } => "contact_close",
-            SimEvent::UnitBoundary { .. } => "unit_boundary",
-            SimEvent::PacketGenerated { .. } => "packet_generated",
-            SimEvent::PacketForwarded { .. } => "packet_forwarded",
-            SimEvent::PacketDelivered { .. } => "packet_delivered",
-            SimEvent::PacketExpired { .. } => "packet_expired",
-            SimEvent::PacketLost { .. } => "packet_lost",
-            SimEvent::StationDown { .. } => "station_down",
-            SimEvent::StationUp { .. } => "station_up",
-            SimEvent::NodeFailed { .. } => "node_failed",
-            SimEvent::NodeRecovered { .. } => "node_recovered",
-            SimEvent::TableExchanged { .. } => "table_exchanged",
-            SimEvent::BandwidthUpdated { .. } => "bandwidth_updated",
-            SimEvent::MisTransit { .. } => "mis_transit",
-            SimEvent::RetryQueued { .. } => "retry_queued",
-            SimEvent::RouteCoverage { .. } => "route_coverage",
+            SimEvent::BandwidthUpdated { .. } => 0,
+            SimEvent::ContactClose { .. } => 1,
+            SimEvent::ContactOpen { .. } => 2,
+            SimEvent::MisTransit { .. } => 3,
+            SimEvent::NodeFailed { .. } => 4,
+            SimEvent::NodeRecovered { .. } => 5,
+            SimEvent::PacketDelivered { .. } => 6,
+            SimEvent::PacketExpired { .. } => 7,
+            SimEvent::PacketForwarded { .. } => 8,
+            SimEvent::PacketGenerated { .. } => 9,
+            SimEvent::PacketLost { .. } => 10,
+            SimEvent::RetryQueued { .. } => 11,
+            SimEvent::RouteCoverage { .. } => 12,
+            SimEvent::StationDown { .. } => 13,
+            SimEvent::StationUp { .. } => 14,
+            SimEvent::TableExchanged { .. } => 15,
+            SimEvent::UnitBoundary { .. } => 16,
         }
     }
 }
@@ -448,5 +480,18 @@ mod tests {
         ];
         let kinds: BTreeSet<&'static str> = evs.iter().map(SimEvent::kind).collect();
         assert_eq!(kinds.len(), evs.len());
+        // Every kind index is covered and consistent with the tag table.
+        let idxs: BTreeSet<usize> = evs.iter().map(SimEvent::kind_index).collect();
+        assert_eq!(idxs.len(), KIND_COUNT);
+        for ev in &evs {
+            assert_eq!(KIND_TAGS[ev.kind_index()], ev.kind());
+        }
+    }
+
+    #[test]
+    fn kind_tags_are_sorted() {
+        // Flat counters iterated in kind_index order must read back in the
+        // lexicographic order the old BTreeMap registry exported.
+        assert!(KIND_TAGS.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -2,12 +2,14 @@
 //!
 //! `ObsMetrics` is a pure fold over the event stream: feeding the same
 //! events in the same order always produces the same state. All keyed
-//! state lives in `BTreeMap`s so iteration order (and therefore every
-//! exported snapshot) is deterministic.
+//! state lives in dense-index structures (`DenseMap`, `LinkMatrix`, a
+//! flat per-kind counter array) whose iteration order is ascending-id by
+//! construction, so every exported snapshot is deterministic without any
+//! tree bookkeeping on the per-event fold.
 
-use std::collections::BTreeMap;
+use dtnflow_core::dense::{DenseMap, LinkMatrix};
 
-use crate::event::{LossKind, Place, SimEvent};
+use crate::event::{LossKind, Place, SimEvent, KIND_COUNT, KIND_TAGS};
 
 /// Fixed delay-histogram bucket edges, in seconds (upper-inclusive).
 ///
@@ -68,17 +70,70 @@ pub struct Totals {
     pub expired_on_node: u64,
 }
 
+/// Per-kind event counters as a flat array indexed by
+/// [`SimEvent::kind_index`]. Reads mirror the `BTreeMap<&str, u64>` this
+/// replaces: iteration yields only kinds seen at least once, in tag
+/// order (kind indexes are assigned alphabetically).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventCounts {
+    counts: [u64; KIND_COUNT],
+}
+
+impl Default for EventCounts {
+    fn default() -> Self {
+        EventCounts {
+            counts: [0; KIND_COUNT],
+        }
+    }
+}
+
+impl EventCounts {
+    /// Count one occurrence of the kind at `kind_index`.
+    #[inline]
+    pub fn bump(&mut self, kind_index: usize) {
+        self.counts[kind_index] += 1;
+    }
+
+    /// `(tag, count)` for every kind seen at least once, in tag order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (KIND_TAGS[i], c))
+    }
+
+    /// Counts for every kind seen at least once, in tag order.
+    pub fn values(&self) -> impl Iterator<Item = u64> + '_ {
+        self.iter().map(|(_, c)| c)
+    }
+}
+
+impl std::ops::Index<&str> for EventCounts {
+    type Output = u64;
+
+    /// Panics on an unknown tag, like the map it replaces did on an
+    /// absent key. A known tag never observed reads as 0.
+    fn index(&self, tag: &str) -> &u64 {
+        match KIND_TAGS.iter().position(|&t| t == tag) {
+            Some(i) => &self.counts[i],
+            // detlint: allow(P1, reason = "Index contract: bad key panics, like the BTreeMap this replaces")
+            None => panic!("unknown event kind tag {tag:?}"),
+        }
+    }
+}
+
 /// Deterministic fold of the event stream into registries and histograms.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ObsMetrics {
     /// Per-landmark counter rows, keyed by raw landmark id.
-    pub landmarks: BTreeMap<u16, LandmarkCounters>,
+    pub landmarks: DenseMap<u16, LandmarkCounters>,
     /// Latest smoothed EWMA bandwidth per directed link `(from, to)` (Eq. 4).
-    pub bandwidth: BTreeMap<(u16, u16), f64>,
+    pub bandwidth: LinkMatrix,
     /// Latest `(coverage, table revision)` sample per landmark.
-    pub coverage: BTreeMap<u16, (f64, u64)>,
+    pub coverage: DenseMap<u16, (f64, u64)>,
     /// Event counts per kind tag.
-    pub event_counts: BTreeMap<&'static str, u64>,
+    pub event_counts: EventCounts,
     /// End-to-end delivery delay histogram (see `DELAY_BUCKET_EDGES_SECS`).
     pub delay_hist: [u64; DELAY_BUCKETS],
     /// Delivery hop-count histogram (0..=15, then 16+).
@@ -94,7 +149,7 @@ impl ObsMetrics {
     }
 
     fn lm(&mut self, id: u16) -> &mut LandmarkCounters {
-        self.landmarks.entry(id).or_default()
+        self.landmarks.get_or_default(id)
     }
 
     /// A packet entered the queue at `place` (no-op for carrier nodes).
@@ -116,7 +171,7 @@ impl ObsMetrics {
 
     /// Fold one event into the registries.
     pub fn apply(&mut self, ev: &SimEvent) {
-        *self.event_counts.entry(ev.kind()).or_insert(0) += 1;
+        self.event_counts.bump(ev.kind_index());
         match *ev {
             SimEvent::ContactOpen { .. } => self.totals.contacts_opened += 1,
             SimEvent::ContactClose { .. } => self.totals.contacts_closed += 1,
@@ -189,7 +244,7 @@ impl ObsMetrics {
             SimEvent::BandwidthUpdated {
                 from, to, value, ..
             } => {
-                self.bandwidth.insert((from.0, to.0), value);
+                self.bandwidth.set(from.0, to.0, value);
             }
             SimEvent::MisTransit { lm, uploaded, .. } => {
                 let c = self.lm(lm.0);
@@ -228,24 +283,24 @@ mod tests {
             dst: LandmarkId(1),
             start: Some(Place::Pending(l0)),
         });
-        assert_eq!(m.landmarks[&0].queue_depth, 1);
-        assert_eq!(m.landmarks[&0].queue_peak, 1);
+        assert_eq!(m.landmarks[0].queue_depth, 1);
+        assert_eq!(m.landmarks[0].queue_peak, 1);
         m.apply(&SimEvent::PacketForwarded {
             at: SimTime(5),
             pkt: PacketId(0),
             from: Place::Pending(l0),
             to: Place::Node(NodeId(3)),
         });
-        assert_eq!(m.landmarks[&0].queue_depth, 0);
-        assert_eq!(m.landmarks[&0].downlinks, 1);
+        assert_eq!(m.landmarks[0].queue_depth, 0);
+        assert_eq!(m.landmarks[0].downlinks, 1);
         m.apply(&SimEvent::PacketForwarded {
             at: SimTime(9),
             pkt: PacketId(0),
             from: Place::Node(NodeId(3)),
             to: Place::Station(LandmarkId(1)),
         });
-        assert_eq!(m.landmarks[&1].queue_depth, 1);
-        assert_eq!(m.landmarks[&1].uplinks, 1);
+        assert_eq!(m.landmarks[1].queue_depth, 1);
+        assert_eq!(m.landmarks[1].uplinks, 1);
         m.apply(&SimEvent::PacketDelivered {
             at: SimTime(9),
             pkt: PacketId(0),
@@ -254,7 +309,7 @@ mod tests {
             hops: 2,
             from: Place::Station(LandmarkId(1)),
         });
-        assert_eq!(m.landmarks[&1].queue_depth, 0);
+        assert_eq!(m.landmarks[1].queue_depth, 0);
         assert_eq!(m.totals.delivered, 1);
         // 9 s lands in the first (<= 1 h) bucket; 2 hops in bucket 2.
         assert_eq!(m.delay_hist[0], 1);
@@ -307,7 +362,7 @@ mod tests {
         });
         assert_eq!(m.totals.lost_outage, 2);
         assert_eq!(m.totals.lost_churn, 1);
-        assert_eq!(m.landmarks[&2].lost, 1);
+        assert_eq!(m.landmarks[2].lost, 1);
     }
 
     #[test]
@@ -327,7 +382,7 @@ mod tests {
                 revision: unit,
             });
         }
-        assert_eq!(m.bandwidth[&(0, 1)], 0.75);
-        assert_eq!(m.coverage[&0], (0.75, 2));
+        assert_eq!(m.bandwidth.get(0, 1), Some(0.75));
+        assert_eq!(m.coverage[0], (0.75, 2));
     }
 }

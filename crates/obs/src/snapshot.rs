@@ -63,22 +63,18 @@ impl Snapshot {
             event_counts: metrics
                 .event_counts
                 .iter()
-                .map(|(&k, &v)| (k.to_owned(), v))
+                .map(|(k, v)| (k.to_owned(), v))
                 .collect(),
             landmarks: metrics
                 .landmarks
                 .iter()
-                .map(|(&lm, &counters)| LandmarkRow { lm, counters })
+                .map(|(lm, &counters)| LandmarkRow { lm, counters })
                 .collect(),
-            bandwidth: metrics
-                .bandwidth
-                .iter()
-                .map(|(&(from, to), &value)| (from, to, value))
-                .collect(),
+            bandwidth: metrics.bandwidth.iter().collect(),
             route_coverage: metrics
                 .coverage
                 .iter()
-                .map(|(&lm, &(coverage, revision))| (lm, coverage, revision))
+                .map(|(lm, &(coverage, revision))| (lm, coverage, revision))
                 .collect(),
             delay_hist: metrics.delay_hist.to_vec(),
             hop_hist: metrics.hop_hist.to_vec(),

@@ -88,19 +88,34 @@ impl VisitHistory {
     /// The `top` most frequently visited landmarks, descending by visit
     /// count (used by the §IV-E.4 routing-to-mobile-nodes extension).
     pub fn frequent_landmarks(&self, top: usize) -> Vec<LandmarkId> {
-        let mut by_count: Vec<(u32, usize)> = self
-            .stay_sums
-            .iter()
-            .enumerate()
-            .filter(|(_, &(_, n))| n > 0)
-            .map(|(l, &(_, n))| (n, l))
-            .collect();
-        by_count.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        by_count
-            .into_iter()
-            .take(top)
-            .map(|(_, l)| LandmarkId::from(l))
-            .collect()
+        let mut out = Vec::new();
+        self.frequent_landmarks_into(top, &mut out);
+        out
+    }
+
+    /// [`VisitHistory::frequent_landmarks`] into a caller-owned buffer
+    /// (cleared first), allocation-free: `top` is tiny (the §IV-E.4
+    /// registration count, 2 by default), so a selection scan per rank
+    /// beats building and sorting a count vector. Ties rank the lower
+    /// landmark id first, as the sorted form did.
+    pub fn frequent_landmarks_into(&self, top: usize, out: &mut Vec<LandmarkId>) {
+        out.clear();
+        for _ in 0..top {
+            let mut best: Option<(u32, usize)> = None;
+            for (l, &(_, n)) in self.stay_sums.iter().enumerate() {
+                if n == 0 || out.iter().any(|&picked| picked.index() == l) {
+                    continue;
+                }
+                // Ascending scan: a strict `>` keeps the lowest id on ties.
+                if best.is_none_or(|(bn, _)| n > bn) {
+                    best = Some((n, l));
+                }
+            }
+            match best {
+                Some((_, l)) => out.push(LandmarkId::from(l)),
+                None => break,
+            }
+        }
     }
 
     /// Dead-end test (§IV-E.1): has a stay of `elapsed` at `landmark`

@@ -26,13 +26,89 @@ struct CtxStats {
     next: BTreeMap<u16, u32>,
 }
 
+/// Flat `n×n` transition counts for the order-1 fast path: row = context
+/// landmark, column = successor, both addressed by id. Grows on demand
+/// when a larger landmark id is observed.
+#[derive(Debug, Clone, Default)]
+struct FlatCounts {
+    n: usize,
+    /// Transition counts, cell `ctx * n + next`.
+    counts: Vec<u32>,
+    /// Row sums (`N(s)` of Eq. 2), one per context landmark.
+    totals: Vec<u32>,
+}
+
+impl FlatCounts {
+    fn with_landmarks(n: usize) -> Self {
+        FlatCounts {
+            n,
+            counts: vec![0; n * n],
+            totals: vec![0; n],
+        }
+    }
+
+    fn grow(&mut self, n: usize) {
+        if n <= self.n {
+            return;
+        }
+        let mut counts = vec![0u32; n * n];
+        for ctx in 0..self.n {
+            let (old, new) = (ctx * self.n, ctx * n);
+            counts[new..new + self.n].copy_from_slice(&self.counts[old..old + self.n]);
+        }
+        self.counts = counts;
+        self.totals.resize(n, 0);
+        self.n = n;
+    }
+
+    fn bump(&mut self, ctx: LandmarkId, next: LandmarkId) {
+        let need = ctx.index().max(next.index()) + 1;
+        if need > self.n {
+            self.grow(need);
+        }
+        self.totals[ctx.index()] += 1;
+        self.counts[ctx.index() * self.n + next.index()] += 1;
+    }
+
+    fn total(&self, ctx: LandmarkId) -> u32 {
+        if ctx.index() >= self.n {
+            return 0;
+        }
+        self.totals[ctx.index()]
+    }
+
+    fn count(&self, ctx: LandmarkId, next: LandmarkId) -> u32 {
+        if ctx.index() >= self.n || next.index() >= self.n {
+            return 0;
+        }
+        self.counts[ctx.index() * self.n + next.index()]
+    }
+
+    /// The successor-count row for `ctx`, empty when unseen.
+    fn row(&self, ctx: LandmarkId) -> &[u32] {
+        if ctx.index() >= self.n {
+            return &[];
+        }
+        &self.counts[ctx.index() * self.n..(ctx.index() + 1) * self.n]
+    }
+}
+
+/// Context-count storage: a flat count matrix when `k == 1` (by far the
+/// hottest configuration — `probability` sits inside the router's carrier
+/// selection loop), the packed-context tree for higher orders.
+#[derive(Debug, Clone)]
+enum Counts {
+    Flat(FlatCounts),
+    Map(BTreeMap<u64, CtxStats>),
+}
+
 /// An online order-k Markov predictor over landmark visits.
 #[derive(Debug, Clone)]
 pub struct MarkovPredictor {
     k: usize,
     /// The last up-to-k observed landmarks, oldest first.
     recent: Vec<LandmarkId>,
-    counts: BTreeMap<u64, CtxStats>,
+    counts: Counts,
     observations: usize,
 }
 
@@ -50,14 +126,27 @@ fn pack(ctx: &[LandmarkId]) -> u64 {
 impl MarkovPredictor {
     /// Create an order-k predictor. `k` must be in `1..=MAX_ORDER`.
     pub fn new(k: usize) -> Self {
+        Self::with_landmarks(k, 0)
+    }
+
+    /// Create an order-k predictor in a network of `num_landmarks`
+    /// landmarks. For `k == 1` this pre-sizes the flat count matrix so
+    /// no grow/re-layout ever happens during a run; ids at or beyond
+    /// `num_landmarks` still work (the matrix grows on demand).
+    pub fn with_landmarks(k: usize, num_landmarks: usize) -> Self {
         assert!(
             (1..=MAX_ORDER).contains(&k),
             "order must be in 1..={MAX_ORDER}"
         );
+        let counts = if k == 1 {
+            Counts::Flat(FlatCounts::with_landmarks(num_landmarks))
+        } else {
+            Counts::Map(BTreeMap::new())
+        };
         MarkovPredictor {
             k,
             recent: Vec::with_capacity(k),
-            counts: BTreeMap::new(),
+            counts,
             observations: 0,
         }
     }
@@ -79,10 +168,14 @@ impl MarkovPredictor {
             return;
         }
         if self.recent.len() == self.k {
-            let key = pack(&self.recent);
-            let stats = self.counts.entry(key).or_default();
-            stats.total += 1;
-            *stats.next.entry(lm.0).or_insert(0) += 1;
+            match &mut self.counts {
+                Counts::Flat(flat) => flat.bump(self.recent[0], lm),
+                Counts::Map(map) => {
+                    let stats = map.entry(pack(&self.recent)).or_default();
+                    stats.total += 1;
+                    *stats.next.entry(lm.0).or_insert(0) += 1;
+                }
+            }
         }
         self.recent.push(lm);
         if self.recent.len() > self.k {
@@ -113,11 +206,20 @@ impl MarkovPredictor {
     /// `P(next | ctx)` for an explicit context.
     pub fn probability_from(&self, ctx: &[LandmarkId], next: LandmarkId) -> f64 {
         assert_eq!(ctx.len(), self.k, "context must have length k");
-        match self.counts.get(&pack(ctx)) {
-            Some(stats) if stats.total > 0 => {
-                *stats.next.get(&next.0).unwrap_or(&0) as f64 / stats.total as f64
+        match &self.counts {
+            Counts::Flat(flat) => {
+                let total = flat.total(ctx[0]);
+                if total == 0 {
+                    return 0.0;
+                }
+                flat.count(ctx[0], next) as f64 / total as f64
             }
-            _ => 0.0,
+            Counts::Map(map) => match map.get(&pack(ctx)) {
+                Some(stats) if stats.total > 0 => {
+                    *stats.next.get(&next.0).unwrap_or(&0) as f64 / stats.total as f64
+                }
+                _ => 0.0,
+            },
         }
     }
 
@@ -132,33 +234,78 @@ impl MarkovPredictor {
     /// the lowest landmark id for determinism.
     pub fn predict_from(&self, ctx: &[LandmarkId]) -> Option<(LandmarkId, f64)> {
         assert_eq!(ctx.len(), self.k, "context must have length k");
-        let stats = self.counts.get(&pack(ctx))?;
-        if stats.total == 0 {
-            return None;
+        match &self.counts {
+            Counts::Flat(flat) => {
+                let total = flat.total(ctx[0]);
+                if total == 0 {
+                    return None;
+                }
+                // Ascending-id scan with a strict `>` keeps the first
+                // (lowest-id) maximum: the same tie-break the ordered-map
+                // `max_by` implemented.
+                let mut best = (0usize, 0u32);
+                for (j, &c) in flat.row(ctx[0]).iter().enumerate() {
+                    if c > best.1 {
+                        best = (j, c);
+                    }
+                }
+                (best.1 > 0).then(|| (LandmarkId::from(best.0), best.1 as f64 / total as f64))
+            }
+            Counts::Map(map) => {
+                let stats = map.get(&pack(ctx))?;
+                if stats.total == 0 {
+                    return None;
+                }
+                let (&lm, &cnt) = stats
+                    .next
+                    .iter()
+                    .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then(lb.cmp(la)))?;
+                Some((LandmarkId(lm), cnt as f64 / stats.total as f64))
+            }
         }
-        let (&lm, &cnt) = stats
-            .next
-            .iter()
-            .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then(lb.cmp(la)))?;
-        Some((LandmarkId(lm), cnt as f64 / stats.total as f64))
     }
 
     /// The full successor distribution of the current context, descending
     /// by probability. Empty when nothing is known.
     pub fn distribution(&self) -> Vec<(LandmarkId, f64)> {
-        let Some(ctx) = self.context() else {
-            return Vec::new();
-        };
-        let Some(stats) = self.counts.get(&pack(ctx)) else {
-            return Vec::new();
-        };
-        let mut out: Vec<(LandmarkId, f64)> = stats
-            .next
-            .iter()
-            .map(|(&lm, &c)| (LandmarkId(lm), c as f64 / stats.total as f64))
-            .collect();
-        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut out = Vec::new();
+        self.distribution_into(&mut out);
         out
+    }
+
+    /// [`MarkovPredictor::distribution`] into a caller-owned buffer, so
+    /// per-contact callers (the router's packet assignment) can reuse one
+    /// allocation. The buffer is cleared first.
+    pub fn distribution_into(&self, out: &mut Vec<(LandmarkId, f64)>) {
+        out.clear();
+        let Some(ctx) = self.context() else {
+            return;
+        };
+        match &self.counts {
+            Counts::Flat(flat) => {
+                let total = flat.total(ctx[0]);
+                if total == 0 {
+                    return;
+                }
+                for (j, &c) in flat.row(ctx[0]).iter().enumerate() {
+                    if c > 0 {
+                        out.push((LandmarkId::from(j), c as f64 / total as f64));
+                    }
+                }
+            }
+            Counts::Map(map) => {
+                let Some(stats) = map.get(&pack(ctx)) else {
+                    return;
+                };
+                out.extend(
+                    stats
+                        .next
+                        .iter()
+                        .map(|(&lm, &c)| (LandmarkId(lm), c as f64 / stats.total as f64)),
+                );
+            }
+        }
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     }
 }
 

@@ -45,6 +45,7 @@ pub struct SimOutcome {
 /// up record-loss per visit; within identical timestamps the index sorts
 /// exactly like the insertion sequence did (visits are pushed in trace
 /// order), so fault-free runs dispatch in the same order as before.
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
     TimeUnit(u64),
@@ -126,9 +127,13 @@ fn run_inner<R: Router + ?Sized>(
     }
     let station_mode = router.uses_stations();
 
-    // Truncation fractions by visit index (sparse: most visits complete).
-    let truncated: std::collections::BTreeMap<u32, f64> =
-        plan.truncations.iter().copied().collect();
+    // Truncation fractions by visit index (sparse: most visits complete),
+    // in a dense slot-per-index map for O(1) per-visit lookups.
+    let mut truncated: dtnflow_core::dense::DenseMap<u32, f64> =
+        dtnflow_core::dense::DenseMap::new();
+    for &(idx, frac) in &plan.truncations {
+        truncated.insert(idx, frac);
+    }
     // Record-loss flags, dense for O(1) dispatch lookups.
     let mut record_lost = vec![false; trace.visits().len()];
     for &idx in &plan.lost_records {
@@ -160,7 +165,7 @@ fn run_inner<R: Router + ?Sized>(
         // A truncated contact departs after `frac` of its dwell, but at
         // least one second after arriving — a same-instant depart would
         // sort *before* the arrive and leave the node stuck as present.
-        let end = match truncated.get(&idx) {
+        let end = match truncated.get(idx) {
             Some(&frac) => {
                 let stay = v.end.secs().saturating_sub(v.start.secs());
                 let kept = ((stay as f64 * frac) as u64).clamp(1, stay.max(1));
@@ -215,6 +220,7 @@ fn run_inner<R: Router + ?Sized>(
     };
 
     let mut next_static = 0usize;
+    let mut present: Vec<NodeId> = Vec::new();
     loop {
         // Pick the earlier of the next static event and the next timer.
         let static_ev = events.get(next_static).copied();
@@ -281,13 +287,12 @@ fn run_inner<R: Router + ?Sized>(
                         world.auto_deliver_on_arrival(n, l);
                     }
                     world.set_visit_recorded(!record_lost[idx as usize]);
-                    let present: Vec<NodeId> = world
-                        .nodes_at(l)
-                        .iter()
-                        .copied()
-                        .filter(|&m| m != n)
-                        .collect();
-                    for m in present {
+                    // Encounter partners, copied out so the router may
+                    // mutate presence; the buffer is reused across
+                    // arrivals to keep this allocation-free.
+                    present.clear();
+                    present.extend(world.nodes_at(l).iter().filter(|&m| m != n));
+                    for &m in present.iter() {
                         router.on_encounter(&mut world, n, m, l);
                     }
                     router.on_arrive(&mut world, n, l);
@@ -362,7 +367,8 @@ mod tests {
                 PacketLoc::PendingAtSource(l) => l,
                 _ => return,
             };
-            if let Some(&n) = w.nodes_at(src).iter().next() {
+            let first = w.nodes_at(src).iter().next();
+            if let Some(n) = first {
                 let _ = w.transfer_to_node(pkt, n);
             }
         }
@@ -383,7 +389,7 @@ mod tests {
                 .push(format!("arrive {node} {lm} @{}", w.now().secs()));
         }
         fn on_depart(&mut self, w: &mut World, node: NodeId, lm: LandmarkId) {
-            assert!(w.nodes_at(lm).contains(&node), "still present at depart");
+            assert!(w.nodes_at(lm).contains(node), "still present at depart");
             self.log
                 .push(format!("depart {node} {lm} @{}", w.now().secs()));
         }

@@ -5,15 +5,15 @@
 //! (§I) and are modelled as unbounded. Iteration order is deterministic
 //! (ascending packet id) so simulations are reproducible.
 
+use dtnflow_core::dense::DenseSet;
 use dtnflow_core::ids::PacketId;
-use std::collections::BTreeSet;
 
 /// A set of packets with byte accounting and an optional capacity.
 #[derive(Debug, Clone)]
 pub struct PacketStore {
     capacity: Option<u64>,
     used: u64,
-    packets: BTreeSet<PacketId>,
+    packets: DenseSet<PacketId>,
 }
 
 impl PacketStore {
@@ -22,7 +22,7 @@ impl PacketStore {
         PacketStore {
             capacity: Some(capacity),
             used: 0,
-            packets: BTreeSet::new(),
+            packets: DenseSet::new(),
         }
     }
 
@@ -31,7 +31,7 @@ impl PacketStore {
         PacketStore {
             capacity: None,
             used: 0,
-            packets: BTreeSet::new(),
+            packets: DenseSet::new(),
         }
     }
 
@@ -65,7 +65,7 @@ impl PacketStore {
 
     /// Whether a packet is present.
     pub fn contains(&self, pkt: PacketId) -> bool {
-        self.packets.contains(&pkt)
+        self.packets.contains(pkt)
     }
 
     /// Insert a packet of `size` bytes. Fails (returns `false`) when the
@@ -82,7 +82,7 @@ impl PacketStore {
 
     /// Remove a packet of `size` bytes; `false` when absent.
     pub fn remove(&mut self, pkt: PacketId, size: u64) -> bool {
-        if self.packets.remove(&pkt) {
+        if self.packets.remove(pkt) {
             debug_assert!(self.used >= size, "byte accounting underflow");
             self.used -= size;
             true
@@ -93,7 +93,7 @@ impl PacketStore {
 
     /// Iterate packets in ascending id order (deterministic).
     pub fn iter(&self) -> impl Iterator<Item = PacketId> + '_ {
-        self.packets.iter().copied()
+        self.packets.iter()
     }
 }
 

@@ -9,12 +9,12 @@
 
 use crate::store::PacketStore;
 use dtnflow_core::config::SimConfig;
+use dtnflow_core::dense::DenseSet;
 use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
 use dtnflow_core::metrics::RunMetrics;
 use dtnflow_core::packet::{Packet, PacketLoc};
 use dtnflow_core::time::SimTime;
 use dtnflow_obs::{LossKind, Place, SimEvent, TraceSink};
-use std::collections::BTreeSet;
 
 /// Map a live packet location to its observability [`Place`]; terminal
 /// states have no place.
@@ -109,9 +109,12 @@ pub struct World {
     station_store: Vec<PacketStore>,
     /// Packets generated in a subarea and not yet picked up (no-station
     /// routers only).
-    pending: Vec<BTreeSet<PacketId>>,
+    pending: Vec<DenseSet<PacketId>>,
+    /// Reusable packet-id buffer for per-arrival scans (never observable:
+    /// always cleared before use).
+    scratch_pkts: Vec<PacketId>,
     node_loc: Vec<Option<LandmarkId>>,
-    present: Vec<BTreeSet<NodeId>>,
+    present: Vec<DenseSet<NodeId>>,
     metrics: RunMetrics,
     /// Remaining node↔station transfers this time unit, per landmark.
     radio_budget: Option<Vec<u64>>,
@@ -173,9 +176,10 @@ impl World {
             station_store: (0..num_landmarks)
                 .map(|_| PacketStore::unbounded())
                 .collect(),
-            pending: vec![BTreeSet::new(); num_landmarks],
+            pending: vec![DenseSet::new(); num_landmarks],
+            scratch_pkts: Vec::new(),
             node_loc: vec![None; num_nodes],
-            present: vec![BTreeSet::new(); num_landmarks],
+            present: vec![DenseSet::new(); num_landmarks],
             metrics: RunMetrics::default(),
             radio_budget,
             station_up: vec![true; num_landmarks],
@@ -227,7 +231,7 @@ impl World {
     }
 
     /// Nodes currently at a landmark, ascending by id.
-    pub fn nodes_at(&self, lm: LandmarkId) -> &BTreeSet<NodeId> {
+    pub fn nodes_at(&self, lm: LandmarkId) -> &DenseSet<NodeId> {
         &self.present[lm.index()]
     }
 
@@ -263,7 +267,7 @@ impl World {
 
     /// Packets pending pickup in a subarea (no-station routers).
     pub fn pending_at(&self, lm: LandmarkId) -> impl Iterator<Item = PacketId> + '_ {
-        self.pending[lm.index()].iter().copied()
+        self.pending[lm.index()].iter()
     }
 
     /// Metrics accumulated so far.
@@ -363,7 +367,7 @@ impl World {
                 if !self.node_store[to.index()].fits(size) {
                     return Err(TransferError::NoSpace);
                 }
-                self.pending[l.index()].remove(&pkt);
+                self.pending[l.index()].remove(pkt);
             }
             PacketLoc::AtStation(l) => {
                 if l != to_lm {
@@ -441,7 +445,7 @@ impl World {
                 if l != lm {
                     return Err(TransferError::NotColocated);
                 }
-                self.pending[l.index()].remove(&pkt);
+                self.pending[l.index()].remove(pkt);
             }
             PacketLoc::AtStation(l) if l == lm => return Err(TransferError::SamePlace),
             _ => return Err(TransferError::NotLive),
@@ -570,7 +574,7 @@ impl World {
                 self.station_store[l.index()].remove(pkt, size);
             }
             PacketLoc::PendingAtSource(l) => {
-                self.pending[l.index()].remove(&pkt);
+                self.pending[l.index()].remove(pkt);
             }
             _ => return Err(TransferError::NotLive),
         }
@@ -614,7 +618,7 @@ impl World {
     pub(crate) fn node_fail(&mut self, node: NodeId) -> usize {
         self.node_failed[node.index()] = true;
         if let Some(lm) = self.node_loc[node.index()].take() {
-            self.present[lm.index()].remove(&node);
+            self.present[lm.index()].remove(node);
             // The failure ends any in-progress contact.
             self.emit(|at| SimEvent::ContactClose { at, node, lm });
         }
@@ -691,7 +695,7 @@ impl World {
     pub(crate) fn node_depart(&mut self, node: NodeId, lm: LandmarkId) {
         debug_assert_eq!(self.node_loc[node.index()], Some(lm));
         self.node_loc[node.index()] = None;
-        self.present[lm.index()].remove(&node);
+        self.present[lm.index()].remove(node);
         self.emit(|at| SimEvent::ContactClose { at, node, lm });
     }
 
@@ -784,7 +788,7 @@ impl World {
                 self.station_store[l.index()].remove(pkt, size);
             }
             PacketLoc::PendingAtSource(l) => {
-                self.pending[l.index()].remove(&pkt);
+                self.pending[l.index()].remove(pkt);
             }
             _ => return,
         }
@@ -814,12 +818,17 @@ impl World {
     /// destination subarea *is* delivery).
     pub(crate) fn auto_deliver_on_arrival(&mut self, node: NodeId, lm: LandmarkId) {
         let size = self.cfg.packet_size;
-        let here: Vec<PacketId> = self.node_store[node.index()]
-            .iter()
-            .filter(|&p| self.packets[p.index()].dst == lm)
-            .collect();
+        // Reused buffer: arrivals are the hottest event, and a fresh
+        // allocation per arrival dwarfs the delivery work itself.
+        let mut here = std::mem::take(&mut self.scratch_pkts);
+        here.clear();
+        here.extend(
+            self.node_store[node.index()]
+                .iter()
+                .filter(|&p| self.packets[p.index()].dst == lm),
+        );
         let now = self.now;
-        for pkt in here {
+        for &pkt in &here {
             // The TTL may have lapsed since the last purge: that packet
             // is a drop, not a delivery.
             if self.packets[pkt.index()].is_expired_at(now) {
@@ -841,6 +850,7 @@ impl World {
                 from: Place::Node(node),
             });
         }
+        self.scratch_pkts = here;
     }
 
     pub(crate) fn into_outcome(self) -> (RunMetrics, Vec<Packet>) {
