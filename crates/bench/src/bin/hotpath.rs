@@ -242,6 +242,13 @@ fn load_benches(path: &str) -> Result<Vec<(String, f64)>, String> {
 /// Compare a fresh run against the committed baseline. Returns the number
 /// of >2x regressions.
 fn check(new_path: &str, base_path: &str) -> Result<usize, String> {
+    if !std::path::Path::new(base_path).exists() {
+        return Err(format!(
+            "baseline `{base_path}` does not exist — the regression gate has \
+             nothing to compare against. Commit one with \
+             `cargo run --release -p dtnflow-bench --bin hotpath -- --out {base_path}`."
+        ));
+    }
     let new = load_benches(new_path)?;
     let base = load_benches(base_path)?;
     let mut regressions = 0;

@@ -9,6 +9,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod report;
 pub mod runners;

@@ -1,0 +1,92 @@
+//! Property tests for the checkpoint/restore layer: arbitrary kill
+//! schedules never perturb outcomes, the container codec is
+//! re-encode-stable, and no corruption pattern is silently accepted.
+
+use dtnflow_bench::chaos::{run_segment, run_straight, run_with_kills, ChaosInputs, SegmentEnd};
+use dtnflow_sim::FaultPlan;
+use dtnflow_snapshot::{SnapshotBuilder, SnapshotFile};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The straight-through artifacts of the shared tiny cell, computed once
+/// (every proptest case compares against the same reference).
+fn straight_state() -> &'static Vec<u8> {
+    static STATE: OnceLock<Vec<u8>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let inp = ChaosInputs::tiny(21, FaultPlan::none());
+        run_straight(&inp).expect("straight run").state
+    })
+}
+
+fn tiny_snapshot_bytes() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let inp = ChaosInputs::tiny(21, FaultPlan::none());
+        match run_segment(&inp, None, Some(4)).expect("segment") {
+            SegmentEnd::Paused(b) => b,
+            SegmentEnd::Finished(_) => panic!("tiny run ended before unit 4"),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Any ascending kill schedule (repeats allowed — a re-kill of the
+    /// freshly restored process) reproduces the uninterrupted run.
+    #[test]
+    fn any_kill_schedule_is_byte_identical(
+        mut kills in proptest::collection::vec(1u64..19, 1..4),
+    ) {
+        kills.sort_unstable();
+        let inp = ChaosInputs::tiny(21, FaultPlan::none());
+        let (chaotic, _) = run_with_kills(&inp, &kills).expect("chaotic run");
+        prop_assert!(chaotic.conservation_holds());
+        prop_assert_eq!(&chaotic.state, straight_state(), "kills {:?}", kills);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Decode → re-encode of a real checkpoint container is byte-stable
+    /// regardless of where we slice sections back together from.
+    #[test]
+    fn container_reencode_is_byte_stable(_x in 0u8..1) {
+        let bytes = tiny_snapshot_bytes();
+        let file = SnapshotFile::parse(bytes).expect("parses");
+        let mut b = SnapshotBuilder::new();
+        for s in &file.sections {
+            b.add_section(&s.name, s.version, s.payload.clone());
+        }
+        prop_assert_eq!(&b.finish(), bytes);
+    }
+
+    /// Single-byte corruption anywhere in the container is always
+    /// detected (section or whole-file checksum), never accepted and
+    /// never a panic.
+    #[test]
+    fn single_byte_corruption_is_always_detected(
+        raw in any::<u64>(),
+        mask in 1u8..255,
+    ) {
+        let bytes = tiny_snapshot_bytes();
+        let i = (raw % bytes.len() as u64) as usize;
+        let mut bad = bytes.clone();
+        bad[i] ^= mask;
+        let inp = ChaosInputs::tiny(21, FaultPlan::none());
+        prop_assert!(
+            run_segment(&inp, Some(&bad), None).is_err(),
+            "flip {mask:#x} at byte {i} was accepted"
+        );
+    }
+
+    /// Every strict prefix of a container is rejected.
+    #[test]
+    fn truncation_is_always_detected(raw in any::<u64>()) {
+        let bytes = tiny_snapshot_bytes();
+        let cut = (raw % bytes.len() as u64) as usize;
+        let inp = ChaosInputs::tiny(21, FaultPlan::none());
+        prop_assert!(run_segment(&inp, Some(&bytes[..cut]), None).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Crash-consistency acceptance tests (DESIGN.md §11): a run killed at
+//! seeded unit boundaries and restored from its snapshot alone must be
+//! byte-indistinguishable — metrics, packets, experiment CSV cells, and
+//! (after stripping checkpoint bookkeeping events) observability
+//! reports — from a run that never stopped. Corrupted, truncated or
+//! mismatched snapshots must be rejected with typed errors, never
+//! panics.
+
+use dtnflow_bench::chaos::{
+    boundary_inside_outage, checkpoint, outage_plan, run_segment, run_straight, run_with_kills,
+    ChaosInputs, SegmentEnd, SECTIONS,
+};
+use dtnflow_obs::{Recorder, DEFAULT_RING_CAPACITY};
+use dtnflow_router::FlowRouter;
+use dtnflow_sim::{FaultPlan, SimSession};
+use dtnflow_snapshot::{validate, SnapshotError, SnapshotFile};
+
+/// Take one checkpoint of the tiny cell at `unit`, for corruption tests.
+fn tiny_snapshot(unit: u64) -> Vec<u8> {
+    let inp = ChaosInputs::tiny(7, FaultPlan::none());
+    match run_segment(&inp, None, Some(unit)).expect("segment runs") {
+        SegmentEnd::Paused(bytes) => bytes,
+        SegmentEnd::Finished(_) => panic!("tiny run ended before unit {unit}"),
+    }
+}
+
+#[test]
+fn tiny_resume_is_byte_identical_at_three_crash_points() {
+    let inp = ChaosInputs::tiny(7, FaultPlan::none());
+    let m = inp.max_unit();
+    assert!(m >= 8, "tiny cell too short: {m} units");
+    let straight = run_straight(&inp).expect("straight run");
+    assert!(straight.conservation_holds());
+    for kills in [vec![2], vec![m / 2], vec![m - 2]] {
+        let (chaotic, sizes) = run_with_kills(&inp, &kills).expect("chaotic run");
+        assert_eq!(sizes.len(), kills.len());
+        assert!(chaotic.conservation_holds());
+        assert!(
+            chaotic.matches(&straight),
+            "kill at {kills:?} diverged:\n straight csv {}\n chaotic  csv {}",
+            straight.csv_row,
+            chaotic.csv_row
+        );
+    }
+}
+
+#[test]
+fn tiny_double_kill_chain_is_byte_identical() {
+    let inp = ChaosInputs::tiny(11, FaultPlan::none());
+    let m = inp.max_unit();
+    let straight = run_straight(&inp).expect("straight run");
+    // Kill, restore, re-kill at the same boundary, then again later:
+    // checkpoints taken from restored processes must compose.
+    let kills = [3, 3, m / 2, m - 3];
+    let (chaotic, sizes) = run_with_kills(&inp, &kills).expect("chaotic run");
+    assert_eq!(sizes.len(), kills.len());
+    assert!(chaotic.matches(&straight), "double-kill chain diverged");
+}
+
+#[test]
+fn tiny_kill_inside_station_outage_is_byte_identical() {
+    let base = ChaosInputs::tiny(13, FaultPlan::none());
+    let unit_secs = base.cfg.time_unit.secs();
+    let plan = outage_plan(&base.trace, unit_secs, 13);
+    assert!(!plan.station_outages.is_empty());
+    let inp = ChaosInputs { plan, ..base };
+    let kill = boundary_inside_outage(&inp.plan, unit_secs, inp.max_unit())
+        .expect("an outage spans a unit boundary");
+    let straight = run_straight(&inp).expect("straight run");
+    let (chaotic, _) = run_with_kills(&inp, &[kill]).expect("chaotic run");
+    assert!(chaotic.conservation_holds());
+    assert!(
+        chaotic.matches(&straight),
+        "kill at unit {kill} inside an outage diverged"
+    );
+}
+
+#[test]
+fn snapshot_validates_and_lists_all_sections() {
+    let bytes = tiny_snapshot(3);
+    let info = validate(&bytes).expect("snapshot validates");
+    let file = SnapshotFile::parse(&bytes).expect("snapshot parses");
+    for s in &SECTIONS {
+        assert!(file.section(s.name).is_ok(), "missing section {}", s.name);
+    }
+    assert!(info.to_json().contains("\"router\""));
+}
+
+#[test]
+fn truncated_snapshots_are_rejected_not_panicked() {
+    let bytes = tiny_snapshot(3);
+    let inp = ChaosInputs::tiny(7, FaultPlan::none());
+    // Every strict prefix must fail cleanly (checksum or EOF).
+    for cut in [0, 1, 8, bytes.len() / 2, bytes.len() - 1] {
+        let err = run_segment(&inp, Some(&bytes[..cut]), None);
+        assert!(err.is_err(), "prefix of {cut} bytes was accepted");
+    }
+}
+
+#[test]
+fn corrupted_snapshots_are_rejected_by_checksums() {
+    let bytes = tiny_snapshot(3);
+    let inp = ChaosInputs::tiny(7, FaultPlan::none());
+    // Flip one byte at a spread of offsets: the whole-file checksum (or
+    // an earlier structural check) must catch every one of them.
+    for i in (0..bytes.len()).step_by(bytes.len() / 23 + 1) {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x40;
+        let err = run_segment(&inp, Some(&bad), None);
+        assert!(err.is_err(), "flip at byte {i} was accepted");
+    }
+}
+
+#[test]
+fn snapshot_for_different_run_inputs_is_rejected_as_mismatch() {
+    let bytes = tiny_snapshot(3);
+    // Same shape, different simulation seed: fingerprint must refuse it.
+    let other = ChaosInputs::tiny(8, FaultPlan::none());
+    match run_segment(&other, Some(&bytes), None) {
+        Err(SnapshotError::Mismatch { context }) => {
+            assert!(context.contains("seed"), "unexpected context: {context}")
+        }
+        Err(e) => panic!("expected fingerprint Mismatch, got {e:?}"),
+        Ok(_) => panic!("foreign snapshot was accepted"),
+    }
+
+    // Same seed, different fault plan: also refused.
+    let base = ChaosInputs::tiny(7, FaultPlan::none());
+    let plan = outage_plan(&base.trace, base.cfg.time_unit.secs(), 13);
+    let faulty = ChaosInputs { plan, ..base };
+    assert!(matches!(
+        run_segment(&faulty, Some(&bytes), None),
+        Err(SnapshotError::Mismatch { .. })
+    ));
+}
+
+#[test]
+fn resumed_lineage_emits_restored_event() {
+    let inp = ChaosInputs::tiny(7, FaultPlan::none());
+    let bytes = tiny_snapshot(3);
+    match run_segment(&inp, Some(&bytes), None).expect("resume") {
+        SegmentEnd::Finished(art) => {
+            assert!(
+                art.conservation_holds(),
+                "resumed lineage lost track of packets"
+            );
+            // The canonicalized report strips the bookkeeping events, so
+            // equality with the straight run still holds elsewhere; here
+            // just confirm the resume itself completed.
+            assert!(!art.obs_json.is_empty());
+        }
+        SegmentEnd::Paused(_) => panic!("unkilled resume paused"),
+    }
+}
+
+#[test]
+fn checkpoint_written_event_lands_inside_the_snapshot_recorder() {
+    let inp = ChaosInputs::tiny(7, FaultPlan::none());
+    let mut router = FlowRouter::new(
+        inp.flow.clone(),
+        inp.trace.num_nodes(),
+        inp.trace.num_landmarks(),
+    );
+    let mut session = SimSession::start(
+        &inp.trace,
+        &inp.cfg,
+        &inp.workload,
+        &inp.plan,
+        &mut router,
+        Some(Box::new(Recorder::new(DEFAULT_RING_CAPACITY))),
+    );
+    assert!(session.run_to_unit(3));
+    let bytes = checkpoint(&mut session, &inp, 3);
+    let file = SnapshotFile::parse(&bytes).expect("parses");
+    let obs = file.section("obs").expect("obs section");
+    let mut r = dtnflow_snapshot::Reader::new(&obs.payload);
+    let rec = Recorder::decode(&mut r).expect("recorder decodes");
+    let snap = rec.snapshot();
+    let count = snap
+        .event_counts
+        .iter()
+        .find(|(k, _)| k == "checkpoint_written")
+        .map(|(_, c)| *c)
+        .unwrap_or(0);
+    assert_eq!(count, 1, "CheckpointWritten missing from snapshot recorder");
+}
+
+/// The full-scale acceptance run: the fig11 campus cell (the tier-1
+/// golden experiment) killed and restored at three crash points plus a
+/// double-kill chain, byte-identical to the uninterrupted run.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full simulation; run with --release")]
+fn fig11_cell_resume_is_byte_identical() {
+    let inp = ChaosInputs::fig11_cell(2_000, FaultPlan::none());
+    let m = inp.max_unit();
+    let straight = run_straight(&inp).expect("straight run");
+    assert!(straight.conservation_holds());
+    for kills in [
+        vec![m / 4],
+        vec![m / 2],
+        vec![m - 2],
+        vec![m / 4, m / 4, m / 2],
+    ] {
+        let (chaotic, _) = run_with_kills(&inp, &kills).expect("chaotic run");
+        assert!(chaotic.conservation_holds());
+        assert!(chaotic.matches(&straight), "fig11 kill {kills:?} diverged");
+    }
+}

@@ -27,8 +27,9 @@ impl Default for Config {
                 "predictor",
                 "landmark",
                 "obs",
+                "snapshot",
             ]),
-            p1_crates: s(&["sim", "dtnflow", "obs"]),
+            p1_crates: s(&["sim", "dtnflow", "obs", "snapshot"]),
             // `fixtures` holds deliberate violations for detlint's own
             // tests; `vendor` is third-party API stubs; `results` is
             // experiment output.

@@ -43,6 +43,12 @@ fn violations_fixture_flags_each_rule_in_scope() {
         // sim/tests: P1 exempt, P2 and D1 are not.
         triple("crates/sim/tests/it.rs", 5, "P2"),
         triple("crates/sim/tests/it.rs", 6, "D1"),
+        // snapshot: codec crate is in D1 and P1 scope (decode paths must
+        // return typed errors, not unwrap).
+        triple("crates/snapshot/src/lib.rs", 3, "D1"),
+        triple("crates/snapshot/src/lib.rs", 6, "D1"),
+        triple("crates/snapshot/src/lib.rs", 6, "D1"),
+        triple("crates/snapshot/src/lib.rs", 7, "P1"),
     ];
     assert_eq!(got, want);
 }

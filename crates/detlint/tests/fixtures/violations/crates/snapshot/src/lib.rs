@@ -1,0 +1,8 @@
+// Fixture: the snapshot codec is in D1 and P1 scope — decode paths must
+// use typed `SnapshotError`s, never unwrap. Never compiled.
+use std::collections::HashMap; // line 3: D1
+
+pub fn decode(bytes: &[u8]) -> u64 {
+    let m: HashMap<u8, u64> = HashMap::new(); // line 6: D1 x2
+    *m.get(&bytes[0]).unwrap() // line 7: P1
+}

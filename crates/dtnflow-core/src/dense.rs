@@ -16,10 +16,14 @@
 //!   for per-directed-link tables (EWMA bandwidth, Eq. 4).
 
 use crate::ids::{LandmarkId, NodeId, PacketId};
+use dtnflow_snapshot::{Reader, SnapshotError, Writer};
 use std::marker::PhantomData;
 
 /// A key that is (or wraps) a small dense integer index.
 pub trait DenseKey: Copy + Ord {
+    /// Largest index the key type can represent (checkpoint decoding
+    /// rejects anything bigger before calling [`DenseKey::from_index`]).
+    const MAX_INDEX: usize;
     /// The key's dense index.
     fn index(self) -> usize;
     /// Rebuild the key from its index (inverse of [`DenseKey::index`]).
@@ -27,6 +31,7 @@ pub trait DenseKey: Copy + Ord {
 }
 
 impl DenseKey for LandmarkId {
+    const MAX_INDEX: usize = u16::MAX as usize;
     #[inline]
     fn index(self) -> usize {
         LandmarkId::index(self)
@@ -38,6 +43,7 @@ impl DenseKey for LandmarkId {
 }
 
 impl DenseKey for NodeId {
+    const MAX_INDEX: usize = u32::MAX as usize;
     #[inline]
     fn index(self) -> usize {
         NodeId::index(self)
@@ -49,6 +55,7 @@ impl DenseKey for NodeId {
 }
 
 impl DenseKey for PacketId {
+    const MAX_INDEX: usize = u32::MAX as usize;
     #[inline]
     fn index(self) -> usize {
         PacketId::index(self)
@@ -60,6 +67,7 @@ impl DenseKey for PacketId {
 }
 
 impl DenseKey for u16 {
+    const MAX_INDEX: usize = u16::MAX as usize;
     #[inline]
     fn index(self) -> usize {
         self as usize
@@ -71,6 +79,7 @@ impl DenseKey for u16 {
 }
 
 impl DenseKey for u32 {
+    const MAX_INDEX: usize = u32::MAX as usize;
     #[inline]
     fn index(self) -> usize {
         self as usize
@@ -82,6 +91,7 @@ impl DenseKey for u32 {
 }
 
 impl DenseKey for usize {
+    const MAX_INDEX: usize = usize::MAX;
     #[inline]
     fn index(self) -> usize {
         self
@@ -231,6 +241,42 @@ impl<K: DenseKey, V> DenseMap<K, V> {
     pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
         self.slots.iter_mut().filter_map(Option::as_mut)
     }
+
+    /// Checkpoint encoding (DESIGN.md §11): present entries in ascending
+    /// key order, values via `enc`. Canonical — slot capacity (trailing
+    /// empty slots) is not observable and is not preserved.
+    pub fn encode_with(&self, w: &mut Writer, mut enc: impl FnMut(&mut Writer, &V)) {
+        w.put_usize(self.len);
+        for (k, v) in self.iter() {
+            w.put_u64(k.index() as u64);
+            enc(w, v);
+        }
+    }
+
+    /// Inverse of [`DenseMap::encode_with`]. Rejects out-of-order keys so
+    /// decoding then re-encoding is byte-stable.
+    pub fn decode_with<E>(
+        r: &mut Reader<'_>,
+        mut dec: impl FnMut(&mut Reader<'_>) -> Result<V, E>,
+    ) -> Result<Self, SnapshotError>
+    where
+        E: Into<SnapshotError>,
+    {
+        const CTX: &str = "DenseMap";
+        let n = r.seq_len(CTX)?;
+        let mut map = Self::new();
+        let mut prev: Option<usize> = None;
+        for _ in 0..n {
+            let idx = r.usize(CTX)?;
+            if idx > K::MAX_INDEX || prev.is_some_and(|p| idx <= p) {
+                return Err(SnapshotError::Corrupt { context: CTX });
+            }
+            prev = Some(idx);
+            let v = dec(r).map_err(Into::into)?;
+            map.insert(K::from_index(idx), v);
+        }
+        Ok(map)
+    }
 }
 
 impl<K: DenseKey, V: Default> DenseMap<K, V> {
@@ -333,6 +379,32 @@ impl<K: DenseKey> DenseSet<K> {
     /// Remove all members, keeping the allocation.
     pub fn clear(&mut self) {
         self.sorted.clear();
+    }
+
+    /// Checkpoint encoding: the members as ascending indexes.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.sorted.len());
+        for k in &self.sorted {
+            w.put_u64(k.index() as u64);
+        }
+    }
+
+    /// Inverse of [`DenseSet::encode`]; rejects unsorted or duplicate
+    /// members so re-encoding is byte-stable.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        const CTX: &str = "DenseSet";
+        let n = r.seq_len(CTX)?;
+        let mut sorted = Vec::with_capacity(n);
+        let mut prev: Option<usize> = None;
+        for _ in 0..n {
+            let idx = r.usize(CTX)?;
+            if idx > K::MAX_INDEX || prev.is_some_and(|p| idx <= p) {
+                return Err(SnapshotError::Corrupt { context: CTX });
+            }
+            prev = Some(idx);
+            sorted.push(K::from_index(idx));
+        }
+        Ok(DenseSet { sorted })
     }
 }
 
@@ -442,6 +514,29 @@ impl LinkMatrix {
     /// True when no cell was ever written.
     pub fn is_empty(&self) -> bool {
         self.cells.iter().all(|v| v.is_nan())
+    }
+
+    /// Checkpoint encoding: side length plus every cell as raw IEEE-754
+    /// bits (`NaN` "absent" markers survive byte-exactly).
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.n);
+        for &v in &self.cells {
+            w.put_f64(v);
+        }
+    }
+
+    /// Inverse of [`LinkMatrix::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        const CTX: &str = "LinkMatrix";
+        let n = r.usize(CTX)?;
+        let cells_len = n
+            .checked_mul(n)
+            .ok_or(SnapshotError::Corrupt { context: CTX })?;
+        let mut cells = Vec::with_capacity(cells_len.min(r.remaining() / 8 + 1));
+        for _ in 0..cells_len {
+            cells.push(r.f64(CTX)?);
+        }
+        Ok(LinkMatrix { n, cells })
     }
 
     /// Present cells in ascending `(from, to)` order — the iteration

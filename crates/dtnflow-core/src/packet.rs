@@ -7,6 +7,7 @@
 
 use crate::ids::{LandmarkId, NodeId, PacketId};
 use crate::time::{SimDuration, SimTime};
+use dtnflow_snapshot::{Reader, SnapshotError, Writer};
 
 /// Where a packet currently is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,6 +136,99 @@ impl Packet {
             }
             _ => &[],
         }
+    }
+
+    /// Checkpoint encoding (DESIGN.md §11): every field in declaration
+    /// order; byte-deterministic.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.id.0);
+        w.put_u16(self.src.0);
+        w.put_u16(self.dst.0);
+        match self.dst_node {
+            None => w.put_u8(0),
+            Some(n) => {
+                w.put_u8(1);
+                w.put_u32(n.0);
+            }
+        }
+        w.put_u64(self.created.secs());
+        w.put_u64(self.ttl.secs());
+        match self.loc {
+            PacketLoc::PendingAtSource(lm) => {
+                w.put_u8(0);
+                w.put_u16(lm.0);
+            }
+            PacketLoc::OnNode(n) => {
+                w.put_u8(1);
+                w.put_u32(n.0);
+            }
+            PacketLoc::AtStation(lm) => {
+                w.put_u8(2);
+                w.put_u16(lm.0);
+            }
+            PacketLoc::Delivered(t) => {
+                w.put_u8(3);
+                w.put_u64(t.secs());
+            }
+            PacketLoc::Expired => w.put_u8(4),
+            PacketLoc::Lost => w.put_u8(5),
+        }
+        w.put_usize(self.visited.len());
+        for lm in &self.visited {
+            w.put_u16(lm.0);
+        }
+        w.put_u32(self.hops);
+    }
+
+    /// Inverse of [`Packet::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<Packet, SnapshotError> {
+        const CTX: &str = "Packet";
+        let id = PacketId(r.u32(CTX)?);
+        let src = LandmarkId(r.u16(CTX)?);
+        let dst = LandmarkId(r.u16(CTX)?);
+        let dst_node = match r.u8(CTX)? {
+            0 => None,
+            1 => Some(NodeId(r.u32(CTX)?)),
+            t => {
+                return Err(SnapshotError::InvalidTag {
+                    context: "Packet.dst_node",
+                    tag: t as u64,
+                })
+            }
+        };
+        let created = SimTime(r.u64(CTX)?);
+        let ttl = SimDuration(r.u64(CTX)?);
+        let loc = match r.u8(CTX)? {
+            0 => PacketLoc::PendingAtSource(LandmarkId(r.u16(CTX)?)),
+            1 => PacketLoc::OnNode(NodeId(r.u32(CTX)?)),
+            2 => PacketLoc::AtStation(LandmarkId(r.u16(CTX)?)),
+            3 => PacketLoc::Delivered(SimTime(r.u64(CTX)?)),
+            4 => PacketLoc::Expired,
+            5 => PacketLoc::Lost,
+            t => {
+                return Err(SnapshotError::InvalidTag {
+                    context: "PacketLoc",
+                    tag: t as u64,
+                })
+            }
+        };
+        let n = r.seq_len("Packet.visited")?;
+        let mut visited = Vec::with_capacity(n);
+        for _ in 0..n {
+            visited.push(LandmarkId(r.u16(CTX)?));
+        }
+        let hops = r.u32(CTX)?;
+        Ok(Packet {
+            id,
+            src,
+            dst,
+            dst_node,
+            created,
+            ttl,
+            loc,
+            visited,
+            hops,
+        })
     }
 }
 

@@ -16,6 +16,7 @@ use crate::config::{FlowConfig, LinkDelayModel};
 use dtnflow_core::config::SimConfig;
 use dtnflow_core::dense::LinkMatrix;
 use dtnflow_core::ids::LandmarkId;
+use dtnflow_snapshot::{Reader, SnapshotError, Writer};
 
 /// All landmarks' transit-link measurements in one flat `n×n` store.
 ///
@@ -54,6 +55,12 @@ impl BandwidthMatrix {
     #[inline]
     fn cell(&self, me: LandmarkId, other: LandmarkId) -> usize {
         me.index() * self.n + other.index()
+    }
+
+    /// The network size the matrix was built for (one side of the n×n
+    /// store).
+    pub fn side(&self) -> usize {
+        self.n
     }
 
     /// A node arrived at `me`, reporting `from` as its previous landmark.
@@ -146,6 +153,68 @@ impl BandwidthMatrix {
             LinkDelayModel::TransitInterval => t / b,
             LinkDelayModel::Throughput => t * sim.packet_size as f64 / (b * sim.node_memory as f64),
         }
+    }
+
+    /// Checkpoint encoding (DESIGN.md §11): counts, smoothed EWMA cells
+    /// (raw f64 bits), carried reports, and alpha.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.n);
+        for &c in &self.counts {
+            w.put_u32(c);
+        }
+        self.incoming.encode(w);
+        for slot in &self.reported {
+            match slot {
+                None => w.put_u8(0),
+                Some((v, seq)) => {
+                    w.put_u8(1);
+                    w.put_f64(*v);
+                    w.put_u64(*seq);
+                }
+            }
+        }
+        w.put_f64(self.alpha);
+    }
+
+    /// Inverse of [`BandwidthMatrix::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<BandwidthMatrix, SnapshotError> {
+        const CTX: &str = "BandwidthMatrix";
+        let n = r.usize(CTX)?;
+        let cells = n
+            .checked_mul(n)
+            .ok_or(SnapshotError::Corrupt { context: CTX })?;
+        if cells > r.remaining() / 4 {
+            return Err(SnapshotError::Corrupt { context: CTX });
+        }
+        let mut counts = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            counts.push(r.u32(CTX)?);
+        }
+        let incoming = LinkMatrix::decode(r)?;
+        if incoming.side() != n {
+            return Err(SnapshotError::Corrupt { context: CTX });
+        }
+        let mut reported = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            reported.push(match r.u8(CTX)? {
+                0 => None,
+                1 => Some((r.f64(CTX)?, r.u64(CTX)?)),
+                t => {
+                    return Err(SnapshotError::InvalidTag {
+                        context: "BandwidthMatrix.reported",
+                        tag: t as u64,
+                    })
+                }
+            });
+        }
+        let alpha = r.f64(CTX)?;
+        Ok(BandwidthMatrix {
+            n,
+            counts,
+            incoming,
+            reported,
+            alpha,
+        })
     }
 }
 

@@ -7,6 +7,7 @@
 //! averages over all landmarks.
 
 use dtnflow_core::ids::LandmarkId;
+use dtnflow_snapshot::{Reader, SnapshotError, Writer};
 
 /// One observation point's averages over all landmarks.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,6 +66,67 @@ impl TableObserver {
     /// All observation rows so far.
     pub fn rows(&self) -> &[ObservationRow] {
         &self.rows
+    }
+
+    /// Checkpoint encoding (DESIGN.md §11): the previous next-hop columns
+    /// (stability baseline) and the accumulated rows.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.prev_next_hops.len());
+        for col in &self.prev_next_hops {
+            w.put_usize(col.len());
+            for hop in col {
+                match hop {
+                    None => w.put_u8(0),
+                    Some(l) => {
+                        w.put_u8(1);
+                        w.put_u16(l.0);
+                    }
+                }
+            }
+        }
+        w.put_usize(self.rows.len());
+        for row in &self.rows {
+            w.put_usize(row.index);
+            w.put_f64(row.avg_coverage);
+            w.put_f64(row.avg_stability);
+        }
+    }
+
+    /// Inverse of [`TableObserver::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<TableObserver, SnapshotError> {
+        const CTX: &str = "TableObserver";
+        let n = r.seq_len("TableObserver.prev_next_hops")?;
+        let mut prev_next_hops = Vec::with_capacity(n);
+        for _ in 0..n {
+            let m = r.seq_len("TableObserver.column")?;
+            let mut col = Vec::with_capacity(m);
+            for _ in 0..m {
+                col.push(match r.u8(CTX)? {
+                    0 => None,
+                    1 => Some(LandmarkId(r.u16(CTX)?)),
+                    t => {
+                        return Err(SnapshotError::InvalidTag {
+                            context: "TableObserver.hop",
+                            tag: t as u64,
+                        })
+                    }
+                });
+            }
+            prev_next_hops.push(col);
+        }
+        let nr = r.seq_len("TableObserver.rows")?;
+        let mut rows = Vec::with_capacity(nr);
+        for _ in 0..nr {
+            rows.push(ObservationRow {
+                index: r.usize(CTX)?,
+                avg_coverage: r.f64(CTX)?,
+                avg_stability: r.f64(CTX)?,
+            });
+        }
+        Ok(TableObserver {
+            prev_next_hops,
+            rows,
+        })
     }
 }
 

@@ -19,13 +19,14 @@
 use crate::bandwidth::BandwidthMatrix;
 use crate::config::{FlowConfig, LoopInjection};
 use crate::observer::{ObservationRow, TableObserver};
-use crate::routing_table::{RoutingTable, StoredVector};
+use crate::routing_table::{decode_opt_lm, encode_opt_lm, RoutingTable, StoredVector};
 use dtnflow_core::dense::{DenseMap, DenseSet};
 use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
 use dtnflow_core::packet::PacketLoc;
-use dtnflow_core::time::SimDuration;
+use dtnflow_core::time::{SimDuration, SimTime};
 use dtnflow_predictor::{AccuracyTracker, MarkovPredictor, VisitHistory};
 use dtnflow_sim::{LossReason, Router, SimEvent, TransferError, World};
+use dtnflow_snapshot::{Reader, SnapshotError, Writer};
 use std::collections::BTreeSet;
 
 /// Routing-table snapshot + control info a node carries between landmarks.
@@ -755,6 +756,473 @@ impl FlowRouter {
 
     fn decode_token(token: u64) -> (NodeId, u64) {
         (NodeId((token & 0xFF_FFFF) as u32), token >> 24)
+    }
+
+    // ---- checkpoint codec (DESIGN.md §11) ---------------------------------
+
+    /// Serialize the complete mutable router state: per-node learning
+    /// state, per-landmark tables and station indices, the bandwidth
+    /// matrix, packet metadata, the Fig. 8 observer, and the extension
+    /// counters. The config and its derived loop-injection schedule are
+    /// *not* written — the restoring run supplies the same `FlowConfig`
+    /// it started with. Scratch buffers are excluded (empty between
+    /// events by construction).
+    ///
+    /// The station indices (`by_next_hop`/`by_dst`/`by_dst_node`) are
+    /// serialized verbatim rather than rebuilt via `rebucket` on restore:
+    /// rebucketing re-runs `choose_next`, which mutates
+    /// `stats.fallback_reroutes` and would diverge from the
+    /// uninterrupted run.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_usize(self.nodes.len());
+        for ns in &self.nodes {
+            encode_node_state(w, ns);
+        }
+        w.put_usize(self.landmarks.len());
+        for st in &self.landmarks {
+            encode_landmark_state(w, st);
+        }
+        self.bw.encode(w);
+        w.put_usize(self.meta.len());
+        for m in &self.meta {
+            encode_opt_lm(w, m.next_hop);
+            w.put_f64(m.expected);
+            w.put_u32(m.retries);
+        }
+        self.observer.encode(w);
+        w.put_u64(self.current_unit);
+        w.put_usize(self.registrations.len());
+        for reg in &self.registrations {
+            w.put_usize(reg.len());
+            for l in reg {
+                w.put_u16(l.0);
+            }
+        }
+        w.put_usize(self.known_down.len());
+        for &d in &self.known_down {
+            w.put_u8(d as u8);
+        }
+        w.put_u64(self.stats.dead_ends_detected);
+        w.put_u64(self.stats.loops_detected);
+        w.put_u64(self.stats.lb_reroutes);
+        w.put_u64(self.stats.tables_received);
+        w.put_u64(self.stats.reports_applied);
+        w.put_u64(self.stats.fallback_reroutes);
+        w.put_u64(self.stats.stranded_requeues);
+        w.put_u64(self.stats.stranded_drops);
+    }
+
+    /// Inverse of [`FlowRouter::save_state`]. The caller supplies the
+    /// same `FlowConfig` and network dimensions the checkpointed run was
+    /// started with; a snapshot whose dimensions disagree is rejected
+    /// with [`SnapshotError::Mismatch`].
+    pub fn restore_state(
+        r: &mut Reader<'_>,
+        cfg: FlowConfig,
+        num_nodes: usize,
+        num_landmarks: usize,
+    ) -> Result<FlowRouter, SnapshotError> {
+        const CTX: &str = "FlowRouter";
+        cfg.validate();
+        let n = r.seq_len("FlowRouter.nodes")?;
+        if n != num_nodes {
+            return Err(SnapshotError::Mismatch {
+                context: format!("FlowRouter.nodes: snapshot has {n}, run has {num_nodes}"),
+            });
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            nodes.push(decode_node_state(r, num_landmarks)?);
+        }
+        let nl = r.seq_len("FlowRouter.landmarks")?;
+        if nl != num_landmarks {
+            return Err(SnapshotError::Mismatch {
+                context: format!(
+                    "FlowRouter.landmarks: snapshot has {nl}, run has {num_landmarks}"
+                ),
+            });
+        }
+        let mut landmarks = Vec::with_capacity(nl);
+        for l in 0..nl {
+            landmarks.push(decode_landmark_state(
+                r,
+                LandmarkId::from(l),
+                num_landmarks,
+            )?);
+        }
+        let bw = BandwidthMatrix::decode(r)?;
+        if bw.side() != num_landmarks {
+            return Err(SnapshotError::Mismatch {
+                context: format!(
+                    "FlowRouter.bw: snapshot side {}, run has {num_landmarks}",
+                    bw.side()
+                ),
+            });
+        }
+        let nm = r.seq_len("FlowRouter.meta")?;
+        let mut meta = Vec::with_capacity(nm);
+        for _ in 0..nm {
+            meta.push(PktMeta {
+                next_hop: decode_opt_lm(r, "PktMeta.next_hop")?,
+                expected: r.f64(CTX)?,
+                retries: r.u32(CTX)?,
+            });
+        }
+        let observer = TableObserver::decode(r)?;
+        let current_unit = r.u64(CTX)?;
+        let nr = r.seq_len("FlowRouter.registrations")?;
+        if nr != num_nodes {
+            return Err(SnapshotError::Corrupt {
+                context: "FlowRouter.registrations",
+            });
+        }
+        let mut registrations = Vec::with_capacity(nr);
+        for _ in 0..nr {
+            let k = r.seq_len("FlowRouter.registration")?;
+            let mut reg = Vec::with_capacity(k);
+            for _ in 0..k {
+                reg.push(LandmarkId(r.u16(CTX)?));
+            }
+            registrations.push(reg);
+        }
+        let nd = r.seq_len("FlowRouter.known_down")?;
+        if nd != num_landmarks {
+            return Err(SnapshotError::Corrupt {
+                context: "FlowRouter.known_down",
+            });
+        }
+        let mut known_down = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            known_down.push(decode_bool(r, "FlowRouter.known_down")?);
+        }
+        let stats = FlowStats {
+            dead_ends_detected: r.u64(CTX)?,
+            loops_detected: r.u64(CTX)?,
+            lb_reroutes: r.u64(CTX)?,
+            tables_received: r.u64(CTX)?,
+            reports_applied: r.u64(CTX)?,
+            fallback_reroutes: r.u64(CTX)?,
+            stranded_requeues: r.u64(CTX)?,
+            stranded_drops: r.u64(CTX)?,
+        };
+        let injections = cfg.inject_loops.clone();
+        Ok(FlowRouter {
+            cfg,
+            nodes,
+            landmarks,
+            bw,
+            meta,
+            observer,
+            current_unit,
+            injections,
+            registrations,
+            known_down,
+            stats,
+            scratch_pkts: Vec::new(),
+            scratch_bucket: Vec::new(),
+            scratch_dist: Vec::new(),
+        })
+    }
+}
+
+// ---- checkpoint codec helpers (module-private state) ----------------------
+
+fn encode_correction(w: &mut Writer, c: &Correction) {
+    w.put_u16(c.dest.0);
+    w.put_usize(c.members.len());
+    for m in &c.members {
+        w.put_u16(m.0);
+    }
+    w.put_u32(c.hops_left);
+    w.put_usize(c.claims.len());
+    for &(l, d) in &c.claims {
+        w.put_u16(l);
+        w.put_f64(d);
+    }
+}
+
+fn decode_correction(r: &mut Reader<'_>) -> Result<Correction, SnapshotError> {
+    const CTX: &str = "Correction";
+    let dest = LandmarkId(r.u16(CTX)?);
+    let nm = r.seq_len("Correction.members")?;
+    let mut members = Vec::with_capacity(nm);
+    for _ in 0..nm {
+        members.push(LandmarkId(r.u16(CTX)?));
+    }
+    let hops_left = r.u32(CTX)?;
+    let nc = r.seq_len("Correction.claims")?;
+    let mut claims = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        claims.push((r.u16(CTX)?, r.f64(CTX)?));
+    }
+    Ok(Correction {
+        dest,
+        members,
+        hops_left,
+        claims,
+    })
+}
+
+fn encode_node_state(w: &mut Writer, ns: &NodeState) {
+    ns.predictor.encode(w);
+    ns.accuracy.encode(w);
+    ns.history.encode(w);
+    match ns.predicted {
+        None => w.put_u8(0),
+        Some((at, to, p)) => {
+            w.put_u8(1);
+            w.put_u16(at.0);
+            w.put_u16(to.0);
+            w.put_f64(p);
+        }
+    }
+    match ns.arrival {
+        None => w.put_u8(0),
+        Some((lm, since)) => {
+            w.put_u8(1);
+            w.put_u16(lm.0);
+            w.put_u64(since.secs());
+        }
+    }
+    encode_opt_lm(w, ns.last_landmark);
+    match &ns.carried {
+        None => w.put_u8(0),
+        Some(c) => {
+            w.put_u8(1);
+            w.put_u16(c.from.0);
+            w.put_u64(c.seq);
+            w.put_usize(c.vector.len());
+            for &v in &c.vector {
+                w.put_f64(v);
+            }
+            w.put_usize(c.entries);
+            match c.report {
+                None => w.put_u8(0),
+                Some((to, value, seq)) => {
+                    w.put_u8(1);
+                    w.put_u16(to.0);
+                    w.put_f64(value);
+                    w.put_u64(seq);
+                }
+            }
+            w.put_usize(c.corrections.len());
+            for corr in &c.corrections {
+                encode_correction(w, corr);
+            }
+        }
+    }
+    w.put_u64(ns.episode);
+}
+
+fn decode_node_state(r: &mut Reader<'_>, num_landmarks: usize) -> Result<NodeState, SnapshotError> {
+    const CTX: &str = "NodeState";
+    let predictor = MarkovPredictor::decode(r)?;
+    let accuracy = AccuracyTracker::decode(r)?;
+    let history = VisitHistory::decode(r)?;
+    let predicted = match r.u8(CTX)? {
+        0 => None,
+        1 => Some((
+            LandmarkId(r.u16(CTX)?),
+            LandmarkId(r.u16(CTX)?),
+            r.f64(CTX)?,
+        )),
+        t => {
+            return Err(SnapshotError::InvalidTag {
+                context: "NodeState.predicted",
+                tag: t as u64,
+            })
+        }
+    };
+    let arrival = match r.u8(CTX)? {
+        0 => None,
+        1 => Some((LandmarkId(r.u16(CTX)?), SimTime(r.u64(CTX)?))),
+        t => {
+            return Err(SnapshotError::InvalidTag {
+                context: "NodeState.arrival",
+                tag: t as u64,
+            })
+        }
+    };
+    let last_landmark = decode_opt_lm(r, "NodeState.last_landmark")?;
+    let carried = match r.u8(CTX)? {
+        0 => None,
+        1 => {
+            let from = LandmarkId(r.u16(CTX)?);
+            let seq = r.u64(CTX)?;
+            let nv = r.seq_len("Carried.vector")?;
+            if nv != num_landmarks {
+                return Err(SnapshotError::Corrupt {
+                    context: "Carried.vector",
+                });
+            }
+            let mut vector = Vec::with_capacity(nv);
+            for _ in 0..nv {
+                vector.push(r.f64("Carried")?);
+            }
+            let entries = r.usize("Carried")?;
+            let report = match r.u8("Carried")? {
+                0 => None,
+                1 => Some((
+                    LandmarkId(r.u16("Carried")?),
+                    r.f64("Carried")?,
+                    r.u64("Carried")?,
+                )),
+                t => {
+                    return Err(SnapshotError::InvalidTag {
+                        context: "Carried.report",
+                        tag: t as u64,
+                    })
+                }
+            };
+            let nc = r.seq_len("Carried.corrections")?;
+            let mut corrections = Vec::with_capacity(nc);
+            for _ in 0..nc {
+                corrections.push(decode_correction(r)?);
+            }
+            Some(Carried {
+                from,
+                seq,
+                vector,
+                entries,
+                report,
+                corrections,
+            })
+        }
+        t => {
+            return Err(SnapshotError::InvalidTag {
+                context: "NodeState.carried",
+                tag: t as u64,
+            })
+        }
+    };
+    let episode = r.u64(CTX)?;
+    Ok(NodeState {
+        predictor,
+        accuracy,
+        history,
+        predicted,
+        arrival,
+        last_landmark,
+        carried,
+        episode,
+    })
+}
+
+fn encode_landmark_state(w: &mut Writer, st: &LandmarkState) {
+    st.rt.encode(w);
+    st.by_next_hop.encode_with(w, |w, s| s.encode(w));
+    st.by_dst.encode_with(w, |w, s| s.encode(w));
+    st.by_dst_node.encode_with(w, |w, s| s.encode(w));
+    w.put_usize(st.pending_corrections.len());
+    for (born, c) in &st.pending_corrections {
+        w.put_u64(*born);
+        encode_correction(w, c);
+    }
+    w.put_usize(st.seen_corrections.len());
+    for &(a, b) in &st.seen_corrections {
+        w.put_u16(a);
+        w.put_u16(b);
+    }
+    w.put_usize(st.lb_incoming.len());
+    for &v in &st.lb_incoming {
+        w.put_u64(v);
+    }
+    w.put_usize(st.lb_outgoing.len());
+    for &v in &st.lb_outgoing {
+        w.put_u64(v);
+    }
+    w.put_usize(st.overloaded.len());
+    for &b in &st.overloaded {
+        w.put_u8(b as u8);
+    }
+    w.put_u64(st.unit_seq);
+}
+
+fn decode_landmark_state(
+    r: &mut Reader<'_>,
+    me: LandmarkId,
+    num_landmarks: usize,
+) -> Result<LandmarkState, SnapshotError> {
+    const CTX: &str = "LandmarkState";
+    let rt = RoutingTable::decode(r)?;
+    if rt.me() != me || rt.size() != num_landmarks {
+        return Err(SnapshotError::Mismatch {
+            context: format!(
+                "LandmarkState.rt: snapshot is for landmark {} of {}, expected {} of {num_landmarks}",
+                rt.me().0,
+                rt.size(),
+                me.0
+            ),
+        });
+    }
+    let by_next_hop = DenseMap::decode_with(r, DenseSet::decode)?;
+    let by_dst = DenseMap::decode_with(r, DenseSet::decode)?;
+    let by_dst_node = DenseMap::decode_with(r, DenseSet::decode)?;
+    let np = r.seq_len("LandmarkState.pending_corrections")?;
+    let mut pending_corrections = Vec::with_capacity(np);
+    for _ in 0..np {
+        let born = r.u64(CTX)?;
+        pending_corrections.push((born, decode_correction(r)?));
+    }
+    let ns = r.seq_len("LandmarkState.seen_corrections")?;
+    let mut seen_corrections = BTreeSet::new();
+    let mut prev: Option<(u16, u16)> = None;
+    for _ in 0..ns {
+        let key = (r.u16(CTX)?, r.u16(CTX)?);
+        if prev.is_some_and(|p| key <= p) {
+            return Err(SnapshotError::Corrupt {
+                context: "LandmarkState.seen_corrections",
+            });
+        }
+        prev = Some(key);
+        seen_corrections.insert(key);
+    }
+    let expect_vec_u64 = |r: &mut Reader<'_>, context: &'static str| {
+        let n = r.seq_len(context)?;
+        if n != num_landmarks {
+            return Err(SnapshotError::Corrupt { context });
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(r.u64(context)?);
+        }
+        Ok(v)
+    };
+    let lb_incoming = expect_vec_u64(r, "LandmarkState.lb_incoming")?;
+    let lb_outgoing = expect_vec_u64(r, "LandmarkState.lb_outgoing")?;
+    let no = r.seq_len("LandmarkState.overloaded")?;
+    if no != num_landmarks {
+        return Err(SnapshotError::Corrupt {
+            context: "LandmarkState.overloaded",
+        });
+    }
+    let mut overloaded = Vec::with_capacity(no);
+    for _ in 0..no {
+        overloaded.push(decode_bool(r, "LandmarkState.overloaded")?);
+    }
+    let unit_seq = r.u64(CTX)?;
+    Ok(LandmarkState {
+        rt,
+        by_next_hop,
+        by_dst,
+        by_dst_node,
+        pending_corrections,
+        seen_corrections,
+        lb_incoming,
+        lb_outgoing,
+        overloaded,
+        unit_seq,
+    })
+}
+
+fn decode_bool(r: &mut Reader<'_>, context: &'static str) -> Result<bool, SnapshotError> {
+    match r.u8(context)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        t => Err(SnapshotError::InvalidTag {
+            context,
+            tag: t as u64,
+        }),
     }
 }
 

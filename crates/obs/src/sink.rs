@@ -11,6 +11,8 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 
+use dtnflow_snapshot::{Reader, SnapshotError, Writer};
+
 use crate::event::SimEvent;
 use crate::metrics::ObsMetrics;
 use crate::snapshot::Snapshot;
@@ -27,6 +29,14 @@ pub trait TraceSink: std::fmt::Debug {
 
     /// Downcast support: surrender the box as `Any`.
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
+
+    /// In-place downcast support for checkpointing: sinks whose state can
+    /// be captured mid-run (currently the [`Recorder`]) override this to
+    /// expose themselves; the default (`None`) marks the sink as not
+    /// checkpointable.
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        None
+    }
 }
 
 /// A sink that discards everything (useful for overhead measurements and
@@ -141,6 +151,48 @@ impl Recorder {
     pub fn downcast(sink: Box<dyn TraceSink>) -> Option<Recorder> {
         sink.into_any().downcast::<Recorder>().ok().map(|r| *r)
     }
+
+    /// Checkpoint encoding (DESIGN.md §11): ring statistics, the retained
+    /// events (oldest first) and the folded metric registries. A restored
+    /// recorder continues recording byte-identically to one that never
+    /// stopped.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.capacity);
+        w.put_u64(self.recorded);
+        w.put_u64(self.dropped);
+        w.put_usize(self.ring.len());
+        for ev in &self.ring {
+            ev.encode(w);
+        }
+        self.metrics.encode(w);
+    }
+
+    /// Inverse of [`Recorder::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<Recorder, SnapshotError> {
+        const CTX: &str = "Recorder";
+        let capacity = r.usize(CTX)?;
+        if capacity == 0 {
+            return Err(SnapshotError::Corrupt { context: CTX });
+        }
+        let recorded = r.u64(CTX)?;
+        let dropped = r.u64(CTX)?;
+        let n = r.seq_len("Recorder.ring")?;
+        if n > capacity {
+            return Err(SnapshotError::Corrupt { context: CTX });
+        }
+        let mut ring = VecDeque::with_capacity(capacity);
+        for _ in 0..n {
+            ring.push_back(SimEvent::decode(r)?);
+        }
+        let metrics = ObsMetrics::decode(r)?;
+        Ok(Recorder {
+            capacity,
+            ring,
+            recorded,
+            dropped,
+            metrics,
+        })
+    }
 }
 
 impl TraceSink for Recorder {
@@ -156,6 +208,10 @@ impl TraceSink for Recorder {
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        Some(self)
     }
 }
 

@@ -10,9 +10,10 @@ use dtnflow_core::config::SimConfig;
 use dtnflow_core::ids::{LandmarkId, NodeId};
 use dtnflow_core::metrics::RunMetrics;
 use dtnflow_core::packet::Packet;
-use dtnflow_core::time::SimTime;
+use dtnflow_core::time::{SimDuration, SimTime};
 use dtnflow_mobility::Trace;
-use dtnflow_obs::{SimEvent, TraceSink};
+use dtnflow_obs::{Recorder, SimEvent, TraceSink};
+use dtnflow_snapshot::{Reader, SnapshotError, Writer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -120,13 +121,20 @@ fn run_inner<R: Router + ?Sized>(
     router: &mut R,
     sink: Option<Box<dyn TraceSink>>,
 ) -> SimOutcome {
-    plan.check_against(trace);
-    let mut world = World::new(cfg.clone(), trace.num_nodes(), trace.num_landmarks());
-    if let Some(sink) = sink {
-        world.set_trace_sink(sink);
-    }
-    let station_mode = router.uses_stations();
+    let mut session = SimSession::start(trace, cfg, workload, plan, router, sink);
+    session.run_to_end();
+    session.finish()
+}
 
+/// Build the pre-sorted static event list. This is a *pure function* of
+/// the run inputs: a resumed session rebuilds the identical list and only
+/// the cursor (`next_static`) is checkpointed.
+fn build_static_events(
+    trace: &Trace,
+    cfg: &SimConfig,
+    workload: &Workload,
+    plan: &FaultPlan,
+) -> Vec<Event> {
     // Truncation fractions by visit index (sparse: most visits complete),
     // in a dense slot-per-index map for O(1) per-visit lookups.
     let mut truncated: dtnflow_core::dense::DenseMap<u32, f64> =
@@ -134,13 +142,7 @@ fn run_inner<R: Router + ?Sized>(
     for &(idx, frac) in &plan.truncations {
         truncated.insert(idx, frac);
     }
-    // Record-loss flags, dense for O(1) dispatch lookups.
-    let mut record_lost = vec![false; trace.visits().len()];
-    for &idx in &plan.lost_records {
-        record_lost[idx as usize] = true;
-    }
 
-    // Pre-sorted static event list.
     let mut events: Vec<Event> = Vec::with_capacity(
         trace.visits().len() * 2
             + workload.len()
@@ -204,71 +206,191 @@ fn run_inner<R: Router + ?Sized>(
         }
     }
     events.sort_unstable();
+    events
+}
 
-    // Dynamic timers requested by the router.
-    let mut timers: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-    let mut timer_seq = u64::MAX / 2;
-    let mut drain_timers = |world: &mut World, timers: &mut BinaryHeap<Reverse<Event>>| {
-        for (at, token) in world.pending_timers.drain(..) {
-            timers.push(Reverse(Event {
-                at,
-                kind: EventKind::Timer(token),
-                seq: timer_seq,
-            }));
-            timer_seq += 1;
+/// Record-loss flags, dense for O(1) dispatch lookups. Pure function of
+/// the run inputs, like [`build_static_events`].
+fn build_record_lost(trace: &Trace, plan: &FaultPlan) -> Vec<bool> {
+    let mut record_lost = vec![false; trace.visits().len()];
+    for &idx in &plan.lost_records {
+        record_lost[idx as usize] = true;
+    }
+    record_lost
+}
+
+/// An in-flight simulation run that can be paused at time-unit boundaries
+/// and checkpointed (DESIGN.md §11).
+///
+/// [`SimSession::start`] + [`SimSession::run_to_end`] +
+/// [`SimSession::finish`] is exactly the classic [`run_with_faults`] loop
+/// (those functions delegate here). The additional surface —
+/// [`SimSession::run_to_unit`], the `encode_*` methods and
+/// [`SimSession::resume`] — exists for crash-consistent checkpoint /
+/// restore: a run killed at a unit boundary and resumed from its snapshot
+/// produces byte-identical outcomes to one that never stopped.
+///
+/// Only the engine *cursor* is checkpointed (static-event index, timer
+/// heap, timer sequence counter): the static event list itself is a pure
+/// function of `(trace, cfg, workload, plan)` and is rebuilt on resume,
+/// which keeps snapshots small and makes tampering with the schedule
+/// detectable by the fingerprint check at the container level.
+pub struct SimSession<'a, R: Router + ?Sized> {
+    world: World,
+    events: Vec<Event>,
+    next_static: usize,
+    timers: BinaryHeap<Reverse<Event>>,
+    timer_seq: u64,
+    record_lost: Vec<bool>,
+    station_mode: bool,
+    duration: SimDuration,
+    router: &'a mut R,
+    /// Encounter-partner scratch buffer, reused across arrivals.
+    present: Vec<NodeId>,
+}
+
+impl<'a, R: Router + ?Sized> SimSession<'a, R> {
+    /// Begin a fresh run (state as of time zero, nothing dispatched yet).
+    pub fn start(
+        trace: &Trace,
+        cfg: &SimConfig,
+        workload: &Workload,
+        plan: &FaultPlan,
+        router: &'a mut R,
+        sink: Option<Box<dyn TraceSink>>,
+    ) -> SimSession<'a, R> {
+        plan.check_against(trace);
+        let mut world = World::new(cfg.clone(), trace.num_nodes(), trace.num_landmarks());
+        if let Some(sink) = sink {
+            world.set_trace_sink(sink);
         }
-    };
+        let station_mode = router.uses_stations();
+        SimSession {
+            world,
+            events: build_static_events(trace, cfg, workload, plan),
+            next_static: 0,
+            timers: BinaryHeap::new(),
+            timer_seq: u64::MAX / 2,
+            record_lost: build_record_lost(trace, plan),
+            station_mode,
+            duration: trace.duration(),
+            router,
+            present: Vec::new(),
+        }
+    }
 
-    let mut next_static = 0usize;
-    let mut present: Vec<NodeId> = Vec::new();
-    loop {
-        // Pick the earlier of the next static event and the next timer.
-        let static_ev = events.get(next_static).copied();
-        let timer_ev = timers.peek().map(|Reverse(e)| *e);
-        let ev = match (static_ev, timer_ev) {
-            (Some(s), Some(t)) => {
-                if t < s {
-                    timers.pop();
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// The simulation state (read-only).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The driven router.
+    pub fn router(&self) -> &R {
+        self.router
+    }
+
+    /// The driven router, mutably (checkpoint composition).
+    pub fn router_mut(&mut self) -> &mut R {
+        self.router
+    }
+
+    /// Emit an observability event into the attached sink (delegates to
+    /// [`World::emit`]; no-op without a sink).
+    pub fn emit(&mut self, make: impl FnOnce(SimTime) -> SimEvent) {
+        self.world.emit(make);
+    }
+
+    /// Run until the boundary of time unit `target` is the next event:
+    /// every event strictly before it (including same-instant timers,
+    /// which order before a boundary exactly when their heap entry sorts
+    /// earlier) is dispatched; the `TimeUnit(target)` event itself is NOT
+    /// consumed. Returns `true` when paused at the boundary, `false` when
+    /// the run ended first (no such boundary remained).
+    ///
+    /// This is the crash-consistent pause point: a checkpoint taken here
+    /// and resumed replays the boundary dispatch itself identically to a
+    /// run that never paused.
+    pub fn run_to_unit(&mut self, target: u64) -> bool {
+        loop {
+            let static_ev = self.events.get(self.next_static).copied();
+            let timer_ev = self.timers.peek().map(|&Reverse(e)| e);
+            let ev = match (static_ev, timer_ev) {
+                (Some(s), Some(t)) if t < s => {
+                    self.timers.pop();
                     t
-                } else {
-                    next_static += 1;
+                }
+                (Some(s), _) => {
+                    if matches!(s.kind, EventKind::TimeUnit(u) if u >= target) {
+                        return true;
+                    }
+                    self.next_static += 1;
                     s
                 }
-            }
-            (Some(s), None) => {
-                next_static += 1;
-                s
-            }
-            (None, Some(t)) => {
-                timers.pop();
-                t
-            }
-            (None, None) => break,
-        };
+                (None, Some(t)) => {
+                    self.timers.pop();
+                    t
+                }
+                (None, None) => return false,
+            };
+            self.dispatch(ev);
+            self.drain_timers();
+        }
+    }
 
+    /// Dispatch every remaining event.
+    pub fn run_to_end(&mut self) {
+        // No real run has a unit numbered `u64::MAX`, so this never pauses.
+        let paused = self.run_to_unit(u64::MAX);
+        debug_assert!(!paused, "run_to_end paused at a boundary");
+    }
+
+    /// Close out the run: final expiry reckoning, then the outcome.
+    pub fn finish(mut self) -> SimOutcome {
+        // Final reckoning: everything past its deadline is an expiry.
+        // Router timers may have fired beyond the last trace event, so
+        // never move the clock backwards.
+        let end = (SimTime::ZERO + self.duration).max(self.world.now());
+        self.world.set_now(end);
+        self.world.purge_expired();
+        let trace_sink = self.world.take_trace_sink();
+        let (metrics, packets) = self.world.into_outcome();
+        SimOutcome {
+            metrics,
+            packets,
+            trace: trace_sink,
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        let world = &mut self.world;
         world.set_now(ev.at);
         match ev.kind {
             EventKind::TimeUnit(u) => {
                 world.emit(|at| SimEvent::UnitBoundary { at, unit: u });
                 world.purge_expired();
                 world.reset_radio_budget();
-                router.on_time_unit(&mut world, u);
+                self.router.on_time_unit(world, u);
             }
             EventKind::StationDown(l) => {
                 world.station_down(l);
-                router.on_station_down(&mut world, l);
+                self.router.on_station_down(world, l);
             }
             EventKind::StationUp(l) => {
                 world.station_recover(l);
-                router.on_station_up(&mut world, l);
+                self.router.on_station_up(world, l);
             }
             EventKind::Depart(n, l, idx) => {
                 // Suppressed when the node is not actually there: its
                 // arrival was swallowed by a failure, or churn removed it
                 // mid-visit.
                 if world.node_location(n) == Some(l) {
-                    world.set_visit_recorded(!record_lost[idx as usize]);
-                    router.on_depart(&mut world, n, l);
+                    world.set_visit_recorded(!self.record_lost[idx as usize]);
+                    self.router.on_depart(world, n, l);
                     world.set_visit_recorded(true);
                     world.node_depart(n, l);
                 }
@@ -276,63 +398,166 @@ fn run_inner<R: Router + ?Sized>(
             EventKind::NodeFail(n) => {
                 let at = world.node_location(n);
                 world.node_fail(n);
-                router.on_node_fail(&mut world, n, at);
+                self.router.on_node_fail(world, n, at);
             }
             EventKind::Arrive(n, l, idx) => {
                 // A failed node is off the network: its visits do not
                 // happen until it recovers.
                 if !world.node_is_failed(n) {
                     world.node_arrive(n, l);
-                    if !station_mode {
+                    if !self.station_mode {
                         world.auto_deliver_on_arrival(n, l);
                     }
-                    world.set_visit_recorded(!record_lost[idx as usize]);
+                    world.set_visit_recorded(!self.record_lost[idx as usize]);
                     // Encounter partners, copied out so the router may
                     // mutate presence; the buffer is reused across
                     // arrivals to keep this allocation-free.
-                    present.clear();
-                    present.extend(world.nodes_at(l).iter().filter(|&m| m != n));
-                    for &m in present.iter() {
-                        router.on_encounter(&mut world, n, m, l);
+                    self.present.clear();
+                    self.present
+                        .extend(world.nodes_at(l).iter().filter(|&m| m != n));
+                    for &m in self.present.iter() {
+                        self.router.on_encounter(world, n, m, l);
                     }
-                    router.on_arrive(&mut world, n, l);
+                    self.router.on_arrive(world, n, l);
                     world.set_visit_recorded(true);
                 }
             }
             EventKind::NodeRecover(n) => {
                 world.node_recover(n);
-                router.on_node_recover(&mut world, n);
+                self.router.on_node_recover(world, n);
             }
             EventKind::Generate(src, dst) => {
-                let pkt = world.create_packet(src, dst, None, station_mode);
+                let pkt = world.create_packet(src, dst, None, self.station_mode);
                 // A packet generated at a down station is stillborn
                 // (lost to the outage); the router never sees it.
                 if world.packet(pkt).loc.is_live() {
-                    router.on_packet_generated(&mut world, pkt);
+                    self.router.on_packet_generated(world, pkt);
                 }
             }
             EventKind::Timer(token) => {
-                router.on_timer(&mut world, token);
+                self.router.on_timer(world, token);
             }
             EventKind::Observe(i) => {
-                router.on_observe(&mut world, i);
+                self.router.on_observe(world, i);
             }
         }
-        drain_timers(&mut world, &mut timers);
     }
 
-    // Final reckoning: everything past its deadline is an expiry. Router
-    // timers may have fired beyond the last trace event, so never move
-    // the clock backwards.
-    let end = (SimTime::ZERO + duration).max(world.now());
-    world.set_now(end);
-    world.purge_expired();
-    let trace_sink = world.take_trace_sink();
-    let (metrics, packets) = world.into_outcome();
-    SimOutcome {
-        metrics,
-        packets,
-        trace: trace_sink,
+    /// Move router-requested timers into the heap.
+    fn drain_timers(&mut self) {
+        for (at, token) in self.world.pending_timers.drain(..) {
+            self.timers.push(Reverse(Event {
+                at,
+                kind: EventKind::Timer(token),
+                seq: self.timer_seq,
+            }));
+            self.timer_seq += 1;
+        }
+    }
+
+    // ---- checkpoint / restore (DESIGN.md §11) ----------------------------
+
+    /// Encode the engine cursor: static-event index, timer sequence
+    /// counter, and the pending timer heap (sorted ascending, so the
+    /// encoding is canonical regardless of heap internals).
+    pub fn encode_engine(&self, w: &mut Writer) {
+        w.put_usize(self.next_static);
+        w.put_u64(self.timer_seq);
+        let mut pending: Vec<Event> = self.timers.iter().map(|&Reverse(e)| e).collect();
+        pending.sort_unstable();
+        w.put_usize(pending.len());
+        for e in &pending {
+            w.put_u64(e.at.secs());
+            // The heap only ever holds `Timer` events (see `drain_timers`).
+            let token = match e.kind {
+                EventKind::Timer(token) => token,
+                _ => {
+                    debug_assert!(false, "non-timer event in timer heap");
+                    0
+                }
+            };
+            w.put_u64(token);
+            w.put_u64(e.seq);
+        }
+    }
+
+    /// Encode the full [`World`] state.
+    pub fn encode_world(&self, w: &mut Writer) {
+        self.world.encode_state(w);
+    }
+
+    /// Encode the attached [`Recorder`] in place, if the attached sink is
+    /// one. Returns `false` (writing nothing) when no sink is attached or
+    /// the sink is not checkpointable. Called *after* the state payload is
+    /// sized so the `CheckpointWritten` event lands inside the recorder
+    /// bytes of both the paused and the straight-through lineage.
+    pub fn encode_recorder(&mut self, w: &mut Writer) -> bool {
+        if let Some(rec) = self
+            .world
+            .trace_sink_mut()
+            .and_then(|s| s.as_any_mut())
+            .and_then(|a| a.downcast_mut::<Recorder>())
+        {
+            rec.encode(w);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rebuild a paused session from checkpointed engine + world bytes and
+    /// the original run inputs. The static event list and record-loss
+    /// table are reconstructed from the inputs; the readers supply only
+    /// the mutable mid-run state.
+    #[allow(clippy::too_many_arguments)] // mirrors `start` plus the two state readers
+    pub fn resume(
+        trace: &Trace,
+        cfg: &SimConfig,
+        workload: &Workload,
+        plan: &FaultPlan,
+        router: &'a mut R,
+        sink: Option<Box<dyn TraceSink>>,
+        engine: &mut Reader<'_>,
+        world: &mut Reader<'_>,
+    ) -> Result<SimSession<'a, R>, SnapshotError> {
+        const CTX: &str = "SimSession";
+        plan.check_against(trace);
+        let events = build_static_events(trace, cfg, workload, plan);
+        let next_static = engine.usize(CTX)?;
+        if next_static > events.len() {
+            return Err(SnapshotError::Corrupt { context: CTX });
+        }
+        let timer_seq = engine.u64(CTX)?;
+        let n = engine.seq_len("SimSession.timers")?;
+        let mut timers: BinaryHeap<Reverse<Event>> = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            let at = SimTime(engine.u64(CTX)?);
+            let token = engine.u64(CTX)?;
+            let seq = engine.u64(CTX)?;
+            timers.push(Reverse(Event {
+                at,
+                kind: EventKind::Timer(token),
+                seq,
+            }));
+        }
+        let mut restored =
+            World::decode_state(world, cfg.clone(), trace.num_nodes(), trace.num_landmarks())?;
+        if let Some(sink) = sink {
+            restored.set_trace_sink(sink);
+        }
+        let station_mode = router.uses_stations();
+        Ok(SimSession {
+            world: restored,
+            events,
+            next_static,
+            timers,
+            timer_seq,
+            record_lost: build_record_lost(trace, plan),
+            station_mode,
+            duration: trace.duration(),
+            router,
+            present: Vec::new(),
+        })
     }
 }
 

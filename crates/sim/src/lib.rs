@@ -33,7 +33,7 @@ pub mod store;
 pub mod workload;
 pub mod world;
 
-pub use engine::{run, run_traced, run_with_faults, run_with_workload, SimOutcome};
+pub use engine::{run, run_traced, run_with_faults, run_with_workload, SimOutcome, SimSession};
 pub use faults::{FaultConfig, FaultPlan, NodeOutage, StationOutage};
 pub use router::Router;
 pub use store::PacketStore;

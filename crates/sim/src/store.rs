@@ -7,6 +7,7 @@
 
 use dtnflow_core::dense::DenseSet;
 use dtnflow_core::ids::PacketId;
+use dtnflow_snapshot::{Reader, SnapshotError, Writer};
 
 /// A set of packets with byte accounting and an optional capacity.
 #[derive(Debug, Clone)]
@@ -94,6 +95,45 @@ impl PacketStore {
     /// Iterate packets in ascending id order (deterministic).
     pub fn iter(&self) -> impl Iterator<Item = PacketId> + '_ {
         self.packets.iter()
+    }
+
+    /// Checkpoint encoding (DESIGN.md §11): capacity tag, byte count and
+    /// the member set.
+    pub fn encode(&self, w: &mut Writer) {
+        match self.capacity {
+            None => w.put_u8(0),
+            Some(c) => {
+                w.put_u8(1);
+                w.put_u64(c);
+            }
+        }
+        w.put_u64(self.used);
+        self.packets.encode(w);
+    }
+
+    /// Inverse of [`PacketStore::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<PacketStore, SnapshotError> {
+        const CTX: &str = "PacketStore";
+        let capacity = match r.u8(CTX)? {
+            0 => None,
+            1 => Some(r.u64(CTX)?),
+            t => {
+                return Err(SnapshotError::InvalidTag {
+                    context: "PacketStore.capacity",
+                    tag: t as u64,
+                })
+            }
+        };
+        let used = r.u64(CTX)?;
+        if capacity.is_some_and(|c| used > c) {
+            return Err(SnapshotError::Corrupt { context: CTX });
+        }
+        let packets = DenseSet::decode(r)?;
+        Ok(PacketStore {
+            capacity,
+            used,
+            packets,
+        })
     }
 }
 

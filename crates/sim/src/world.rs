@@ -15,6 +15,7 @@ use dtnflow_core::metrics::RunMetrics;
 use dtnflow_core::packet::{Packet, PacketLoc};
 use dtnflow_core::time::SimTime;
 use dtnflow_obs::{LossKind, Place, SimEvent, TraceSink};
+use dtnflow_snapshot::{Reader, SnapshotError, Writer};
 
 /// Map a live packet location to its observability [`Place`]; terminal
 /// states have no place.
@@ -308,6 +309,11 @@ impl World {
     /// run).
     pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
         self.trace.take()
+    }
+
+    /// Borrow the attached sink without detaching it (checkpointing).
+    pub(crate) fn trace_sink_mut(&mut self) -> Option<&mut (dyn TraceSink + 'static)> {
+        self.trace.as_deref_mut()
     }
 
     /// Whether a sink is attached. Emission call sites that need to do
@@ -855,6 +861,230 @@ impl World {
 
     pub(crate) fn into_outcome(self) -> (RunMetrics, Vec<Packet>) {
         (self.metrics, self.packets)
+    }
+
+    /// Checkpoint encoding (DESIGN.md §11): every observable field in
+    /// declaration order. Excluded by design: the config and network sizes
+    /// (supplied again on restore and fingerprint-checked at the snapshot
+    /// level), `scratch_pkts` (always cleared before use), `present`
+    /// (derivable from `node_loc`), and the trace sink (checkpointed
+    /// separately so the engine can order the `CheckpointWritten` event
+    /// before the recorder bytes are captured).
+    pub(crate) fn encode_state(&self, w: &mut Writer) {
+        w.put_u64(self.now.secs());
+        w.put_usize(self.packets.len());
+        for p in &self.packets {
+            p.encode(w);
+        }
+        w.put_usize(self.node_store.len());
+        for s in &self.node_store {
+            s.encode(w);
+        }
+        w.put_usize(self.station_store.len());
+        for s in &self.station_store {
+            s.encode(w);
+        }
+        w.put_usize(self.pending.len());
+        for set in &self.pending {
+            set.encode(w);
+        }
+        w.put_usize(self.node_loc.len());
+        for loc in &self.node_loc {
+            match loc {
+                None => w.put_u8(0),
+                Some(lm) => {
+                    w.put_u8(1);
+                    w.put_u16(lm.0);
+                }
+            }
+        }
+        self.metrics.encode(w);
+        match &self.radio_budget {
+            None => w.put_u8(0),
+            Some(budget) => {
+                w.put_u8(1);
+                w.put_usize(budget.len());
+                for &b in budget {
+                    w.put_u64(b);
+                }
+            }
+        }
+        w.put_usize(self.station_up.len());
+        for &up in &self.station_up {
+            w.put_bool(up);
+        }
+        w.put_usize(self.node_failed.len());
+        for &f in &self.node_failed {
+            w.put_bool(f);
+        }
+        w.put_usize(self.awaiting_recovery.len());
+        for slot in &self.awaiting_recovery {
+            match slot {
+                None => w.put_u8(0),
+                Some(t) => {
+                    w.put_u8(1);
+                    w.put_u64(t.secs());
+                }
+            }
+        }
+        w.put_bool(self.visit_recorded);
+        w.put_usize(self.pending_timers.len());
+        for &(at, token) in &self.pending_timers {
+            w.put_u64(at.secs());
+            w.put_u64(token);
+        }
+    }
+
+    /// Inverse of [`World::encode_state`]. The config and network sizes
+    /// come from the caller (re-derived from the run inputs); per-node and
+    /// per-landmark vector lengths must match them. `present` is rebuilt
+    /// from `node_loc` by an ascending node scan, which reproduces the
+    /// exact `DenseSet` contents incremental arrivals would have built.
+    pub(crate) fn decode_state(
+        r: &mut Reader<'_>,
+        cfg: SimConfig,
+        num_nodes: usize,
+        num_landmarks: usize,
+    ) -> Result<World, SnapshotError> {
+        const CTX: &str = "World";
+        let now = SimTime(r.u64(CTX)?);
+        let np = r.seq_len("World.packets")?;
+        let mut packets = Vec::with_capacity(np);
+        for i in 0..np {
+            let p = Packet::decode(r)?;
+            if p.id.index() != i {
+                return Err(SnapshotError::Corrupt { context: CTX });
+            }
+            packets.push(p);
+        }
+        let expect_len = |n: usize, want: usize| {
+            if n == want {
+                Ok(())
+            } else {
+                Err(SnapshotError::Corrupt { context: CTX })
+            }
+        };
+        let n = r.seq_len("World.node_store")?;
+        expect_len(n, num_nodes)?;
+        let mut node_store = Vec::with_capacity(n);
+        for _ in 0..n {
+            node_store.push(PacketStore::decode(r)?);
+        }
+        let n = r.seq_len("World.station_store")?;
+        expect_len(n, num_landmarks)?;
+        let mut station_store = Vec::with_capacity(n);
+        for _ in 0..n {
+            station_store.push(PacketStore::decode(r)?);
+        }
+        let n = r.seq_len("World.pending")?;
+        expect_len(n, num_landmarks)?;
+        let mut pending = Vec::with_capacity(n);
+        for _ in 0..n {
+            pending.push(DenseSet::decode(r)?);
+        }
+        let n = r.seq_len("World.node_loc")?;
+        expect_len(n, num_nodes)?;
+        let mut node_loc = Vec::with_capacity(n);
+        for _ in 0..n {
+            node_loc.push(match r.u8(CTX)? {
+                0 => None,
+                1 => {
+                    let lm = LandmarkId(r.u16(CTX)?);
+                    if lm.index() >= num_landmarks {
+                        return Err(SnapshotError::Corrupt { context: CTX });
+                    }
+                    Some(lm)
+                }
+                t => {
+                    return Err(SnapshotError::InvalidTag {
+                        context: "World.node_loc",
+                        tag: t as u64,
+                    })
+                }
+            });
+        }
+        let metrics = RunMetrics::decode(r)?;
+        let radio_budget = match r.u8(CTX)? {
+            0 => None,
+            1 => {
+                let n = r.seq_len("World.radio_budget")?;
+                expect_len(n, num_landmarks)?;
+                let mut budget = Vec::with_capacity(n);
+                for _ in 0..n {
+                    budget.push(r.u64(CTX)?);
+                }
+                Some(budget)
+            }
+            t => {
+                return Err(SnapshotError::InvalidTag {
+                    context: "World.radio_budget",
+                    tag: t as u64,
+                })
+            }
+        };
+        if radio_budget.is_some() != cfg.radio_budget_per_unit.is_some() {
+            return Err(SnapshotError::Corrupt { context: CTX });
+        }
+        let n = r.seq_len("World.station_up")?;
+        expect_len(n, num_landmarks)?;
+        let mut station_up = Vec::with_capacity(n);
+        for _ in 0..n {
+            station_up.push(r.bool(CTX)?);
+        }
+        let n = r.seq_len("World.node_failed")?;
+        expect_len(n, num_nodes)?;
+        let mut node_failed = Vec::with_capacity(n);
+        for _ in 0..n {
+            node_failed.push(r.bool(CTX)?);
+        }
+        let n = r.seq_len("World.awaiting_recovery")?;
+        expect_len(n, num_landmarks)?;
+        let mut awaiting_recovery = Vec::with_capacity(n);
+        for _ in 0..n {
+            awaiting_recovery.push(match r.u8(CTX)? {
+                0 => None,
+                1 => Some(SimTime(r.u64(CTX)?)),
+                t => {
+                    return Err(SnapshotError::InvalidTag {
+                        context: "World.awaiting_recovery",
+                        tag: t as u64,
+                    })
+                }
+            });
+        }
+        let visit_recorded = r.bool(CTX)?;
+        let n = r.seq_len("World.pending_timers")?;
+        let mut pending_timers = Vec::with_capacity(n);
+        for _ in 0..n {
+            pending_timers.push((SimTime(r.u64(CTX)?), r.u64(CTX)?));
+        }
+        let mut present = vec![DenseSet::new(); num_landmarks];
+        for (i, loc) in node_loc.iter().enumerate() {
+            if let Some(lm) = loc {
+                present[lm.index()].insert(NodeId::from(i));
+            }
+        }
+        Ok(World {
+            cfg,
+            now,
+            num_nodes,
+            num_landmarks,
+            packets,
+            node_store,
+            station_store,
+            pending,
+            scratch_pkts: Vec::new(),
+            node_loc,
+            present,
+            metrics,
+            radio_budget,
+            station_up,
+            node_failed,
+            awaiting_recovery,
+            visit_recorded,
+            pending_timers,
+            trace: None,
+        })
     }
 }
 
