@@ -1,6 +1,30 @@
-//! Which rules apply where: rule→crate scoping and path exclusions.
+//! Which rules apply where: rule→crate scoping, path exclusions, and
+//! the cross-file schema bindings the `X1` pack checks.
 
 use std::path::Path;
+
+/// An enum ↔ tag-table ↔ exhaustive-match binding for `X1`: the enum's
+/// variants, the string entries of `tags_const`, and the match arms of
+/// each listed fn must stay bijective.
+#[derive(Debug, Clone)]
+pub struct EnumTagBinding {
+    pub enum_name: String,
+    /// Const holding one snake_case tag string per variant, sorted.
+    pub tags_const: String,
+    /// Fns that must mention every variant: `"Owner::name"` for methods
+    /// (impl self-type qualified), bare `"name"` for free fns.
+    pub fns: Vec<String>,
+}
+
+/// A struct ↔ string-schema binding for `X1`: every field of
+/// `struct_name` must appear as a word inside the string literals of
+/// `fn_name`'s body (CSV headers, JSON key tables).
+#[derive(Debug, Clone)]
+pub struct FieldLiteralBinding {
+    pub struct_name: String,
+    /// `"Owner::name"` or bare free-fn name, as for [`EnumTagBinding`].
+    pub fn_name: String,
+}
 
 /// Linter configuration. The defaults encode this repository's policy;
 /// tests construct custom configs to point at fixture trees.
@@ -12,6 +36,14 @@ pub struct Config {
     pub d1_crates: Vec<String>,
     /// Crates whose non-test code must not panic: `P1` scope.
     pub p1_crates: Vec<String>,
+    /// Crates that must stay shard-safe ahead of the parallel engine:
+    /// `C1` (no shared mutable statics, no ad-hoc threading, no
+    /// unordered float reduction) applies to their non-test code.
+    pub c1_crates: Vec<String>,
+    /// Enum ↔ tag-table bindings checked by `X1`.
+    pub enum_bindings: Vec<EnumTagBinding>,
+    /// Struct ↔ string-schema bindings checked by `X1`.
+    pub field_bindings: Vec<FieldLiteralBinding>,
     /// Directory names skipped entirely while walking.
     pub skip_dirs: Vec<String>,
 }
@@ -30,6 +62,51 @@ impl Default for Config {
                 "snapshot",
             ]),
             p1_crates: s(&["sim", "dtnflow", "obs", "snapshot"]),
+            // Everything that can touch an experiment outcome, plus the
+            // root package: the sharded engine (ROADMAP item 1) will
+            // fan these crates out across threads, so they must not
+            // accumulate shared-state or order-sensitive float habits.
+            c1_crates: s(&[
+                "dtnflow",
+                "dtnflow-core",
+                "baselines",
+                "sim",
+                "predictor",
+                "landmark",
+                "mobility",
+                "obs",
+                "snapshot",
+                ".",
+            ]),
+            enum_bindings: vec![EnumTagBinding {
+                enum_name: "SimEvent".into(),
+                tags_const: "KIND_TAGS".into(),
+                fns: s(&[
+                    "SimEvent::kind_index",
+                    "SimEvent::at",
+                    "SimEvent::encode",
+                    "SimEvent::decode",
+                    "SimEvent::fmt",
+                ]),
+            }],
+            field_bindings: vec![
+                FieldLiteralBinding {
+                    struct_name: "LandmarkCounters".into(),
+                    fn_name: "Snapshot::to_csv".into(),
+                },
+                FieldLiteralBinding {
+                    struct_name: "LandmarkCounters".into(),
+                    fn_name: "landmark_row_json".into(),
+                },
+                FieldLiteralBinding {
+                    struct_name: "Totals".into(),
+                    fn_name: "Snapshot::to_json_value".into(),
+                },
+                FieldLiteralBinding {
+                    struct_name: "BenchEntry".into(),
+                    fn_name: "bench_json".into(),
+                },
+            ],
             // `fixtures` holds deliberate violations for detlint's own
             // tests; `vendor` is third-party API stubs; `results` is
             // experiment output.
@@ -49,6 +126,7 @@ pub struct FileContext {
     pub is_test_file: bool,
     pub d1_applies: bool,
     pub p1_applies: bool,
+    pub c1_applies: bool,
 }
 
 impl FileContext {
@@ -67,11 +145,13 @@ impl FileContext {
             .any(|c| *c == "tests" || *c == "benches" || *c == "examples");
         let d1_applies = cfg.d1_crates.contains(&crate_name);
         let p1_applies = cfg.p1_crates.contains(&crate_name);
+        let c1_applies = cfg.c1_crates.contains(&crate_name);
         FileContext {
             crate_name,
             is_test_file,
             d1_applies,
             p1_applies,
+            c1_applies,
         }
     }
 }
@@ -94,11 +174,12 @@ mod tests {
 
         let b = FileContext::classify(&PathBuf::from("crates/bench/src/report.rs"), &cfg);
         assert_eq!(b.crate_name, "bench");
-        assert!(!b.d1_applies && !b.p1_applies);
+        assert!(!b.d1_applies && !b.p1_applies && !b.c1_applies);
 
         let r = FileContext::classify(&PathBuf::from("tests/determinism.rs"), &cfg);
         assert_eq!(r.crate_name, ".");
         assert!(r.is_test_file);
+        assert!(r.c1_applies, "root package is in C1 scope");
 
         let e = FileContext::classify(&PathBuf::from("examples/quickstart.rs"), &cfg);
         assert!(e.is_test_file, "examples are demo code, not hot paths");

@@ -9,10 +9,16 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule id: `D1`, `D2`, `P1`, `P2`, or `W0` (malformed waiver).
+    /// Rule id: `D1`, `D2`, `P1`, `P2`, `S1`, `X0`, `X1`, `C1`, `W0`
+    /// (malformed waiver), or `W1` (stale waiver).
     pub rule: String,
     pub message: String,
 }
+
+/// Version of the `--json` report shape. Bump on any structural change
+/// (CI archives these reports; downstream tooling pins the version).
+/// v1 was the bare diagnostics array; v2 wrapped it in an envelope.
+pub const JSON_SCHEMA_VERSION: u64 = 2;
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -24,10 +30,11 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// Render diagnostics as a JSON array (hand-rolled: the environment is
-/// offline, so no serde).
+/// Render diagnostics as a versioned JSON envelope (hand-rolled: the
+/// environment is offline, so no serde):
+/// `{"schema_version":2,"diagnostics":[…]}`.
 pub fn to_json(diags: &[Diagnostic]) -> String {
-    let mut out = String::from("[");
+    let mut out = format!("{{\"schema_version\":{JSON_SCHEMA_VERSION},\"diagnostics\":[");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -40,7 +47,7 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
             json_str(&d.message)
         ));
     }
-    out.push(']');
+    out.push_str("]}");
     out
 }
 
@@ -87,8 +94,9 @@ mod tests {
         };
         assert_eq!(
             to_json(&[d]),
-            "[{\"file\":\"a.rs\",\"line\":1,\"rule\":\"W0\",\"message\":\"say \\\"why\\\"\\n\"}]"
+            "{\"schema_version\":2,\"diagnostics\":[{\"file\":\"a.rs\",\"line\":1,\
+             \"rule\":\"W0\",\"message\":\"say \\\"why\\\"\\n\"}]}"
         );
-        assert_eq!(to_json(&[]), "[]");
+        assert_eq!(to_json(&[]), "{\"schema_version\":2,\"diagnostics\":[]}");
     }
 }

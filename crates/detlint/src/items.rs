@@ -1,0 +1,747 @@
+//! A lightweight item model parsed from the token stream: structs with
+//! their named fields, enums with their variants, consts with their
+//! string literals, and fns with their body token spans.
+//!
+//! This is deliberately *not* a Rust parser (no `syn`, no proc-macro
+//! machinery — the environment is offline and the linter must stay a
+//! leaf dependency). It recognises exactly the item shapes the S1/X1
+//! rule packs need and skips everything else as balanced token groups.
+//! Items nested inside fn bodies are intentionally invisible: the rules
+//! reason about module-level types and their codecs.
+
+use crate::config::FileContext;
+use crate::lexer::{lex, Lexed, SpannedTok, Tok};
+use std::ops::Range;
+use std::path::Path;
+
+/// A named struct field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldItem {
+    pub name: String,
+    pub line: u32,
+}
+
+/// A `struct` item. Tuple and unit structs are recorded with no fields
+/// (S1 has nothing to check on positional fields).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructItem {
+    pub name: String,
+    pub line: u32,
+    pub fields: Vec<FieldItem>,
+}
+
+/// An enum variant (payload shape is irrelevant to the rules).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariantItem {
+    pub name: String,
+    pub line: u32,
+}
+
+/// An `enum` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumItem {
+    pub name: String,
+    pub line: u32,
+    pub variants: Vec<VariantItem>,
+}
+
+/// A `const` or `static` item, with the string literals of its
+/// initializer in source order (X1 reads tag tables out of these).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstItem {
+    pub name: String,
+    pub line: u32,
+    pub strs: Vec<String>,
+}
+
+/// A `fn` item: its name, the `impl`/`trait` type it belongs to (if
+/// any), and the token-index span of its body in the file's stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    pub name: String,
+    pub line: u32,
+    /// Self type of the enclosing `impl` (or enclosing trait name).
+    pub owner: Option<String>,
+    /// Body tokens as a range into `Lexed::tokens` (empty for bodyless
+    /// trait-method declarations).
+    pub body: Range<usize>,
+}
+
+/// Everything the item parser found in one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    pub structs: Vec<StructItem>,
+    pub enums: Vec<EnumItem>,
+    pub consts: Vec<ConstItem>,
+    pub fns: Vec<FnItem>,
+}
+
+/// One file, fully analysed: tokens, waivers, and the item model. The
+/// rule packs consume this instead of re-lexing.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    pub ctx: FileContext,
+    pub lexed: Lexed,
+    pub items: FileItems,
+}
+
+impl FileAnalysis {
+    pub fn new(rel: &Path, ctx: FileContext, src: &str) -> FileAnalysis {
+        let file = rel
+            .components()
+            .filter_map(|c| c.as_os_str().to_str())
+            .collect::<Vec<_>>()
+            .join("/");
+        let lexed = lex(src);
+        let items = parse_items(&lexed.tokens);
+        FileAnalysis {
+            file,
+            ctx,
+            lexed,
+            items,
+        }
+    }
+}
+
+/// Parse the item model out of a token stream. Items under a
+/// `#[cfg(test)]` / `#[test]` attribute (including whole test modules)
+/// are parsed for block balance but not recorded: the rules reason
+/// about live code only.
+pub fn parse_items(toks: &[SpannedTok]) -> FileItems {
+    let mut items = FileItems::default();
+    let mut p = Parser { toks, i: 0 };
+    p.block(None, &mut items, false);
+    items
+}
+
+/// Whether an attribute token slice marks test code: `#[test]`,
+/// `#[cfg(test)]`, `#[cfg(any(test, …))]` — but not `#[cfg(not(test))]`.
+pub fn attr_marks_test(attr: &[SpannedTok]) -> bool {
+    let mut has_test = false;
+    let mut has_not = false;
+    for t in attr {
+        if let Tok::Ident(id) = &t.tok {
+            match id.as_str() {
+                "test" => has_test = true,
+                "not" => has_not = true,
+                _ => {}
+            }
+        }
+    }
+    has_test && !has_not
+}
+
+struct Parser<'a> {
+    toks: &'a [SpannedTok],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ident(&self, at: usize) -> Option<&'a str> {
+        match self.toks.get(at)?.tok {
+            Tok::Ident(ref s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn punct(&self, at: usize) -> Option<char> {
+        match self.toks.get(at)?.tok {
+            Tok::Punct(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    fn line(&self, at: usize) -> u32 {
+        self.toks.get(at).map_or(0, |t| t.line)
+    }
+
+    /// Skip one attribute if positioned at its `#`; returns `None` when
+    /// this `#` is not an attribute, else whether it marks test code.
+    fn skip_attribute(&mut self) -> Option<bool> {
+        if self.punct(self.i) != Some('#') {
+            return None;
+        }
+        let start = self.i;
+        let mut j = self.i + 1;
+        if self.punct(j) == Some('!') {
+            j += 1;
+        }
+        if self.punct(j) != Some('[') {
+            return None;
+        }
+        let mut depth = 0i32;
+        while j < self.toks.len() {
+            match self.punct(j) {
+                Some('[') => depth += 1,
+                Some(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.i = j + 1;
+                        return Some(attr_marks_test(&self.toks[start..self.i]));
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        self.i = self.toks.len();
+        Some(false)
+    }
+
+    /// Skip a balanced `{ … }` group starting at the current `{`;
+    /// returns the token-index range of its interior.
+    fn skip_braced(&mut self) -> Range<usize> {
+        debug_assert_eq!(self.punct(self.i), Some('{'));
+        let start = self.i + 1;
+        let mut depth = 0i32;
+        while self.i < self.toks.len() {
+            match self.punct(self.i) {
+                Some('{') => depth += 1,
+                Some('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let end = self.i;
+                        self.i += 1;
+                        return start..end;
+                    }
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+        start..self.toks.len()
+    }
+
+    /// Parse items until the end of the stream (`closes == false`) or
+    /// the `}` closing the current block (`closes == true`).
+    fn block(&mut self, owner: Option<&str>, items: &mut FileItems, closes: bool) {
+        // Items under a test-marking attribute are parsed into this
+        // discard pile so block balance is kept but nothing is recorded.
+        let mut scratch = FileItems::default();
+        let mut pending_test = false;
+        while self.i < self.toks.len() {
+            if let Some(marks_test) = self.skip_attribute() {
+                pending_test |= marks_test;
+                continue;
+            }
+            let sink: &mut FileItems = if pending_test { &mut scratch } else { items };
+            match &self.toks[self.i].tok {
+                Tok::Punct('}') if closes => {
+                    self.i += 1;
+                    return;
+                }
+                Tok::Punct('{') => {
+                    // Not one of ours (use tree, macro body, extern
+                    // block): skip it whole so its `}` cannot be
+                    // mistaken for our block close.
+                    self.skip_braced();
+                    pending_test = false;
+                }
+                Tok::Ident(kw) => {
+                    match kw.as_str() {
+                        "struct" => self.parse_struct(sink),
+                        "enum" => self.parse_enum(sink),
+                        "impl" => self.parse_impl(sink),
+                        "trait" => self.parse_trait(sink),
+                        "fn" => self.parse_fn(owner, sink),
+                        "const" | "static" if self.ident(self.i + 1) != Some("fn") => {
+                            self.parse_const(sink)
+                        }
+                        "mod" => self.parse_mod(owner, sink),
+                        _ => {
+                            self.i += 1;
+                            continue; // qualifier (`pub`, `unsafe`, …): keep pending_test
+                        }
+                    }
+                    pending_test = false;
+                }
+                _ => self.i += 1, // `pub(crate)` puncts etc.: keep pending_test
+            }
+        }
+    }
+
+    /// Advance past generics/where-clause tokens until a depth-0 `{`,
+    /// `;`, or `(` (whichever the caller cares about); `<`/`>` are
+    /// balanced with a `->` guard so fn-pointer types don't desync.
+    fn skip_to_body(&mut self, stops: &[char]) -> Option<char> {
+        let mut angle = 0i32;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        while self.i < self.toks.len() {
+            if let Some(c) = self.punct(self.i) {
+                let arrow = c == '>' && self.punct(self.i.wrapping_sub(1)) == Some('-');
+                match c {
+                    '<' => angle += 1,
+                    '>' if !arrow && angle > 0 => angle -= 1,
+                    '(' => paren += 1,
+                    ')' => paren -= 1,
+                    '[' => bracket += 1,
+                    ']' => bracket -= 1,
+                    _ => {}
+                }
+                if angle == 0 && paren == 0 && bracket == 0 && stops.contains(&c) {
+                    return Some(c);
+                }
+                // `(` as a stop is matched above before the depth bump;
+                // recompute so tuple-struct parens are found at depth 0.
+                if c == '(' && paren == 1 && angle == 0 && bracket == 0 && stops.contains(&'(') {
+                    return Some('(');
+                }
+            }
+            self.i += 1;
+        }
+        None
+    }
+
+    fn parse_struct(&mut self, items: &mut FileItems) {
+        self.i += 1; // `struct`
+        let Some(name) = self.ident(self.i) else {
+            return;
+        };
+        let name = name.to_string();
+        let line = self.line(self.i);
+        self.i += 1;
+        let mut fields = Vec::new();
+        match self.skip_to_body(&['{', ';', '(']) {
+            Some('{') => {
+                let body = self.skip_braced();
+                fields = self.fields_in(body);
+            }
+            Some('(') => {
+                // Tuple struct: skip `(...)` then the trailing `;`.
+                let mut depth = 0i32;
+                while self.i < self.toks.len() {
+                    match self.punct(self.i) {
+                        Some('(') => depth += 1,
+                        Some(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                self.i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    self.i += 1;
+                }
+            }
+            Some(';') | None => {
+                self.i += 1;
+            }
+            Some(_) => unreachable!(),
+        }
+        items.structs.push(StructItem { name, line, fields });
+    }
+
+    /// Extract named fields from a struct-body token range: an ident at
+    /// group-depth 0 directly followed by a single `:`; then skip to the
+    /// next depth-0 `,` so nothing inside the field's type can match.
+    fn fields_in(&self, body: Range<usize>) -> Vec<FieldItem> {
+        let mut fields = Vec::new();
+        let mut j = body.start;
+        let mut angle = 0i32;
+        let mut group = 0i32; // (), [], {}
+        let mut expecting = true; // at start or just past a depth-0 `,`
+        while j < body.end {
+            match &self.toks[j].tok {
+                Tok::Punct(c) => {
+                    let arrow = *c == '>' && j > 0 && self.punct(j - 1) == Some('-');
+                    match c {
+                        '<' => angle += 1,
+                        '>' if !arrow && angle > 0 => angle -= 1,
+                        '(' | '[' | '{' => group += 1,
+                        ')' | ']' | '}' => group -= 1,
+                        ',' if angle == 0 && group == 0 => expecting = true,
+                        '#' => { /* field attribute; its [..] bumps group */ }
+                        _ => {}
+                    }
+                }
+                // `pub`/`pub(crate)` prefixes roll past; the field name
+                // is the ident immediately followed by `:` but not `::`.
+                Tok::Ident(id)
+                    if expecting
+                        && angle == 0
+                        && group == 0
+                        && self.punct(j + 1) == Some(':')
+                        && self.punct(j + 2) != Some(':') =>
+                {
+                    fields.push(FieldItem {
+                        name: id.clone(),
+                        line: self.toks[j].line,
+                    });
+                    expecting = false;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        fields
+    }
+
+    fn parse_enum(&mut self, items: &mut FileItems) {
+        self.i += 1; // `enum`
+        let Some(name) = self.ident(self.i) else {
+            return;
+        };
+        let name = name.to_string();
+        let line = self.line(self.i);
+        self.i += 1;
+        let mut variants = Vec::new();
+        if self.skip_to_body(&['{', ';']) == Some('{') {
+            let body = self.skip_braced();
+            let mut j = body.start;
+            let mut group = 0i32;
+            let mut angle = 0i32;
+            let mut expecting = true;
+            while j < body.end {
+                match &self.toks[j].tok {
+                    Tok::Punct(c) => {
+                        let arrow = *c == '>' && j > 0 && self.punct(j - 1) == Some('-');
+                        match c {
+                            '<' => angle += 1,
+                            '>' if !arrow && angle > 0 => angle -= 1,
+                            '(' | '[' | '{' => group += 1,
+                            ')' | ']' | '}' => group -= 1,
+                            ',' if angle == 0 && group == 0 => expecting = true,
+                            _ => {}
+                        }
+                    }
+                    Tok::Ident(id) if expecting && angle == 0 && group == 0 => {
+                        variants.push(VariantItem {
+                            name: id.clone(),
+                            line: self.toks[j].line,
+                        });
+                        expecting = false;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        items.enums.push(EnumItem {
+            name,
+            line,
+            variants,
+        });
+    }
+
+    fn parse_impl(&mut self, items: &mut FileItems) {
+        self.i += 1; // `impl`
+                     // `impl<…>` generics come before the type.
+        if self.punct(self.i) == Some('<') {
+            let mut angle = 0i32;
+            while self.i < self.toks.len() {
+                match self.punct(self.i) {
+                    Some('<') => angle += 1,
+                    Some('>') if self.punct(self.i.wrapping_sub(1)) != Some('-') => {
+                        angle -= 1;
+                        if angle == 0 {
+                            self.i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                self.i += 1;
+            }
+        }
+        // Collect the header up to the body `{`; the self type is the
+        // path after a depth-0 `for` (trait impl) or the whole header.
+        let header_start = self.i;
+        let stop = self.skip_to_body(&['{', ';']);
+        let header = &self.toks[header_start..self.i];
+        let mut after_for = 0usize;
+        let mut angle = 0i32;
+        for (k, t) in header.iter().enumerate() {
+            match &t.tok {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') if angle > 0 => angle -= 1,
+                // First depth-0 `for` only: later ones are HRTB
+                // (`where F: for<'a> Fn(…)`), not the trait/type split.
+                Tok::Ident(id) if id == "for" && angle == 0 && after_for == 0 => {
+                    after_for = k + 1;
+                }
+                _ => {}
+            }
+        }
+        // Self-type name: last ident of the path before its generic
+        // arguments (`mobility::Grid<W>` → `Grid`).
+        let mut name = None;
+        for t in &header[after_for..] {
+            match &t.tok {
+                Tok::Ident(id) if id == "where" => break,
+                Tok::Ident(id) if id != "dyn" && id != "mut" => name = Some(id.clone()),
+                Tok::Punct('<') | Tok::Punct('{') => break,
+                _ => {}
+            }
+        }
+        if stop == Some('{') {
+            let body = self.skip_braced();
+            let mut inner = Parser {
+                toks: &self.toks[..body.end],
+                i: body.start,
+            };
+            inner.block(name.as_deref(), items, false);
+        }
+    }
+
+    fn parse_trait(&mut self, items: &mut FileItems) {
+        self.i += 1; // `trait`
+        let name = self.ident(self.i).map(str::to_string);
+        if name.is_some() {
+            self.i += 1;
+        }
+        if self.skip_to_body(&['{', ';']) == Some('{') {
+            let body = self.skip_braced();
+            let mut inner = Parser {
+                toks: &self.toks[..body.end],
+                i: body.start,
+            };
+            inner.block(name.as_deref(), items, false);
+        } else {
+            self.i += 1;
+        }
+    }
+
+    fn parse_fn(&mut self, owner: Option<&str>, items: &mut FileItems) {
+        self.i += 1; // `fn`
+        let Some(name) = self.ident(self.i) else {
+            return;
+        };
+        let name = name.to_string();
+        let line = self.line(self.i);
+        self.i += 1;
+        let body = match self.skip_to_body(&['{', ';']) {
+            Some('{') => self.skip_braced(),
+            _ => {
+                self.i += 1;
+                0..0
+            }
+        };
+        items.fns.push(FnItem {
+            name,
+            line,
+            owner: owner.map(str::to_string),
+            body,
+        });
+    }
+
+    fn parse_const(&mut self, items: &mut FileItems) {
+        self.i += 1; // `const` / `static`
+        if self.ident(self.i) == Some("mut") {
+            self.i += 1;
+        }
+        let Some(name) = self.ident(self.i) else {
+            return;
+        };
+        let name = name.to_string();
+        let line = self.line(self.i);
+        self.i += 1;
+        // Skip the type to the depth-0 `=` (or `;` for extern statics).
+        let mut strs = Vec::new();
+        if self.skip_to_body(&['=', ';']) == Some('=') {
+            // Collect string literals in the initializer up to `;`.
+            let mut group = 0i32;
+            while self.i < self.toks.len() {
+                match &self.toks[self.i].tok {
+                    Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => group += 1,
+                    Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => group -= 1,
+                    Tok::Punct(';') if group == 0 => break,
+                    Tok::Str(s) => strs.push(s.clone()),
+                    _ => {}
+                }
+                self.i += 1;
+            }
+        }
+        items.consts.push(ConstItem { name, line, strs });
+    }
+
+    fn parse_mod(&mut self, owner: Option<&str>, items: &mut FileItems) {
+        self.i += 1; // `mod`
+        if self.ident(self.i).is_some() {
+            self.i += 1;
+        }
+        match self.punct(self.i) {
+            Some('{') => {
+                let body = self.skip_braced();
+                let mut inner = Parser {
+                    toks: &self.toks[..body.end],
+                    i: body.start,
+                };
+                inner.block(owner, items, false);
+            }
+            _ => self.i += 1, // `mod foo;`
+        }
+    }
+}
+
+/// `CamelCase` → `snake_case` (how `KIND_TAGS` entries are derived from
+/// `SimEvent` variant names).
+pub fn snake(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> FileItems {
+        parse_items(&lex(src).tokens)
+    }
+
+    #[test]
+    fn struct_fields_with_types_generics_and_attrs() {
+        let src = r#"
+            #[derive(Debug)]
+            pub struct Packet {
+                pub id: u64,
+                #[allow(dead_code)]
+                visited: BTreeMap<String, Vec<u32>>,
+                pub(crate) cb: Box<dyn Fn(u32) -> u32>,
+                arr: [u8; 4],
+            }
+            struct Unit;
+            struct Tuple(u32, f64);
+        "#;
+        let items = parse(src);
+        assert_eq!(items.structs.len(), 3);
+        let p = &items.structs[0];
+        assert_eq!(p.name, "Packet");
+        let names: Vec<&str> = p.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["id", "visited", "cb", "arr"]);
+        assert!(items.structs[1].fields.is_empty());
+        assert!(items.structs[2].fields.is_empty());
+    }
+
+    #[test]
+    fn enum_variants_with_payloads() {
+        let src = r#"
+            pub enum SimEvent {
+                ContactOpen { at: u64, node: u32 },
+                UnitBoundary { at: u64 },
+                Lost(u32),
+                Plain,
+            }
+        "#;
+        let items = parse(src);
+        let e = &items.enums[0];
+        assert_eq!(e.name, "SimEvent");
+        let names: Vec<&str> = e.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["ContactOpen", "UnitBoundary", "Lost", "Plain"]);
+    }
+
+    #[test]
+    fn fns_record_owner_and_body_span() {
+        let src = r#"
+            fn free() { helper(); }
+            impl Packet {
+                pub fn encode(&self, w: &mut Writer) { w.put(self.id); }
+            }
+            impl fmt::Display for Packet {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write!(f, "p") }
+            }
+            trait Codec {
+                fn decl(&self);
+                fn with_default(&self) { self.decl(); }
+            }
+        "#;
+        let items = parse(src);
+        let by_name = |n: &str| items.fns.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(by_name("free").owner, None);
+        assert_eq!(by_name("encode").owner.as_deref(), Some("Packet"));
+        assert_eq!(by_name("fmt").owner.as_deref(), Some("Packet"));
+        assert_eq!(by_name("decl").owner.as_deref(), Some("Codec"));
+        assert!(by_name("decl").body.is_empty());
+        assert!(!by_name("with_default").body.is_empty());
+        assert!(!by_name("encode").body.is_empty());
+    }
+
+    #[test]
+    fn consts_capture_string_literals_in_order() {
+        let src = r#"
+            pub const KIND_TAGS: [&str; 3] = ["alpha", "beta", "gamma"];
+            const N: usize = KIND_TAGS.len();
+            static HEADER: &str = "a,b,c\n";
+        "#;
+        let items = parse(src);
+        assert_eq!(items.consts[0].name, "KIND_TAGS");
+        assert_eq!(items.consts[0].strs, vec!["alpha", "beta", "gamma"]);
+        assert!(items.consts[1].strs.is_empty());
+        assert_eq!(items.consts[2].strs, vec!["a,b,c\\n"]);
+    }
+
+    #[test]
+    fn items_inside_fn_bodies_are_invisible() {
+        let src = r#"
+            fn outer() {
+                struct Local { x: u32 }
+                let s = Local { x: 1 };
+            }
+            mod inner {
+                pub struct Visible { pub y: u32 }
+            }
+        "#;
+        let items = parse(src);
+        let names: Vec<&str> = items.structs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["Visible"],
+            "fn-local items skipped, mods recursed"
+        );
+    }
+
+    #[test]
+    fn use_trees_and_macros_do_not_desync_blocks() {
+        let src = r#"
+            use std::collections::{BTreeMap, BTreeSet};
+            macro_rules! gen { () => { struct NotReal { q: u8 } }; }
+            pub struct Real { pub f: u32 }
+        "#;
+        let items = parse(src);
+        let names: Vec<&str> = items.structs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["Real"]);
+    }
+
+    #[test]
+    fn cfg_test_items_are_not_recorded() {
+        let src = r#"
+            pub struct Live { pub a: u32 }
+            #[cfg(test)]
+            mod tests {
+                struct TestOnly { b: u32 }
+                fn encode_test_only(t: &TestOnly) {}
+            }
+            #[test]
+            fn a_test() { body(); }
+            #[cfg(not(test))]
+            fn live_fn() {}
+        "#;
+        let items = parse(src);
+        let structs: Vec<&str> = items.structs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(structs, vec!["Live"]);
+        let fns: Vec<&str> = items.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(fns, vec!["live_fn"], "cfg(not(test)) is live code");
+    }
+
+    #[test]
+    fn snake_case_conversion() {
+        assert_eq!(snake("ContactOpen"), "contact_open");
+        assert_eq!(snake("MisTransit"), "mis_transit");
+        assert_eq!(snake("UnitBoundary"), "unit_boundary");
+        assert_eq!(snake("Restored"), "restored");
+    }
+}

@@ -15,11 +15,30 @@ pub enum Tok {
     Ident(String),
     /// A single punctuation character (`{`, `}`, `.`, `!`, `:`, …).
     Punct(char),
-    /// Literals (numbers; strings and chars are consumed but emitted as
-    /// this placeholder so adjacency checks stay honest).
-    Lit,
+    /// Numeric literal, raw source text preserved (so rules can tell a
+    /// float accumulator init from an integer one).
+    Num(String),
+    /// String literal (plain, raw, byte, or C), with the content between
+    /// the quotes preserved (escape sequences kept verbatim). The schema
+    /// rules read tag tables and CSV headers out of these.
+    Str(String),
+    /// A char or byte-char literal (content is never needed by rules).
+    Char,
     /// A lifetime (`'a`) — distinct from a char literal.
     Lifetime,
+}
+
+impl Tok {
+    /// Whether a [`Tok::Num`] spells a floating-point literal.
+    pub fn is_float(&self) -> bool {
+        let Tok::Num(text) = self else { return false };
+        let t = text.replace('_', "");
+        if t.starts_with("0x") || t.starts_with("0X") || t.starts_with("0b") || t.starts_with("0o")
+        {
+            return false;
+        }
+        t.contains('.') || t.ends_with("f32") || t.ends_with("f64") || t.contains(['e', 'E'])
+    }
 }
 
 /// A token plus its 1-based source line.
@@ -160,18 +179,20 @@ impl Lexer {
     /// An ordinary `"..."` string (escapes honoured, may span lines).
     fn string(&mut self) {
         let line = self.line;
+        let mut content = String::new();
         self.bump(); // opening quote
         loop {
             match self.peek(0) {
                 Some('\\') => {
-                    self.bump();
-                    self.bump();
+                    content.extend(self.bump());
+                    content.extend(self.bump());
                 }
                 Some('"') => {
                     self.bump();
                     break;
                 }
-                Some(_) => {
+                Some(c) => {
+                    content.push(c);
                     self.bump();
                 }
                 None => break,
@@ -179,7 +200,7 @@ impl Lexer {
         }
         self.out.tokens.push(SpannedTok {
             line,
-            tok: Tok::Lit,
+            tok: Tok::Str(content),
         });
     }
 
@@ -193,12 +214,14 @@ impl Lexer {
             self.bump();
         }
         self.bump(); // opening quote
+        let mut content = String::new();
         'outer: loop {
             match self.bump() {
                 Some('"') => {
                     // A quote closes only when followed by `hashes` #s.
                     for k in 0..hashes {
                         if self.peek(k) != Some('#') {
+                            content.push('"');
                             continue 'outer;
                         }
                     }
@@ -207,13 +230,13 @@ impl Lexer {
                     }
                     break;
                 }
-                Some(_) => {}
+                Some(c) => content.push(c),
                 None => break,
             }
         }
         self.out.tokens.push(SpannedTok {
             line,
-            tok: Tok::Lit,
+            tok: Tok::Str(content),
         });
     }
 
@@ -243,7 +266,7 @@ impl Lexer {
                     None => break,
                 }
             }
-            self.push(Tok::Lit);
+            self.push(Tok::Char);
         } else {
             while let Some(c) = self.peek(0) {
                 if c == '_' || c.is_alphanumeric() {
@@ -257,6 +280,7 @@ impl Lexer {
     }
 
     fn number(&mut self) {
+        let start = self.pos;
         // Integer part (decimal, hex, octal, binary) with `_` separators.
         while let Some(c) = self.peek(0) {
             if c == '_' || c.is_ascii_alphanumeric() {
@@ -284,7 +308,8 @@ impl Lexer {
                 }
             }
         }
-        self.push(Tok::Lit);
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(Tok::Num(text));
     }
 
     fn ident_or_prefixed_literal(&mut self) {
@@ -447,7 +472,30 @@ mod tests {
     fn char_vs_lifetime() {
         let lexed = lex("'a' 'b fn<'c>");
         let kinds: Vec<&Tok> = lexed.tokens.iter().map(|t| &t.tok).collect();
-        assert!(matches!(kinds[0], Tok::Lit));
+        assert!(matches!(kinds[0], Tok::Char));
         assert!(matches!(kinds[1], Tok::Lifetime));
+    }
+
+    #[test]
+    fn string_content_and_float_shapes_are_preserved() {
+        let lexed = lex(r###"const T: &str = "a,b_c"; let r = r#"x "y" z"#; 1.5 2 0x10 3f64"###);
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["a,b_c", r#"x "y" z"#]);
+        let floats: Vec<bool> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num(_) => Some(t.tok.is_float()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(floats, vec![true, false, false, true]);
     }
 }

@@ -1,0 +1,30 @@
+// Fixture: shard-safe counterparts of the c1/bad patterns. Never
+// compiled.
+
+/// Immutable statics are fine.
+static NAMES: [&str; 2] = ["alpha", "beta"];
+
+/// `'static` lifetimes are not the `static` keyword.
+pub fn name(i: usize) -> &'static str {
+    NAMES[i]
+}
+
+/// Float reduction over an index-ordered slice: deterministic under
+/// any shard split that preserves index ranges.
+pub fn tally(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>()
+}
+
+/// Integer reduction over map values: addition is associative, order
+/// cannot change the result.
+pub fn count(m: &BTreeMap<u32, u64>) -> u64 {
+    m.values().sum::<u64>()
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may thread freely (e.g. timeout harnesses).
+    fn with_timeout() {
+        std::thread::spawn(|| {});
+    }
+}

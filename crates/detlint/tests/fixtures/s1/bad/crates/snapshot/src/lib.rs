@@ -1,0 +1,40 @@
+// Fixture: incomplete snapshot codecs. Never compiled.
+
+/// `hops` is written but never read back; `ttl` is absent from both
+/// directions (the `..Default::default()` hides it from decode).
+pub struct Blob {
+    pub id: u64,
+    pub hops: u32,
+    pub ttl: u32,
+}
+
+impl Blob {
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.id);
+        w.put_u32(self.hops);
+    }
+
+    pub fn decode(r: &mut Reader) -> Blob {
+        Blob {
+            id: r.u64(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Free-fn codec pair: `seen` is missing from the encode side.
+pub struct NodeState {
+    pub id: u32,
+    pub seen: Vec<u32>,
+}
+
+pub fn encode_node_state(w: &mut Writer, s: &NodeState) {
+    w.put_u32(s.id);
+}
+
+pub fn decode_node_state(r: &mut Reader) -> NodeState {
+    NodeState {
+        id: r.u32(),
+        seen: r.vec_u32(),
+    }
+}

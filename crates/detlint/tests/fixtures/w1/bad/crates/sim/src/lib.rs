@@ -1,0 +1,12 @@
+// Fixture: stale waivers. Never compiled.
+
+/// The D2 was fixed but the trailing waiver stayed behind.
+pub fn fixed() -> u64 {
+    42 // detlint: allow(D2, reason = "was Instant::now once, fixed in a refactor")
+}
+
+/// An own-line waiver whose target line no longer violates anything.
+// detlint: allow(P1, reason = "the unwrap below was replaced by a typed error")
+pub fn also_fixed() -> Result<u64, E> {
+    Ok(42)
+}

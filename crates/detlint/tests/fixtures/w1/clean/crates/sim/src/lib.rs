@@ -1,0 +1,8 @@
+// Fixture: live waivers that still suppress something. Never compiled.
+
+pub fn wall_clock() -> Instant {
+    Instant::now() // detlint: allow(D2, reason = "quarantined wall-clock helper for bench reporting")
+}
+
+// detlint: allow(D2, reason = "own-line waiver, still covering a live violation")
+pub fn wall_clock2() -> Instant { Instant::now() }

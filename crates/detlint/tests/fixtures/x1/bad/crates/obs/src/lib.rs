@@ -1,0 +1,35 @@
+// Fixture: schema drift between an event enum, its tag table, and the
+// fns bound as kind-exhaustive. Never compiled. The test binds
+// FixEvent ↔ FIX_TAGS ↔ FixEvent::kind_index, and FixRow ↔ fix_row_csv.
+
+pub enum FixEvent {
+    ContactOpen,
+    MisTransit,
+    PacketLost,
+}
+
+/// Unsorted, missing `mis_transit`, and carrying an orphan `restored`.
+pub const FIX_TAGS: [&str; 3] = ["packet_lost", "contact_open", "restored"];
+
+impl FixEvent {
+    /// Non-exhaustive: `PacketLost` hides behind the catch-all arm.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            FixEvent::ContactOpen => 0,
+            FixEvent::MisTransit => 1,
+            _ => 2,
+        }
+    }
+}
+
+pub struct FixRow {
+    pub generated: u64,
+    pub delivered: u64,
+    pub expired: u64,
+}
+
+/// Header misses the `expired` column; `delivered` is in the header but
+/// its value is never written.
+pub fn fix_row_csv(r: &FixRow) -> String {
+    format!("generated,delivered\n{}\n", r.generated)
+}

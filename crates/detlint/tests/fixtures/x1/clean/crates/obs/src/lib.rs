@@ -1,0 +1,32 @@
+// Fixture: enum ↔ tag table ↔ bound fns all agree. Never compiled.
+
+pub enum FixEvent {
+    ContactOpen,
+    MisTransit,
+    PacketLost,
+}
+
+pub const FIX_TAGS: [&str; 3] = ["contact_open", "mis_transit", "packet_lost"];
+
+impl FixEvent {
+    pub fn kind_index(&self) -> usize {
+        match self {
+            FixEvent::ContactOpen => 0,
+            FixEvent::MisTransit => 1,
+            FixEvent::PacketLost => 2,
+        }
+    }
+}
+
+pub struct FixRow {
+    pub generated: u64,
+    pub delivered: u64,
+    pub expired: u64,
+}
+
+pub fn fix_row_csv(r: &FixRow) -> String {
+    format!(
+        "generated,delivered,expired\n{},{},{}\n",
+        r.generated, r.delivered, r.expired
+    )
+}

@@ -1,0 +1,68 @@
+//! Schema test for the `--json` report envelope, in the same spirit as
+//! `obs-validate`: parse the rendered report with the workspace's own
+//! JSON parser and check the shape downstream tooling depends on, so a
+//! format change must consciously bump [`detlint::diag::JSON_SCHEMA_VERSION`].
+
+use detlint::diag::{to_json, JSON_SCHEMA_VERSION};
+use detlint::Diagnostic;
+use dtnflow_obs::json::{parse, Value};
+
+fn sample() -> Vec<Diagnostic> {
+    vec![
+        Diagnostic {
+            file: "crates/sim/src/lib.rs".into(),
+            line: 6,
+            rule: "D2".into(),
+            message: "ambient nondeterminism: `Instant::now`".into(),
+        },
+        Diagnostic {
+            file: "crates/sim/src/lib.rs".into(),
+            line: 6,
+            rule: "W1".into(),
+            message: "stale waiver: `P1` does not fire on this line — \"quoted\" \\ pain".into(),
+        },
+    ]
+}
+
+#[test]
+fn report_envelope_matches_schema() {
+    let v = parse(&to_json(&sample())).expect("report must be valid JSON");
+
+    let version = v
+        .get("schema_version")
+        .and_then(Value::as_f64)
+        .expect("schema_version is a number");
+    assert_eq!(version, JSON_SCHEMA_VERSION as f64);
+
+    let diags = v
+        .get("diagnostics")
+        .and_then(Value::as_array)
+        .expect("diagnostics is an array");
+    assert_eq!(diags.len(), 2);
+    for d in diags {
+        assert!(d.get("file").and_then(Value::as_str).is_some());
+        assert!(d.get("line").and_then(Value::as_f64).is_some());
+        assert!(d.get("rule").and_then(Value::as_str).is_some());
+        assert!(d.get("message").and_then(Value::as_str).is_some());
+    }
+    // Escaping survives the round trip.
+    assert_eq!(
+        diags[1].get("message").and_then(Value::as_str),
+        Some("stale waiver: `P1` does not fire on this line — \"quoted\" \\ pain")
+    );
+}
+
+#[test]
+fn empty_report_still_carries_the_version() {
+    let v = parse(&to_json(&[])).expect("empty report must be valid JSON");
+    assert_eq!(
+        v.get("schema_version").and_then(Value::as_f64),
+        Some(JSON_SCHEMA_VERSION as f64)
+    );
+    assert_eq!(
+        v.get("diagnostics")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
+        Some(0)
+    );
+}

@@ -4,13 +4,16 @@
 
 use std::path::Path;
 
-#[test]
-fn live_workspace_is_violation_free() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
-        .expect("detlint lives at <root>/crates/detlint");
-    let diags = detlint::check_root(root).expect("workspace scan");
+        .expect("detlint lives at <root>/crates/detlint")
+}
+
+#[test]
+fn live_workspace_is_violation_free() {
+    let diags = detlint::check_root(workspace_root()).expect("workspace scan");
     assert!(
         diags.is_empty(),
         "detlint found {} violation(s); fix them or add a \
@@ -21,5 +24,27 @@ fn live_workspace_is_violation_free() {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+/// Every default `X1` binding must fully resolve against the live tree.
+/// Without this, a wholesale rename (`SimEvent` → something else) would
+/// silently turn the schema-exhaustiveness rule off instead of failing;
+/// `X0` only catches *partial* rot.
+#[test]
+fn x1_bindings_resolve_against_live_workspace() {
+    let cfg = detlint::Config::default();
+    let analyses = detlint::analyze_root(workspace_root(), &cfg).expect("workspace scan");
+    let report = detlint::rules::binding_report(&analyses, &cfg);
+    assert!(!report.is_empty(), "default config must carry bindings");
+    let unresolved: Vec<&str> = report
+        .iter()
+        .filter(|b| !b.resolved)
+        .map(|b| b.desc.as_str())
+        .collect();
+    assert!(
+        unresolved.is_empty(),
+        "X1 bindings no longer match the code (rename both sides together, \
+         updating detlint's Config): {unresolved:?}"
     );
 }

@@ -237,15 +237,21 @@ fn build_record_lost(trace: &Trace, plan: &FaultPlan) -> Vec<bool> {
 /// detectable by the fingerprint check at the container level.
 pub struct SimSession<'a, R: Router + ?Sized> {
     world: World,
+    // detlint: allow(S1, reason = "pure function of (trace, cfg, workload, plan); rebuilt by resume(), only the cursor is checkpointed")
     events: Vec<Event>,
     next_static: usize,
     timers: BinaryHeap<Reverse<Event>>,
     timer_seq: u64,
+    // detlint: allow(S1, reason = "derived from the run's fault plan; resume() recomputes it from the same inputs")
     record_lost: Vec<bool>,
+    // detlint: allow(S1, reason = "run input, not state: resume() is called with the same station flag")
     station_mode: bool,
+    // detlint: allow(S1, reason = "run input, not state: resume() is called with the same duration")
     duration: SimDuration,
+    // detlint: allow(S1, reason = "router state is checkpointed by its own save_state/restore_state codec, not through SimSession")
     router: &'a mut R,
     /// Encounter-partner scratch buffer, reused across arrivals.
+    // detlint: allow(S1, reason = "scratch buffer, cleared before every use")
     present: Vec<NodeId>,
 }
 
