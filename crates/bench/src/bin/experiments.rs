@@ -1,18 +1,22 @@
 //! Regenerate the DTN-FLOW paper's tables and figures.
 //!
 //! ```text
-//! experiments [IDS...] [--quick] [--obs] [--out DIR] [--list]
+//! experiments [IDS...] [--quick] [--obs] [--shards N] [--out DIR] [--list]
 //!
-//! IDS     experiment ids (table1 fig2 ... deploy ablation sched) or `all`
-//! --quick shrink parameter sweeps (smoke mode)
-//! --obs   attach a flight recorder to the simulation-heavy sweeps and
-//!         dump per-cell observability reports (<id>_obs.json/.csv) plus
-//!         a BENCH_obs.json timing baseline
-//! --out   output directory for .txt/.csv results (default: results)
-//! --list  print the known ids and exit
+//! IDS      experiment ids (table1 fig2 ... deploy ablation sched) or `all`
+//! --quick  shrink parameter sweeps (smoke mode)
+//! --obs    attach a flight recorder to the simulation-heavy sweeps and
+//!          dump per-cell observability reports (<id>_obs.json/.csv) plus
+//!          a BENCH_obs.json timing baseline
+//! --shards run the comparison sweeps under an N-shard runtime
+//!          (DESIGN.md §13); every output is byte-identical to N=1
+//! --out    output directory for .txt/.csv results (default: results)
+//! --list   print the known ids and exit
 //! ```
 
-use dtnflow_bench::experiments::{run_experiment, run_experiment_with_obs, ObsCell, ALL_IDS};
+use dtnflow_bench::experiments::{
+    run_experiment_sharded, run_experiment_with_obs_sharded, ObsCell, ALL_IDS,
+};
 use dtnflow_bench::timing::Stopwatch;
 use dtnflow_obs::{bench_json, report_json, BenchEntry, Snapshot};
 use std::path::{Path, PathBuf};
@@ -50,12 +54,21 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut quick = false;
     let mut obs = false;
+    let mut shards = 1usize;
     let mut out_dir = PathBuf::from("results");
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--obs" => obs = true,
+            "--shards" => {
+                shards = it
+                    .next()
+                    .expect("--shards requires a count argument")
+                    .parse()
+                    .expect("--shards requires a positive integer");
+                assert!(shards >= 1, "--shards requires a positive integer");
+            }
             "--out" => {
                 out_dir = PathBuf::from(it.next().expect("--out requires a directory argument"));
             }
@@ -90,9 +103,9 @@ fn main() {
         let started = Stopwatch::start();
         println!("=== {id} ===");
         let (tables, cells) = if obs {
-            run_experiment_with_obs(id, quick)
+            run_experiment_with_obs_sharded(id, quick, shards)
         } else {
-            (run_experiment(id, quick), Vec::new())
+            (run_experiment_sharded(id, quick, shards), Vec::new())
         };
         for table in &tables {
             println!("{}", table.render());

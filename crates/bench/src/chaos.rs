@@ -23,7 +23,7 @@ use dtnflow_mobility::Trace;
 use dtnflow_obs::json::Value;
 use dtnflow_obs::{Recorder, SimEvent, Snapshot, DEFAULT_RING_CAPACITY};
 use dtnflow_router::{FlowConfig, FlowRouter};
-use dtnflow_sim::{FaultConfig, FaultPlan, SimOutcome, SimSession, Workload};
+use dtnflow_sim::{FaultConfig, FaultPlan, ShardExec, ShardPlan, SimOutcome, SimSession, Workload};
 use dtnflow_snapshot::{
     validate_schema, Reader, SchemaSection, SnapshotBuilder, SnapshotError, SnapshotFile, Writer,
 };
@@ -64,6 +64,12 @@ pub struct ChaosInputs {
     pub flow: FlowConfig,
     pub workload: Workload,
     pub plan: FaultPlan,
+    /// Shard count for the DESIGN.md §13 runtime. Deliberately absent
+    /// from the checkpoint meta fingerprint: snapshots are
+    /// shard-count-agnostic, so a run checkpointed under one shard
+    /// count restores under any other byte-identically (the
+    /// `chaos_recovery` suite proves it).
+    pub shards: usize,
 }
 
 impl ChaosInputs {
@@ -83,7 +89,13 @@ impl ChaosInputs {
             flow: FlowConfig::default(),
             workload,
             plan,
+            shards: 1,
         }
+    }
+
+    /// The same inputs under an `n`-shard runtime.
+    pub fn with_shards(self, n: usize) -> ChaosInputs {
+        ChaosInputs { shards: n, ..self }
     }
 
     /// Number of whole time units in the run (kill points live strictly
@@ -143,6 +155,7 @@ impl ChaosInputs {
             flow: FlowConfig::default(),
             workload,
             plan,
+            shards: 1,
         }
     }
 }
@@ -322,14 +335,18 @@ pub fn run_segment(
             (router, Some((file, unit)))
         }
     };
+    let shard_plan = ShardPlan::contiguous(inp.trace.num_landmarks(), inp.shards);
+    let exec = ShardExec::new(inp.shards);
     let mut session = match &parsed {
-        None => SimSession::start(
+        None => SimSession::start_sharded(
             &inp.trace,
             &inp.cfg,
             &inp.workload,
             &inp.plan,
             &mut router,
             Some(Box::new(Recorder::new(DEFAULT_RING_CAPACITY))),
+            shard_plan,
+            exec,
         ),
         Some((file, _)) => {
             let mut or = Reader::new(&file.section("obs")?.payload);
@@ -337,7 +354,7 @@ pub fn run_segment(
             or.finish("obs")?;
             let mut er = Reader::new(&file.section("engine")?.payload);
             let mut wr = Reader::new(&file.section("world")?.payload);
-            let s = SimSession::resume(
+            let s = SimSession::resume_sharded(
                 &inp.trace,
                 &inp.cfg,
                 &inp.workload,
@@ -346,6 +363,8 @@ pub fn run_segment(
                 Some(Box::new(rec)),
                 &mut er,
                 &mut wr,
+                shard_plan,
+                exec,
             )?;
             er.finish("engine")?;
             wr.finish("world")?;

@@ -5,7 +5,10 @@
 
 use crate::experiments::ObsCell;
 use crate::report::Table;
-use crate::runners::{parallel_map, run_method, run_method_observed, Method, MethodOutcome};
+use crate::runners::{
+    parallel_map, run_method_observed_sharded, run_method_with_faults_sharded, Method,
+    MethodOutcome,
+};
 use crate::scenarios::Scenario;
 use dtnflow_core::config::SimConfig;
 use dtnflow_obs::Snapshot;
@@ -22,6 +25,7 @@ fn sweep(
     xlabel: &str,
     points: &[(String, SimConfig)],
     obs: bool,
+    shards: usize,
 ) -> (Vec<Table>, Vec<ObsCell>) {
     // Flatten (point, method) into independent jobs.
     let jobs: Vec<(usize, Method)> = (0..points.len())
@@ -31,10 +35,27 @@ fn sweep(
         let cfg = &points[p].1;
         let wl = scenario.workload(cfg);
         if obs {
-            let (o, snap) = run_method_observed(&scenario.trace, cfg, &wl, &FaultPlan::none(), m);
+            let (o, snap) = run_method_observed_sharded(
+                &scenario.trace,
+                cfg,
+                &wl,
+                &FaultPlan::none(),
+                m,
+                shards,
+            );
             (o, Some(snap))
         } else {
-            (run_method(&scenario.trace, cfg, &wl, m), None)
+            (
+                run_method_with_faults_sharded(
+                    &scenario.trace,
+                    cfg,
+                    &wl,
+                    &FaultPlan::none(),
+                    m,
+                    shards,
+                ),
+                None,
+            )
         }
     });
 
@@ -123,68 +144,109 @@ fn rate_points(base: &SimConfig, seed: u64, quick: bool) -> Vec<(String, SimConf
         .collect()
 }
 
-fn memory_campus(quick: bool, obs: bool) -> (Vec<Table>, Vec<ObsCell>) {
+fn memory_campus(quick: bool, obs: bool, shards: usize) -> (Vec<Table>, Vec<ObsCell>) {
     let s = Scenario::campus();
     let pts = memory_points(&s.base_cfg, 0xF11, quick);
-    sweep(&s, "fig11", "memory (kB)", &pts, obs)
+    sweep(&s, "fig11", "memory (kB)", &pts, obs, shards)
 }
 
-fn memory_bus(quick: bool, obs: bool) -> (Vec<Table>, Vec<ObsCell>) {
+fn memory_bus(quick: bool, obs: bool, shards: usize) -> (Vec<Table>, Vec<ObsCell>) {
     let s = Scenario::bus();
     let pts = memory_points(&s.base_cfg, 0xF12, quick);
-    sweep(&s, "fig12", "memory (kB)", &pts, obs)
+    sweep(&s, "fig12", "memory (kB)", &pts, obs, shards)
 }
 
-fn rate_campus(quick: bool, obs: bool) -> (Vec<Table>, Vec<ObsCell>) {
+fn rate_campus(quick: bool, obs: bool, shards: usize) -> (Vec<Table>, Vec<ObsCell>) {
     let s = Scenario::campus();
     let pts = rate_points(&s.base_cfg, 0xF13, quick);
-    sweep(&s, "fig13", "packets/landmark/day", &pts, obs)
+    sweep(&s, "fig13", "packets/landmark/day", &pts, obs, shards)
 }
 
-fn rate_bus(quick: bool, obs: bool) -> (Vec<Table>, Vec<ObsCell>) {
+fn rate_bus(quick: bool, obs: bool, shards: usize) -> (Vec<Table>, Vec<ObsCell>) {
     let s = Scenario::bus();
     let pts = rate_points(&s.base_cfg, 0xF14, quick);
-    sweep(&s, "fig14", "packets/landmark/day", &pts, obs)
+    sweep(&s, "fig14", "packets/landmark/day", &pts, obs, shards)
 }
 
 /// Fig. 11: campus, memory 1200..=3000 kB, rate 500.
 pub fn memory_sweep_campus(quick: bool) -> Vec<Table> {
-    memory_campus(quick, false).0
+    memory_campus(quick, false, 1).0
+}
+
+/// Fig. 11 under a shard runtime; byte-identical for every shard count.
+pub fn memory_sweep_campus_sharded(quick: bool, shards: usize) -> Vec<Table> {
+    memory_campus(quick, false, shards).0
 }
 
 /// Fig. 11 with per-cell observability snapshots.
 pub fn memory_sweep_campus_obs(quick: bool) -> (Vec<Table>, Vec<ObsCell>) {
-    memory_campus(quick, true)
+    memory_campus(quick, true, 1)
+}
+
+/// Fig. 11 with snapshots, under a shard runtime. Tables and snapshots
+/// are byte-identical for every shard count (`shard_differential` suite).
+pub fn memory_sweep_campus_obs_sharded(quick: bool, shards: usize) -> (Vec<Table>, Vec<ObsCell>) {
+    memory_campus(quick, true, shards)
 }
 
 /// Fig. 12: bus, memory 1200..=3000 kB, rate 500.
 pub fn memory_sweep_bus(quick: bool) -> Vec<Table> {
-    memory_bus(quick, false).0
+    memory_bus(quick, false, 1).0
+}
+
+/// Fig. 12 under a shard runtime; byte-identical for every shard count.
+pub fn memory_sweep_bus_sharded(quick: bool, shards: usize) -> Vec<Table> {
+    memory_bus(quick, false, shards).0
 }
 
 /// Fig. 12 with per-cell observability snapshots.
 pub fn memory_sweep_bus_obs(quick: bool) -> (Vec<Table>, Vec<ObsCell>) {
-    memory_bus(quick, true)
+    memory_bus(quick, true, 1)
+}
+
+/// Fig. 12 with snapshots, under a shard runtime.
+pub fn memory_sweep_bus_obs_sharded(quick: bool, shards: usize) -> (Vec<Table>, Vec<ObsCell>) {
+    memory_bus(quick, true, shards)
 }
 
 /// Fig. 13: campus, rate 100..=1000, memory 2000 kB.
 pub fn rate_sweep_campus(quick: bool) -> Vec<Table> {
-    rate_campus(quick, false).0
+    rate_campus(quick, false, 1).0
+}
+
+/// Fig. 13 under a shard runtime; byte-identical for every shard count.
+pub fn rate_sweep_campus_sharded(quick: bool, shards: usize) -> Vec<Table> {
+    rate_campus(quick, false, shards).0
 }
 
 /// Fig. 13 with per-cell observability snapshots.
 pub fn rate_sweep_campus_obs(quick: bool) -> (Vec<Table>, Vec<ObsCell>) {
-    rate_campus(quick, true)
+    rate_campus(quick, true, 1)
+}
+
+/// Fig. 13 with snapshots, under a shard runtime.
+pub fn rate_sweep_campus_obs_sharded(quick: bool, shards: usize) -> (Vec<Table>, Vec<ObsCell>) {
+    rate_campus(quick, true, shards)
 }
 
 /// Fig. 14: bus, rate 100..=1000, memory 2000 kB.
 pub fn rate_sweep_bus(quick: bool) -> Vec<Table> {
-    rate_bus(quick, false).0
+    rate_bus(quick, false, 1).0
+}
+
+/// Fig. 14 under a shard runtime; byte-identical for every shard count.
+pub fn rate_sweep_bus_sharded(quick: bool, shards: usize) -> Vec<Table> {
+    rate_bus(quick, false, shards).0
 }
 
 /// Fig. 14 with per-cell observability snapshots.
 pub fn rate_sweep_bus_obs(quick: bool) -> (Vec<Table>, Vec<ObsCell>) {
-    rate_bus(quick, true)
+    rate_bus(quick, true, 1)
+}
+
+/// Fig. 14 with snapshots, under a shard runtime.
+pub fn rate_sweep_bus_obs_sharded(quick: bool, shards: usize) -> (Vec<Table>, Vec<ObsCell>) {
+    rate_bus(quick, true, shards)
 }
 
 #[cfg(test)]

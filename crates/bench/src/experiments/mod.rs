@@ -73,6 +73,19 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
     }
 }
 
+/// Like [`run_experiment`], but the comparison sweeps run under a shard
+/// runtime (DESIGN.md §13). Tables are byte-identical for every `shards`
+/// value; experiments without per-landmark unit work ignore the setting.
+pub fn run_experiment_sharded(id: &str, quick: bool, shards: usize) -> Vec<Table> {
+    match id {
+        "fig11" => comparison::memory_sweep_campus_sharded(quick, shards),
+        "fig12" => comparison::memory_sweep_bus_sharded(quick, shards),
+        "fig13" => comparison::rate_sweep_campus_sharded(quick, shards),
+        "fig14" => comparison::rate_sweep_bus_sharded(quick, shards),
+        other => run_experiment(other, quick),
+    }
+}
+
 /// Like [`run_experiment`], but the simulation-heavy sweeps also attach a
 /// flight recorder per cell and return the observability snapshots.
 /// Experiments without traced variants fall back to [`run_experiment`]
@@ -85,6 +98,22 @@ pub fn run_experiment_with_obs(id: &str, quick: bool) -> (Vec<Table>, Vec<ObsCel
         "fig14" => comparison::rate_sweep_bus_obs(quick),
         "resilience" => resilience::resilience_obs(quick),
         other => (run_experiment(other, quick), Vec::new()),
+    }
+}
+
+/// [`run_experiment_with_obs`] under a shard runtime. Tables *and*
+/// snapshots are byte-identical for every `shards` value.
+pub fn run_experiment_with_obs_sharded(
+    id: &str,
+    quick: bool,
+    shards: usize,
+) -> (Vec<Table>, Vec<ObsCell>) {
+    match id {
+        "fig11" => comparison::memory_sweep_campus_obs_sharded(quick, shards),
+        "fig12" => comparison::memory_sweep_bus_obs_sharded(quick, shards),
+        "fig13" => comparison::rate_sweep_campus_obs_sharded(quick, shards),
+        "fig14" => comparison::rate_sweep_bus_obs_sharded(quick, shards),
+        other => run_experiment_with_obs(other, quick),
     }
 }
 

@@ -8,7 +8,9 @@ use dtnflow_core::time::SimDuration;
 use dtnflow_mobility::Trace;
 use dtnflow_obs::{Recorder, Snapshot, DEFAULT_RING_CAPACITY};
 use dtnflow_router::{FlowConfig, FlowRouter};
-use dtnflow_sim::{run_traced, run_with_faults, run_with_workload, FaultPlan, Router, Workload};
+use dtnflow_sim::{
+    run_traced_sharded, run_with_faults_sharded, run_with_workload, FaultPlan, Router, Workload,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -100,8 +102,22 @@ pub fn run_method_with_faults(
     plan: &FaultPlan,
     method: Method,
 ) -> MethodOutcome {
+    run_method_with_faults_sharded(trace, cfg, workload, plan, method, 1)
+}
+
+/// [`run_method_with_faults`] under a shard runtime (DESIGN.md §13).
+/// The outcome is byte-identical for every `shards` value; only
+/// wall-clock time may differ.
+pub fn run_method_with_faults_sharded(
+    trace: &Trace,
+    cfg: &SimConfig,
+    workload: &Workload,
+    plan: &FaultPlan,
+    method: Method,
+    shards: usize,
+) -> MethodOutcome {
     let mut router = method.build(trace.num_nodes(), trace.num_landmarks());
-    let out = run_with_faults(trace, cfg, workload, plan, router.as_mut());
+    let out = run_with_faults_sharded(trace, cfg, workload, plan, router.as_mut(), shards);
     MethodOutcome {
         method,
         summary: out.metrics.summary(),
@@ -123,14 +139,29 @@ pub fn run_method_observed(
     plan: &FaultPlan,
     method: Method,
 ) -> (MethodOutcome, Snapshot) {
+    run_method_observed_sharded(trace, cfg, workload, plan, method, 1)
+}
+
+/// [`run_method_observed`] under a shard runtime (DESIGN.md §13). Both
+/// the outcome and the observability snapshot are byte-identical for
+/// every `shards` value (enforced by the `shard_differential` suite).
+pub fn run_method_observed_sharded(
+    trace: &Trace,
+    cfg: &SimConfig,
+    workload: &Workload,
+    plan: &FaultPlan,
+    method: Method,
+    shards: usize,
+) -> (MethodOutcome, Snapshot) {
     let mut router = method.build(trace.num_nodes(), trace.num_landmarks());
-    let out = run_traced(
+    let out = run_traced_sharded(
         trace,
         cfg,
         workload,
         plan,
         router.as_mut(),
         Box::new(Recorder::new(DEFAULT_RING_CAPACITY)),
+        shards,
     );
     let outcome = MethodOutcome {
         method,

@@ -40,6 +40,13 @@ pub struct Config {
     /// `C1` (no shared mutable statics, no ad-hoc threading, no
     /// unordered float reduction) applies to their non-test code.
     pub c1_crates: Vec<String>,
+    /// Workspace-relative paths sanctioned to use thread primitives:
+    /// the deterministic shard fan-out itself has to spawn/join
+    /// somewhere. Only the ad-hoc-threading `C1` arms (`thread::*` and
+    /// the channel/pool crates) are exempted there — shared mutable
+    /// statics and unordered float reductions still fire even in a
+    /// sanctioned file.
+    pub c1_thread_allow: Vec<String>,
     /// Enum ↔ tag-table bindings checked by `X1`.
     pub enum_bindings: Vec<EnumTagBinding>,
     /// Struct ↔ string-schema bindings checked by `X1`.
@@ -61,7 +68,7 @@ impl Default for Config {
                 "obs",
                 "snapshot",
             ]),
-            p1_crates: s(&["sim", "dtnflow", "obs", "snapshot"]),
+            p1_crates: s(&["sim", "dtnflow", "obs", "snapshot", "shard"]),
             // Everything that can touch an experiment outcome, plus the
             // root package: the sharded engine (ROADMAP item 1) will
             // fan these crates out across threads, so they must not
@@ -76,8 +83,13 @@ impl Default for Config {
                 "mobility",
                 "obs",
                 "snapshot",
+                "shard",
                 ".",
             ]),
+            // The one sanctioned spawn/join site (DESIGN.md §13); the
+            // `c1allow` fixtures and the mutation suite prove an ad-hoc
+            // `thread::spawn` anywhere else still fires.
+            c1_thread_allow: s(&["crates/shard/src/exec.rs"]),
             enum_bindings: vec![EnumTagBinding {
                 enum_name: "SimEvent".into(),
                 tags_const: "KIND_TAGS".into(),
@@ -127,6 +139,9 @@ pub struct FileContext {
     pub d1_applies: bool,
     pub p1_applies: bool,
     pub c1_applies: bool,
+    /// File is on the `c1_thread_allow` list: the ad-hoc-threading `C1`
+    /// arms are exempt here (the rest of the pack still applies).
+    pub c1_thread_sanctioned: bool,
 }
 
 impl FileContext {
@@ -146,12 +161,15 @@ impl FileContext {
         let d1_applies = cfg.d1_crates.contains(&crate_name);
         let p1_applies = cfg.p1_crates.contains(&crate_name);
         let c1_applies = cfg.c1_crates.contains(&crate_name);
+        let joined = comps.join("/");
+        let c1_thread_sanctioned = cfg.c1_thread_allow.iter().any(|p| p == &joined);
         FileContext {
             crate_name,
             is_test_file,
             d1_applies,
             p1_applies,
             c1_applies,
+            c1_thread_sanctioned,
         }
     }
 }
@@ -180,6 +198,16 @@ mod tests {
         assert_eq!(r.crate_name, ".");
         assert!(r.is_test_file);
         assert!(r.c1_applies, "root package is in C1 scope");
+
+        let x = FileContext::classify(&PathBuf::from("crates/shard/src/exec.rs"), &cfg);
+        assert!(x.c1_applies, "shard crate is in C1 scope");
+        assert!(x.p1_applies, "shard crate is in P1 scope");
+        assert!(x.c1_thread_sanctioned, "exec.rs is the sanctioned site");
+        let y = FileContext::classify(&PathBuf::from("crates/shard/src/plan.rs"), &cfg);
+        assert!(
+            !y.c1_thread_sanctioned,
+            "the allowlist is per-file, not per-crate"
+        );
 
         let e = FileContext::classify(&PathBuf::from("examples/quickstart.rs"), &cfg);
         assert!(e.is_test_file, "examples are demo code, not hot paths");

@@ -182,6 +182,46 @@ fn c1_fixture_flags_each_parallel_hazard() {
 }
 
 #[test]
+fn c1allow_bad_fixture_scopes_the_thread_waiver_tightly() {
+    let got = check("c1allow/bad");
+    let want = vec![
+        // The sanctioned file: its `thread::spawn` is quiet, but shared
+        // mutable state and unordered float reductions still fire.
+        triple("crates/shard/src/exec.rs", 5, "C1"),
+        triple("crates/shard/src/exec.rs", 12, "C1"),
+        // Same crate, different file: the allowlist is per-file.
+        triple("crates/shard/src/plan.rs", 5, "C1"),
+        // An ordinary C1-scope crate: threading fires as always.
+        triple("crates/sim/src/lib.rs", 5, "C1"),
+        triple("crates/sim/src/lib.rs", 6, "C1"),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn c1allow_clean_fixture_sanctions_the_one_spawn_site() {
+    assert_eq!(check("c1allow/clean"), Vec::new());
+}
+
+#[test]
+fn c1allow_empty_allowlist_restores_full_strictness() {
+    // With the allowlist emptied, the clean fixture's sanctioned file
+    // turns red: the exemption is config, not a hardcoded hole.
+    let cfg = Config {
+        c1_thread_allow: Vec::new(),
+        ..Config::default()
+    };
+    let got = check_with("c1allow/clean", &cfg);
+    assert!(
+        got.iter()
+            .filter(|(f, _, r)| f == "crates/shard/src/exec.rs" && r == "C1")
+            .count()
+            >= 2,
+        "spawn + scope must fire without the allowlist: {got:?}"
+    );
+}
+
+#[test]
 fn c1_clean_fixture_allows_shardsafe_counterparts() {
     // Immutable statics, `'static` lifetimes, slice-ordered float sums,
     // integer reductions over map values, and threading in test code.

@@ -1,0 +1,13 @@
+// Fixture: the sanctioned site only waives the ad-hoc-threading arms —
+// shared mutable state and unordered float reductions still fire here.
+// Never compiled.
+
+static mut SHARED: u64 = 0; // line 5: C1 (static mut, never sanctioned)
+
+pub fn fan_out(parts: Vec<u64>) {
+    std::thread::spawn(move || drop(parts)); // sanctioned: no finding
+}
+
+pub fn tally(m: &BTreeMap<u32, f64>) -> f64 {
+    m.values().sum::<f64>() // line 12: C1 (float sum, never sanctioned)
+}

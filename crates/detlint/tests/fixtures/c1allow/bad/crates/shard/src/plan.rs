@@ -1,0 +1,6 @@
+// Fixture: same crate as the sanctioned site, different file — the
+// allowlist is per-file, so threading here still fires. Never compiled.
+
+pub fn sneaky() {
+    std::thread::spawn(|| {}); // line 5: C1 (ad-hoc threading)
+}

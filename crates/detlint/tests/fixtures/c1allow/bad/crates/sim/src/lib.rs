@@ -1,0 +1,8 @@
+// Fixture: ad-hoc threading outside the allowlist entirely. Never
+// compiled.
+
+pub fn fan_out() {
+    std::thread::spawn(|| {}); // line 5: C1 (ad-hoc threading)
+    let (tx, rx) = mpsc::channel(); // line 6: C1 (channel)
+    drop((tx, rx));
+}

@@ -1,0 +1,15 @@
+// Fixture: the sanctioned spawn/join site. Thread primitives are legal
+// exactly here (`c1_thread_allow` names this path). Never compiled.
+
+use std::thread;
+
+pub fn map_parts(parts: Vec<u64>) -> Vec<u64> {
+    thread::scope(|s| {
+        let handles: Vec<_> = parts.into_iter().map(|p| s.spawn(move || p * 2)).collect();
+        handles.into_iter().map(|h| h.join().unwrap_or(0)).collect()
+    })
+}
+
+pub fn one_off() {
+    thread::spawn(|| {});
+}

@@ -1,0 +1,6 @@
+// Fixture: an ordinary C1-scope file with no thread primitives at all —
+// the allowlist must not be needed for shard-safe code. Never compiled.
+
+pub fn tally(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}

@@ -25,7 +25,10 @@ use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
 use dtnflow_core::packet::PacketLoc;
 use dtnflow_core::time::{SimDuration, SimTime};
 use dtnflow_predictor::{AccuracyTracker, MarkovPredictor, VisitHistory};
-use dtnflow_sim::{LossReason, Router, SimEvent, TransferError, World};
+use dtnflow_sim::{
+    EventBuffer, LossReason, Router, ShardBuffers, Sharding, SimEvent, TransferError, World,
+    WorldView,
+};
 use dtnflow_snapshot::{Reader, SnapshotError, Writer};
 use std::collections::BTreeSet;
 
@@ -93,6 +96,25 @@ struct LandmarkState {
 }
 
 impl LandmarkState {
+    /// A throwaway placeholder for `mem::replace` while a landmark's real
+    /// state is away on a shard worker (DESIGN.md §13). Never observed:
+    /// the commit phase puts the real state back before any other code
+    /// touches the slot.
+    fn vacant() -> LandmarkState {
+        LandmarkState {
+            rt: RoutingTable::new(LandmarkId(0), 1),
+            by_next_hop: DenseMap::new(),
+            by_dst: DenseMap::new(),
+            by_dst_node: DenseMap::new(),
+            pending_corrections: Vec::new(),
+            seen_corrections: BTreeSet::new(),
+            lb_incoming: Vec::new(),
+            lb_outgoing: Vec::new(),
+            overloaded: Vec::new(),
+            unit_seq: 0,
+        }
+    }
+
     /// Empty every station bucket, keeping the allocated sets for reuse.
     fn clear_buckets(&mut self) {
         for s in self.by_next_hop.values_mut() {
@@ -125,6 +147,170 @@ impl Default for PktMeta {
             expected: f64::INFINITY,
             retries: 0,
         }
+    }
+}
+
+/// The §IV-D.3 next-hop choice for a `dst`-bound packet sitting at `lm`:
+/// the routing-table entry, diverted to the backup next hop when the
+/// primary is overloaded (§IV-E.3) or a known-down landmark
+/// (degradation). Returns `(next, expected delay, lb-diverted,
+/// down-fallback)`.
+///
+/// A free function over explicit borrows (rather than a `&self` method)
+/// so shard workers can call it on a taken-out [`LandmarkState`] while
+/// the router itself stays on the engine thread.
+fn choose_next_in(
+    st: &LandmarkState,
+    cfg: &FlowConfig,
+    known_down: &[bool],
+    lm: LandmarkId,
+    dst: LandmarkId,
+) -> (Option<LandmarkId>, f64, bool, bool) {
+    let entry = st.rt.entry(dst);
+    let mut next = entry.next;
+    let mut expected = entry.delay;
+    let mut lb_diverted = false;
+    let mut fellback = false;
+    if let Some(lb) = &cfg.load_balance {
+        if let (Some(nh), Some(bk)) = (next, entry.backup) {
+            if st.overloaded[nh.index()]
+                && !st.overloaded[bk.index()]
+                && entry.backup_delay <= lb.max_detour * entry.delay
+            {
+                next = Some(bk);
+                expected = entry.backup_delay;
+                lb_diverted = true;
+            }
+        }
+    }
+    if cfg.degradation.is_some() {
+        if let Some(nh) = next {
+            if known_down[nh.index()] {
+                if let Some(bk) = entry.backup {
+                    if bk != nh && !known_down[bk.index()] && entry.backup_delay.is_finite() {
+                        next = Some(bk);
+                        expected = entry.backup_delay;
+                        fellback = true;
+                    }
+                }
+            }
+        }
+    }
+    if dst == lm {
+        // A node-addressed packet already at its via landmark: it just
+        // waits for the destination node.
+        next = None;
+        expected = 0.0;
+    }
+    (next, expected, lb_diverted, fellback)
+}
+
+/// What one shard worker computed for one landmark at a unit boundary
+/// (DESIGN.md §13): the updated state to put back, buffered trace events,
+/// the packet-metadata stamps, and the fallback-reroute count — all
+/// committed serially in ascending landmark order.
+struct LandmarkUnitResult {
+    l: usize,
+    st: LandmarkState,
+    events: EventBuffer,
+    metas: Vec<(PacketId, PktMeta)>,
+    fallbacks: u64,
+}
+
+/// The per-landmark §IV-C.1 unit-boundary work, as run by a shard worker
+/// on a taken-out [`LandmarkState`]: trace snapshot of the freshly-folded
+/// Eq. 4 estimates, staleness decay, correction/load-balance bookkeeping,
+/// routing-table recompute, and the station re-bucketing — byte-for-byte
+/// the same computation as the sequential loop body in `on_time_unit`,
+/// against the same pre-unit inputs:
+///
+/// * `bw` is read-only after the serial `end_of_unit_all` fold;
+/// * `meta` is the pre-unit stamp table — safe, because a packet sits at
+///   exactly one station, so no other landmark's rebucket touches its
+///   stamp this unit and the pre-unit `retries` is what the sequential
+///   interleaving reads too;
+/// * trace events go into the returned buffer, flushed in ascending
+///   landmark order by the commit phase — the sequential emission order.
+#[allow(clippy::too_many_arguments)] // a worker gets exactly the shared read-only slices
+fn landmark_unit_work(
+    l: usize,
+    mut st: LandmarkState,
+    unit: u64,
+    trace_on: bool,
+    view: &WorldView<'_>,
+    bw: &BandwidthMatrix,
+    cfg: &FlowConfig,
+    known_down: &[bool],
+    meta: &[PktMeta],
+) -> LandmarkUnitResult {
+    let lm = LandmarkId::from(l);
+    let mut events = EventBuffer::new();
+    if trace_on {
+        for j in (0..st.overloaded.len()).map(LandmarkId::from) {
+            let value = bw.incoming(lm, j);
+            if value > 0.0 {
+                let at = view.now();
+                events.record(SimEvent::BandwidthUpdated {
+                    at,
+                    from: j,
+                    to: lm,
+                    value,
+                });
+            }
+        }
+    }
+    if let Some(deg) = &cfg.degradation {
+        st.rt
+            .decay_stale(unit, deg.staleness_max_age, deg.staleness_factor);
+    }
+    st.unit_seq = unit;
+    st.seen_corrections.clear();
+    st.pending_corrections
+        .retain(|(born, _)| unit.saturating_sub(*born) <= 1);
+    if let Some(lb) = &cfg.load_balance {
+        for h in 0..st.overloaded.len() {
+            st.overloaded[h] = st.lb_incoming[h] >= lb.min_incoming
+                && st.lb_incoming[h] as f64 > lb.theta * st.lb_outgoing[h] as f64;
+        }
+    }
+    st.lb_incoming.iter_mut().for_each(|c| *c = 0);
+    st.lb_outgoing.iter_mut().for_each(|c| *c = 0);
+    st.rt
+        .recompute(&|to| bw.link_delay(lm, to, cfg, view.config()));
+    // Rebucket against the (frozen) station contents: same packets, same
+    // ascending-id order as `FlowRouter::rebucket`.
+    st.clear_buckets();
+    let mut metas = Vec::new();
+    let mut fallbacks = 0u64;
+    for pkt in view.station_packets(lm) {
+        let p = view.packet(pkt);
+        let (next, expected, _, fellback) = choose_next_in(&st, cfg, known_down, lm, p.dst);
+        if fellback {
+            fallbacks += 1;
+        }
+        let retries = meta.get(pkt.index()).map_or(0, |m| m.retries);
+        metas.push((
+            pkt,
+            PktMeta {
+                next_hop: next,
+                expected,
+                retries,
+            },
+        ));
+        st.by_dst.get_or_default(p.dst).insert(pkt);
+        if let Some(nh) = next {
+            st.by_next_hop.get_or_default(nh).insert(pkt);
+        }
+        if let Some(n) = p.dst_node {
+            st.by_dst_node.get_or_default(n).insert(pkt);
+        }
+    }
+    LandmarkUnitResult {
+        l,
+        st,
+        events,
+        metas,
+        fallbacks,
     }
 }
 
@@ -332,47 +518,13 @@ impl FlowRouter {
         lm: LandmarkId,
         dst: LandmarkId,
     ) -> (Option<LandmarkId>, f64, bool, bool) {
-        let st = &self.landmarks[lm.index()];
-        let entry = st.rt.entry(dst);
-        let mut next = entry.next;
-        let mut expected = entry.delay;
-        let mut lb_diverted = false;
-        let mut fellback = false;
-        if let Some(lb) = &self.cfg.load_balance {
-            if let (Some(nh), Some(bk)) = (next, entry.backup) {
-                if st.overloaded[nh.index()]
-                    && !st.overloaded[bk.index()]
-                    && entry.backup_delay <= lb.max_detour * entry.delay
-                {
-                    next = Some(bk);
-                    expected = entry.backup_delay;
-                    lb_diverted = true;
-                }
-            }
-        }
-        if self.cfg.degradation.is_some() {
-            if let Some(nh) = next {
-                if self.known_down[nh.index()] {
-                    if let Some(bk) = entry.backup {
-                        if bk != nh
-                            && !self.known_down[bk.index()]
-                            && entry.backup_delay.is_finite()
-                        {
-                            next = Some(bk);
-                            expected = entry.backup_delay;
-                            fellback = true;
-                        }
-                    }
-                }
-            }
-        }
-        if dst == lm {
-            // A node-addressed packet already at its via landmark: it just
-            // waits for the destination node.
-            next = None;
-            expected = 0.0;
-        }
-        (next, expected, lb_diverted, fellback)
+        choose_next_in(
+            &self.landmarks[lm.index()],
+            &self.cfg,
+            &self.known_down,
+            lm,
+            dst,
+        )
     }
 
     /// A packet landed at (or was generated at) station `lm`: choose its
@@ -753,6 +905,71 @@ impl FlowRouter {
             }
         }
         self.scratch_pkts = packets;
+    }
+
+    /// The serial start of every unit boundary: scheduled loop injections
+    /// and the flat Eq. 4 bandwidth fold. Shared verbatim by the
+    /// sequential and sharded `on_time_unit` paths.
+    fn unit_prelude(&mut self, unit: u64) {
+        self.current_unit = unit;
+
+        // Scheduled loop injections (Table VII experiment). An index walk
+        // instead of a filter/collect: only the (rare) due injections are
+        // cloned, and the common tick clones nothing.
+        for i in 0..self.injections.len() {
+            if self.injections[i].at_unit != unit {
+                continue;
+            }
+            let inj = self.injections[i].clone();
+            let k = inj.members.len();
+            for (idx, &m) in inj.members.iter().enumerate() {
+                let next = inj.members[(idx + 1) % k];
+                self.landmarks[m.index()]
+                    .rt
+                    .set_claim(next, inj.dest, 1.0, unit);
+            }
+        }
+
+        // One flat Eq. 4 fold over every landmark's incoming links (the
+        // per-landmark folds are independent, so folding them all before
+        // the per-landmark bookkeeping computes identical values).
+        self.bw.end_of_unit_all();
+    }
+
+    /// Refresh §IV-E.4 registrations, reusing each node's buffer.
+    fn refresh_registrations(&mut self) {
+        let top = self.cfg.frequent_landmarks;
+        for n in 0..self.nodes.len() {
+            self.nodes[n]
+                .history
+                .frequent_landmarks_into(top, &mut self.registrations[n]);
+        }
+    }
+
+    /// [`FlowRouter::refresh_registrations`] fanned out over contiguous
+    /// node chunks. Each chunk pairs a read-only slice of node state with
+    /// the matching mutable slice of registration buffers — per-node
+    /// outputs are independent, so chunk order is immaterial and the
+    /// result is identical to the sequential walk.
+    fn refresh_registrations_sharded(&mut self, exec: &dtnflow_sim::ShardExec) {
+        /// Below this node count the spawn overhead dwarfs the refresh.
+        const PAR_MIN: usize = 256;
+        if !exec.parallel() || self.nodes.len() < PAR_MIN {
+            self.refresh_registrations();
+            return;
+        }
+        let top = self.cfg.frequent_landmarks;
+        let chunk = self.nodes.len().div_ceil(exec.threads()).max(1);
+        let parts: Vec<(&[NodeState], &mut [Vec<LandmarkId>])> = self
+            .nodes
+            .chunks(chunk)
+            .zip(self.registrations.chunks_mut(chunk))
+            .collect();
+        exec.map_parts(parts, |_, (nodes, regs)| {
+            for (ns, reg) in nodes.iter().zip(regs.iter_mut()) {
+                ns.history.frequent_landmarks_into(top, reg);
+            }
+        });
     }
 
     fn timer_token(node: NodeId, episode: u64) -> u64 {
@@ -1458,29 +1675,7 @@ impl Router for FlowRouter {
     }
 
     fn on_time_unit(&mut self, world: &mut World, unit: u64) {
-        self.current_unit = unit;
-
-        // Scheduled loop injections (Table VII experiment). An index walk
-        // instead of a filter/collect: only the (rare) due injections are
-        // cloned, and the common tick clones nothing.
-        for i in 0..self.injections.len() {
-            if self.injections[i].at_unit != unit {
-                continue;
-            }
-            let inj = self.injections[i].clone();
-            let k = inj.members.len();
-            for (idx, &m) in inj.members.iter().enumerate() {
-                let next = inj.members[(idx + 1) % k];
-                self.landmarks[m.index()]
-                    .rt
-                    .set_claim(next, inj.dest, 1.0, unit);
-            }
-        }
-
-        // One flat Eq. 4 fold over every landmark's incoming links (the
-        // per-landmark folds are independent, so folding them all before
-        // the per-landmark bookkeeping below computes identical values).
-        self.bw.end_of_unit_all();
+        self.unit_prelude(unit);
 
         for l in 0..self.landmarks.len() {
             let lm = LandmarkId::from(l);
@@ -1527,13 +1722,78 @@ impl Router for FlowRouter {
             self.rebucket(world, lm);
         }
 
-        // Refresh §IV-E.4 registrations, reusing each node's buffer.
-        let top = self.cfg.frequent_landmarks;
-        for n in 0..self.nodes.len() {
-            self.nodes[n]
-                .history
-                .frequent_landmarks_into(top, &mut self.registrations[n]);
+        self.refresh_registrations();
+    }
+
+    /// [`FlowRouter::on_time_unit`]'s per-landmark loop fanned out over a
+    /// shard runtime (DESIGN.md §13): compute-parallel, commit-ordered.
+    ///
+    /// The serial prelude (loop injections, the Eq. 4 fold) and every
+    /// commit (state put-back, metadata stamps, stats, trace flush) run on
+    /// the engine thread in ascending landmark order; only the
+    /// independent per-landmark work ([`landmark_unit_work`]) crosses
+    /// threads, one shard group per worker. Byte-identical to the
+    /// sequential path for any plan — pinned by the differential battery
+    /// in `crates/bench`.
+    fn on_time_unit_sharded(&mut self, world: &mut World, unit: u64, shards: &Sharding<'_>) {
+        if !shards.is_parallel() {
+            self.on_time_unit(world, unit);
+            return;
         }
+        self.unit_prelude(unit);
+
+        let num_landmarks = self.landmarks.len();
+        // Take each shard's landmark states out of the router (groups are
+        // ascending within a shard, so workers walk them in the sequential
+        // loop's relative order).
+        let parts: Vec<Vec<(usize, LandmarkState)>> = shards
+            .plan
+            .groups()
+            .iter()
+            .map(|group| {
+                group
+                    .iter()
+                    .map(|&l| {
+                        (
+                            l,
+                            std::mem::replace(&mut self.landmarks[l], LandmarkState::vacant()),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let trace_on = world.trace_enabled();
+        let view = world.view();
+        let bw = &self.bw;
+        let cfg = &self.cfg;
+        let known_down = &self.known_down;
+        let meta = &self.meta;
+        let results = shards.exec.map_parts(parts, |_, group| {
+            group
+                .into_iter()
+                .map(|(l, st)| {
+                    landmark_unit_work(l, st, unit, trace_on, &view, bw, cfg, known_down, meta)
+                })
+                .collect::<Vec<LandmarkUnitResult>>()
+        });
+
+        // Commit in ascending landmark order regardless of which shard
+        // computed what (round-robin and adversarial plans interleave).
+        let mut all: Vec<LandmarkUnitResult> = results.into_iter().flatten().collect();
+        all.sort_unstable_by_key(|r| r.l);
+        let mut bufs = ShardBuffers::new(num_landmarks);
+        for r in all {
+            self.landmarks[r.l] = r.st;
+            for (pkt, m) in r.metas {
+                self.set_meta(pkt, m);
+            }
+            self.stats.fallback_reroutes += r.fallbacks;
+            bufs.set(r.l, r.events);
+        }
+        world.flush_shard_buffers(&mut bufs);
+
+        self.refresh_registrations_sharded(shards.exec);
     }
 
     fn on_observe(&mut self, world: &mut World, idx: usize) {
@@ -1826,6 +2086,92 @@ mod tests {
         let (next, _, _, fellback) = router.choose_next(LandmarkId(0), LandmarkId(3));
         assert_eq!(next, Some(LandmarkId(1)));
         assert!(!fellback);
+    }
+
+    #[test]
+    fn sharded_unit_boundaries_match_sequential_exactly() {
+        // The compute-parallel unit boundary must reproduce the sequential
+        // run bit-for-bit: metrics, packet states, extension counters,
+        // routing tables AND the full trace-event stream — under balanced,
+        // striped and adversarial partitions, with the extension features
+        // (load balance, degradation) switched on.
+        use dtnflow_core::ids::PacketId;
+        use dtnflow_sim::{
+            run_traced, FaultPlan, Recorder, ShardExec, ShardPlan, SimSession, Workload,
+        };
+        let trace = corridor_trace(16);
+        let cfg = corridor_cfg();
+        let workload = Workload::uniform(&cfg, trace.num_landmarks(), trace.duration());
+        for flow in [FlowConfig::default(), FlowConfig::with_degradation()] {
+            let mut base_router = FlowRouter::new(flow.clone(), 2, 3);
+            let base = run_traced(
+                &trace,
+                &cfg,
+                &workload,
+                &FaultPlan::none(),
+                &mut base_router,
+                Box::new(Recorder::new(1 << 14)),
+            );
+            let base_rec = Recorder::downcast(base.trace.unwrap()).unwrap();
+            let base_events: Vec<_> = base_rec.events().cloned().collect();
+            let plans = [
+                ShardPlan::contiguous(3, 2),
+                ShardPlan::round_robin(3, 3),
+                // Adversarial: everything on one shard of eight.
+                ShardPlan::from_assignment(vec![7, 7, 7], 8).unwrap(),
+            ];
+            for plan in plans {
+                let threads = plan.num_shards();
+                let mut router = FlowRouter::new(flow.clone(), 2, 3);
+                let mut session = SimSession::start_sharded(
+                    &trace,
+                    &cfg,
+                    &workload,
+                    &FaultPlan::none(),
+                    &mut router,
+                    Some(Box::new(Recorder::new(1 << 14))),
+                    plan.clone(),
+                    ShardExec::new(threads),
+                );
+                session.run_to_end();
+                let out = session.finish();
+                assert_eq!(
+                    format!("{:?}", out.metrics),
+                    format!("{:?}", base.metrics),
+                    "metrics diverged under {plan:?}"
+                );
+                assert_eq!(
+                    format!("{:?}", out.packets),
+                    format!("{:?}", base.packets),
+                    "packets diverged under {plan:?}"
+                );
+                assert_eq!(
+                    router.stats(),
+                    base_router.stats(),
+                    "stats diverged under {plan:?}"
+                );
+                for l in 0..3 {
+                    let lm = LandmarkId::from(l);
+                    assert_eq!(
+                        format!("{:?}", router.routing_rows(lm)),
+                        format!("{:?}", base_router.routing_rows(lm)),
+                        "routing table {l} diverged under {plan:?}"
+                    );
+                }
+                let rec = Recorder::downcast(out.trace.unwrap()).unwrap();
+                let events: Vec<_> = rec.events().cloned().collect();
+                assert_eq!(events, base_events, "trace diverged under {plan:?}");
+                // Packet metadata stamps must agree too.
+                for i in 0..base.packets.len() {
+                    let pkt = PacketId::from(i);
+                    assert_eq!(
+                        router.stamped_next_hop(pkt),
+                        base_router.stamped_next_hop(pkt),
+                        "meta diverged for packet {i} under {plan:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! The sanctioned fan-out: scoped threads, part-ordered results.
+//!
+//! This file is the **only** place in the workspace allowed to touch
+//! thread primitives (detlint C1 carries a scoped allowlist naming
+//! exactly this path; an ad-hoc `thread::spawn` anywhere else still
+//! fires). Determinism holds because nothing here depends on scheduling:
+//! each part computes an independent result, and results are joined and
+//! consumed in part order — completion order never escapes.
+
+use std::thread;
+
+/// A deterministic fork/join executor.
+///
+/// `map_parts` is the whole API: run one closure per part, return the
+/// results indexed by part. With `threads <= 1` (or fewer than two
+/// parts) everything runs inline on the caller's thread; otherwise one
+/// scoped thread per part. Both paths produce the identical result
+/// vector — the thread count is a throughput knob, never a semantic one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardExec {
+    threads: usize,
+}
+
+impl ShardExec {
+    /// An executor that fans out when `threads > 1` (clamped to ≥ 1).
+    pub fn new(threads: usize) -> ShardExec {
+        ShardExec {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The inline executor: every part runs on the caller's thread.
+    pub fn sequential() -> ShardExec {
+        ShardExec { threads: 1 }
+    }
+
+    /// An executor sized to the host (`available_parallelism`, falling
+    /// back to 1 when the host will not say). Outcome-neutral by
+    /// construction; used by the bench bins to label scaling curves.
+    pub fn host() -> ShardExec {
+        let threads = thread::available_parallelism().map_or(1, |n| n.get());
+        ShardExec::new(threads)
+    }
+
+    /// Configured thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when [`ShardExec::map_parts`] actually spawns.
+    pub fn parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// Run `f(part_index, part)` for every part and return the results
+    /// in part order.
+    ///
+    /// Parallel mode spawns one scoped thread per part and joins them in
+    /// part order; a panicking part is re-raised on the caller's thread
+    /// after all parts have been joined by the scope. Sequential mode is
+    /// a plain loop. The two are observationally identical.
+    pub fn map_parts<P, R, F>(&self, parts: Vec<P>, f: F) -> Vec<R>
+    where
+        P: Send,
+        R: Send,
+        F: Fn(usize, P) -> R + Sync,
+    {
+        if !self.parallel() || parts.len() <= 1 {
+            return parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| f(i, p))
+                .collect();
+        }
+        let f = &f;
+        thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| s.spawn(move || f(i, p)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_part_order() {
+        for threads in [1, 2, 8] {
+            let exec = ShardExec::new(threads);
+            let parts: Vec<u64> = (0..16).collect();
+            let got = exec.map_parts(parts, |i, p| {
+                // Stagger finish times so completion order differs from
+                // part order under real threads.
+                std::thread::sleep(std::time::Duration::from_micros((16 - i as u64) * 50));
+                p * 10 + i as u64
+            });
+            let want: Vec<u64> = (0..16).map(|i| i * 10 + i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let parts: Vec<usize> = (0..9).collect();
+        let seq = ShardExec::sequential().map_parts(parts.clone(), |i, p| (i, p * p));
+        let par = ShardExec::new(4).map_parts(parts, |i, p| (i, p * p));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_inline() {
+        let exec = ShardExec::new(0);
+        assert_eq!(exec.threads(), 1);
+        assert!(!exec.parallel());
+        assert_eq!(exec.map_parts(vec![5], |i, p: u32| p + i as u32), vec![5]);
+    }
+
+    #[test]
+    fn empty_and_singleton_part_lists() {
+        let exec = ShardExec::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(exec.map_parts(empty, |_, p: u32| p).is_empty());
+        assert_eq!(exec.map_parts(vec![3u32], |_, p| p * 2), vec![6]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let exec = ShardExec::new(4);
+        let res = std::panic::catch_unwind(|| {
+            exec.map_parts(vec![0u32, 1, 2, 3], |_, p| {
+                if p == 2 {
+                    panic!("boom {p}");
+                }
+                p
+            })
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn host_reports_at_least_one_thread() {
+        assert!(ShardExec::host().threads() >= 1);
+    }
+}

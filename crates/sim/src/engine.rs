@@ -13,6 +13,7 @@ use dtnflow_core::packet::Packet;
 use dtnflow_core::time::{SimDuration, SimTime};
 use dtnflow_mobility::Trace;
 use dtnflow_obs::{Recorder, SimEvent, TraceSink};
+use dtnflow_shard::{ShardExec, ShardPlan, Sharding};
 use dtnflow_snapshot::{Reader, SnapshotError, Writer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -68,6 +69,100 @@ struct Event {
     seq: u64,
 }
 
+/// Which per-shard queue an event belongs to (DESIGN.md §13): landmark-
+/// anchored events go to their landmark's shard queue (offset by one),
+/// everything else — unit boundaries, node fault flips, timers,
+/// observations — to the control queue at index 0.
+fn queue_of(kind: EventKind, plan: &ShardPlan) -> usize {
+    match kind {
+        EventKind::StationDown(l)
+        | EventKind::StationUp(l)
+        | EventKind::Depart(_, l, _)
+        | EventKind::Arrive(_, l, _) => 1 + plan.shard_of(l.index()),
+        EventKind::Generate(src, _) => 1 + plan.shard_of(src.index()),
+        EventKind::TimeUnit(_)
+        | EventKind::NodeFail(_)
+        | EventKind::NodeRecover(_)
+        | EventKind::Timer(_)
+        | EventKind::Observe(_) => 0,
+    }
+}
+
+/// The static schedule partitioned by shard ownership: one control queue
+/// plus one queue per shard, each holding its events in ascending
+/// `(at, kind, seq)` order with a consume cursor.
+///
+/// Dispatch is a k-way merge over the queue heads. Every event carries a
+/// unique total-order key (the build sequence number breaks all ties),
+/// so the merge reproduces the globally sorted order *exactly* — the
+/// partition changes where events live, never when they dispatch. That
+/// makes the consumed-event count (`dispatched`) shard-count-agnostic,
+/// which is what the checkpoint cursor encodes: a snapshot taken under
+/// one plan restores under any other.
+#[derive(Debug)]
+struct ShardQueues {
+    /// `queues[0]` is the control queue; `queues[1 + s]` is shard `s`'s.
+    queues: Vec<(Vec<Event>, usize)>,
+    /// Static events consumed so far, in merge (== global sorted) order.
+    dispatched: usize,
+}
+
+impl ShardQueues {
+    /// Partition a globally sorted event list by shard ownership, then
+    /// mark the first `consumed` events (in global order) as already
+    /// dispatched — the resume path. A stable walk of a sorted list
+    /// keeps every queue sorted.
+    fn build(events: Vec<Event>, plan: &ShardPlan, consumed: usize) -> ShardQueues {
+        let mut queues: Vec<(Vec<Event>, usize)> = (0..1 + plan.num_shards())
+            .map(|_| (Vec::new(), 0))
+            .collect();
+        for (i, ev) in events.into_iter().enumerate() {
+            let q = &mut queues[queue_of(ev.kind, plan)];
+            q.0.push(ev);
+            if i < consumed {
+                q.1 += 1;
+            }
+        }
+        ShardQueues {
+            queues,
+            dispatched: consumed,
+        }
+    }
+
+    /// The next event in merge order, without consuming it.
+    fn peek(&self) -> Option<Event> {
+        self.queues
+            .iter()
+            .filter_map(|(evs, cur)| evs.get(*cur).copied())
+            .min()
+    }
+
+    /// Consume and return the next event in merge order.
+    fn pop(&mut self) -> Option<Event> {
+        let mut best: Option<(usize, Event)> = None;
+        for (i, (evs, cur)) in self.queues.iter().enumerate() {
+            if let Some(&e) = evs.get(*cur) {
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => e < b,
+                };
+                if better {
+                    best = Some((i, e));
+                }
+            }
+        }
+        let (i, e) = best?;
+        self.queues[i].1 += 1;
+        self.dispatched += 1;
+        Some(e)
+    }
+
+    /// Static events consumed so far (the checkpoint cursor).
+    fn dispatched(&self) -> usize {
+        self.dispatched
+    }
+}
+
 /// Run a router over a trace with the standard uniform workload.
 pub fn run<R: Router + ?Sized>(trace: &Trace, cfg: &SimConfig, router: &mut R) -> SimOutcome {
     let workload = Workload::uniform(cfg, trace.num_landmarks(), trace.duration());
@@ -94,7 +189,7 @@ pub fn run_with_faults<R: Router + ?Sized>(
     plan: &FaultPlan,
     router: &mut R,
 ) -> SimOutcome {
-    run_inner(trace, cfg, workload, plan, router, None)
+    run_with_faults_sharded(trace, cfg, workload, plan, router, 1)
 }
 
 /// Like [`run_with_faults`], but with an observability sink attached: the
@@ -110,9 +205,51 @@ pub fn run_traced<R: Router + ?Sized>(
     router: &mut R,
     sink: Box<dyn TraceSink>,
 ) -> SimOutcome {
-    run_inner(trace, cfg, workload, plan, router, Some(sink))
+    run_traced_sharded(trace, cfg, workload, plan, router, sink, 1)
 }
 
+/// [`run_with_faults`] under a shard runtime: `shards` balanced
+/// contiguous shards, one worker thread per shard. Byte-identical to the
+/// sequential run for any shard count (DESIGN.md §13; the differential
+/// battery in `crates/bench` enforces it).
+pub fn run_with_faults_sharded<R: Router + ?Sized>(
+    trace: &Trace,
+    cfg: &SimConfig,
+    workload: &Workload,
+    plan: &FaultPlan,
+    router: &mut R,
+    shards: usize,
+) -> SimOutcome {
+    let shard_plan = ShardPlan::contiguous(trace.num_landmarks(), shards);
+    let exec = ShardExec::new(shards);
+    run_inner(trace, cfg, workload, plan, router, None, shard_plan, exec)
+}
+
+/// [`run_traced`] under a shard runtime (see [`run_with_faults_sharded`]).
+pub fn run_traced_sharded<R: Router + ?Sized>(
+    trace: &Trace,
+    cfg: &SimConfig,
+    workload: &Workload,
+    plan: &FaultPlan,
+    router: &mut R,
+    sink: Box<dyn TraceSink>,
+    shards: usize,
+) -> SimOutcome {
+    let shard_plan = ShardPlan::contiguous(trace.num_landmarks(), shards);
+    let exec = ShardExec::new(shards);
+    run_inner(
+        trace,
+        cfg,
+        workload,
+        plan,
+        router,
+        Some(sink),
+        shard_plan,
+        exec,
+    )
+}
+
+#[allow(clippy::too_many_arguments)] // the run inputs plus the shard runtime
 fn run_inner<R: Router + ?Sized>(
     trace: &Trace,
     cfg: &SimConfig,
@@ -120,8 +257,11 @@ fn run_inner<R: Router + ?Sized>(
     plan: &FaultPlan,
     router: &mut R,
     sink: Option<Box<dyn TraceSink>>,
+    shard_plan: ShardPlan,
+    exec: ShardExec,
 ) -> SimOutcome {
-    let mut session = SimSession::start(trace, cfg, workload, plan, router, sink);
+    let mut session =
+        SimSession::start_sharded(trace, cfg, workload, plan, router, sink, shard_plan, exec);
     session.run_to_end();
     session.finish()
 }
@@ -237,9 +377,11 @@ fn build_record_lost(trace: &Trace, plan: &FaultPlan) -> Vec<bool> {
 /// detectable by the fingerprint check at the container level.
 pub struct SimSession<'a, R: Router + ?Sized> {
     world: World,
-    // detlint: allow(S1, reason = "pure function of (trace, cfg, workload, plan); rebuilt by resume(), only the cursor is checkpointed")
-    events: Vec<Event>,
-    next_static: usize,
+    queues: ShardQueues,
+    // detlint: allow(S1, reason = "run input, not state: the shard plan never affects outcomes, and resume() may use a different one")
+    plan: ShardPlan,
+    // detlint: allow(S1, reason = "run input, not state: a throughput knob, never a semantic one")
+    exec: ShardExec,
     timers: BinaryHeap<Reverse<Event>>,
     timer_seq: u64,
     // detlint: allow(S1, reason = "derived from the run's fault plan; resume() recomputes it from the same inputs")
@@ -265,16 +407,50 @@ impl<'a, R: Router + ?Sized> SimSession<'a, R> {
         router: &'a mut R,
         sink: Option<Box<dyn TraceSink>>,
     ) -> SimSession<'a, R> {
+        let shard_plan = ShardPlan::single(trace.num_landmarks());
+        Self::start_sharded(
+            trace,
+            cfg,
+            workload,
+            plan,
+            router,
+            sink,
+            shard_plan,
+            ShardExec::sequential(),
+        )
+    }
+
+    /// [`SimSession::start`] under a shard runtime. The plan and executor
+    /// steer *where* work happens, never what it computes — outcomes are
+    /// byte-identical to [`SimSession::start`] for any plan.
+    #[allow(clippy::too_many_arguments)] // mirrors `start` plus the shard runtime
+    pub fn start_sharded(
+        trace: &Trace,
+        cfg: &SimConfig,
+        workload: &Workload,
+        plan: &FaultPlan,
+        router: &'a mut R,
+        sink: Option<Box<dyn TraceSink>>,
+        shard_plan: ShardPlan,
+        exec: ShardExec,
+    ) -> SimSession<'a, R> {
         plan.check_against(trace);
+        debug_assert_eq!(
+            shard_plan.num_landmarks(),
+            trace.num_landmarks(),
+            "shard plan must partition exactly the trace's landmarks"
+        );
         let mut world = World::new(cfg.clone(), trace.num_nodes(), trace.num_landmarks());
         if let Some(sink) = sink {
             world.set_trace_sink(sink);
         }
         let station_mode = router.uses_stations();
+        let events = build_static_events(trace, cfg, workload, plan);
         SimSession {
             world,
-            events: build_static_events(trace, cfg, workload, plan),
-            next_static: 0,
+            queues: ShardQueues::build(events, &shard_plan, 0),
+            plan: shard_plan,
+            exec,
             timers: BinaryHeap::new(),
             timer_seq: u64::MAX / 2,
             record_lost: build_record_lost(trace, plan),
@@ -323,7 +499,7 @@ impl<'a, R: Router + ?Sized> SimSession<'a, R> {
     /// run that never paused.
     pub fn run_to_unit(&mut self, target: u64) -> bool {
         loop {
-            let static_ev = self.events.get(self.next_static).copied();
+            let static_ev = self.queues.peek();
             let timer_ev = self.timers.peek().map(|&Reverse(e)| e);
             let ev = match (static_ev, timer_ev) {
                 (Some(s), Some(t)) if t < s => {
@@ -334,7 +510,8 @@ impl<'a, R: Router + ?Sized> SimSession<'a, R> {
                     if matches!(s.kind, EventKind::TimeUnit(u) if u >= target) {
                         return true;
                     }
-                    self.next_static += 1;
+                    // `s` is the merge-order minimum, so this pops it.
+                    self.queues.pop();
                     s
                 }
                 (None, Some(t)) => {
@@ -362,7 +539,7 @@ impl<'a, R: Router + ?Sized> SimSession<'a, R> {
         // never move the clock backwards.
         let end = (SimTime::ZERO + self.duration).max(self.world.now());
         self.world.set_now(end);
-        self.world.purge_expired();
+        self.world.purge_expired_sharded(&self.exec);
         let trace_sink = self.world.take_trace_sink();
         let (metrics, packets) = self.world.into_outcome();
         SimOutcome {
@@ -378,9 +555,10 @@ impl<'a, R: Router + ?Sized> SimSession<'a, R> {
         match ev.kind {
             EventKind::TimeUnit(u) => {
                 world.emit(|at| SimEvent::UnitBoundary { at, unit: u });
-                world.purge_expired();
+                world.purge_expired_sharded(&self.exec);
                 world.reset_radio_budget();
-                self.router.on_time_unit(world, u);
+                let sharding = Sharding::new(&self.plan, &self.exec);
+                self.router.on_time_unit_sharded(world, u, &sharding);
             }
             EventKind::StationDown(l) => {
                 world.station_down(l);
@@ -463,11 +641,13 @@ impl<'a, R: Router + ?Sized> SimSession<'a, R> {
 
     // ---- checkpoint / restore (DESIGN.md §11) ----------------------------
 
-    /// Encode the engine cursor: static-event index, timer sequence
-    /// counter, and the pending timer heap (sorted ascending, so the
-    /// encoding is canonical regardless of heap internals).
+    /// Encode the engine cursor: consumed static-event count (in merge
+    /// order, which equals global sorted order — so the value is
+    /// shard-count-agnostic), timer sequence counter, and the pending
+    /// timer heap (sorted ascending, so the encoding is canonical
+    /// regardless of heap internals).
     pub fn encode_engine(&self, w: &mut Writer) {
-        w.put_usize(self.next_static);
+        w.put_usize(self.queues.dispatched());
         w.put_u64(self.timer_seq);
         let mut pending: Vec<Event> = self.timers.iter().map(|&Reverse(e)| e).collect();
         pending.sort_unstable();
@@ -526,8 +706,46 @@ impl<'a, R: Router + ?Sized> SimSession<'a, R> {
         engine: &mut Reader<'_>,
         world: &mut Reader<'_>,
     ) -> Result<SimSession<'a, R>, SnapshotError> {
+        let shard_plan = ShardPlan::single(trace.num_landmarks());
+        Self::resume_sharded(
+            trace,
+            cfg,
+            workload,
+            plan,
+            router,
+            sink,
+            engine,
+            world,
+            shard_plan,
+            ShardExec::sequential(),
+        )
+    }
+
+    /// [`SimSession::resume`] under a shard runtime. Snapshots are
+    /// shard-count-agnostic: the checkpoint cursor counts events in merge
+    /// order (== global sorted order), so a run checkpointed under one
+    /// plan restores under any other — the chaos interop tests cross
+    /// 1-shard checkpoints with 8-shard restores and vice versa.
+    #[allow(clippy::too_many_arguments)] // mirrors `start_sharded` plus the two state readers
+    pub fn resume_sharded(
+        trace: &Trace,
+        cfg: &SimConfig,
+        workload: &Workload,
+        plan: &FaultPlan,
+        router: &'a mut R,
+        sink: Option<Box<dyn TraceSink>>,
+        engine: &mut Reader<'_>,
+        world: &mut Reader<'_>,
+        shard_plan: ShardPlan,
+        exec: ShardExec,
+    ) -> Result<SimSession<'a, R>, SnapshotError> {
         const CTX: &str = "SimSession";
         plan.check_against(trace);
+        debug_assert_eq!(
+            shard_plan.num_landmarks(),
+            trace.num_landmarks(),
+            "shard plan must partition exactly the trace's landmarks"
+        );
         let events = build_static_events(trace, cfg, workload, plan);
         let next_static = engine.usize(CTX)?;
         if next_static > events.len() {
@@ -554,8 +772,9 @@ impl<'a, R: Router + ?Sized> SimSession<'a, R> {
         let station_mode = router.uses_stations();
         Ok(SimSession {
             world: restored,
-            events,
-            next_static,
+            queues: ShardQueues::build(events, &shard_plan, next_static),
+            plan: shard_plan,
+            exec,
             timers,
             timer_seq,
             record_lost: build_record_lost(trace, plan),
@@ -818,6 +1037,100 @@ mod tests {
         let live = out.packets.iter().filter(|p| p.loc.is_live()).count() as u64;
         assert_eq!(out.metrics.expired + live, out.metrics.generated);
         assert!(out.metrics.expired > 0);
+    }
+
+    #[test]
+    fn shard_queues_merge_reproduces_global_order() {
+        // Partition a sorted schedule under several plans and check the
+        // k-way merge pops the identical sequence each time.
+        let trace = shuttle_trace();
+        let cfg = small_cfg();
+        let workload = Workload::uniform(&cfg, trace.num_landmarks(), trace.duration());
+        let events = build_static_events(&trace, &cfg, &workload, &FaultPlan::none());
+        let want = events.clone();
+        for plan in [
+            ShardPlan::single(2),
+            ShardPlan::contiguous(2, 2),
+            ShardPlan::round_robin(2, 2),
+            ShardPlan::contiguous(2, 8),
+        ] {
+            let mut q = ShardQueues::build(events.clone(), &plan, 0);
+            let mut got = Vec::with_capacity(want.len());
+            while let Some(e) = q.pop() {
+                got.push(e);
+            }
+            assert_eq!(got, want, "plan {plan:?}");
+            assert_eq!(q.dispatched(), want.len());
+        }
+    }
+
+    #[test]
+    fn shard_queues_resume_cursor_is_plan_agnostic() {
+        let trace = shuttle_trace();
+        let cfg = small_cfg();
+        let workload = Workload::uniform(&cfg, trace.num_landmarks(), trace.duration());
+        let events = build_static_events(&trace, &cfg, &workload, &FaultPlan::none());
+        let cut = events.len() / 2;
+        let seq_tail: Vec<Event> = events[cut..].to_vec();
+        for plan in [ShardPlan::contiguous(2, 2), ShardPlan::round_robin(2, 4)] {
+            let mut q = ShardQueues::build(events.clone(), &plan, cut);
+            assert_eq!(q.dispatched(), cut);
+            let mut tail = Vec::new();
+            while let Some(e) = q.pop() {
+                tail.push(e);
+            }
+            assert_eq!(tail, seq_tail, "plan {plan:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential() {
+        let trace = shuttle_trace();
+        let cfg = small_cfg();
+        let workload = Workload::uniform(&cfg, trace.num_landmarks(), trace.duration());
+        let base = run(&trace, &cfg, &mut DirectRouter);
+        for shards in [2, 4, 8] {
+            let out = run_with_faults_sharded(
+                &trace,
+                &cfg,
+                &workload,
+                &FaultPlan::none(),
+                &mut DirectRouter,
+                shards,
+            );
+            assert_eq!(out.metrics.delivered, base.metrics.delivered);
+            assert_eq!(out.metrics.generated, base.metrics.generated);
+            assert_eq!(out.metrics.forwarding_ops, base.metrics.forwarding_ops);
+            assert_eq!(out.packets.len(), base.packets.len());
+            for (a, b) in out.packets.iter().zip(base.packets.iter()) {
+                assert_eq!(a.loc, b.loc);
+                assert_eq!(a.hops, b.hops);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_hook_log_matches_sequential() {
+        // The full hook stream — arrivals, departures, encounters, units,
+        // timers, observations — must be identical under any plan.
+        let trace = shuttle_trace();
+        let mut cfg = small_cfg();
+        cfg.observe_points = 2;
+        let workload = Workload::uniform(&cfg, trace.num_landmarks(), trace.duration());
+        let mut base = RecorderRouter::default();
+        let _ = run_with_workload(&trace, &cfg, &workload, &mut base);
+        for shards in [2, 4] {
+            let mut r = RecorderRouter::default();
+            let _ = run_with_faults_sharded(
+                &trace,
+                &cfg,
+                &workload,
+                &FaultPlan::none(),
+                &mut r,
+                shards,
+            );
+            assert_eq!(r.log, base.log, "shards={shards}");
+        }
     }
 
     #[test]

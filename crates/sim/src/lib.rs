@@ -33,13 +33,21 @@ pub mod store;
 pub mod workload;
 pub mod world;
 
-pub use engine::{run, run_traced, run_with_faults, run_with_workload, SimOutcome, SimSession};
+pub use engine::{
+    run, run_traced, run_traced_sharded, run_with_faults, run_with_faults_sharded,
+    run_with_workload, SimOutcome, SimSession,
+};
 pub use faults::{FaultConfig, FaultPlan, NodeOutage, StationOutage};
 pub use router::Router;
 pub use store::PacketStore;
 pub use workload::Workload;
-pub use world::{LossReason, TransferError, TransferOutcome, World, WorldError};
+pub use world::{LossReason, TransferError, TransferOutcome, World, WorldError, WorldView};
 
 // Re-export the observability vocabulary so downstream crates can attach
 // sinks without a direct dtnflow-obs dependency.
-pub use dtnflow_obs::{NoopSink, Recorder, SimEvent, TraceSink};
+pub use dtnflow_obs::{EventBuffer, NoopSink, Recorder, ShardBuffers, SimEvent, TraceSink};
+
+// Re-export the shard runtime vocabulary (DESIGN.md §13) so routers and
+// harnesses can build plans/executors without a direct dtnflow-shard
+// dependency.
+pub use dtnflow_shard::{ShardExec, ShardPlan, ShardPlanError, Sharding};

@@ -17,6 +17,7 @@
 
 use crate::world::World;
 use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
+use dtnflow_shard::Sharding;
 
 /// A DTN routing algorithm under simulation.
 pub trait Router {
@@ -56,6 +57,20 @@ pub trait Router {
     /// A measurement time unit boundary (§IV-C.1), `unit` counts from 0.
     fn on_time_unit(&mut self, world: &mut World, unit: u64) {
         let _ = (world, unit);
+    }
+
+    /// [`Router::on_time_unit`] under a shard runtime (DESIGN.md §13).
+    ///
+    /// The default ignores the runtime and delegates to `on_time_unit`
+    /// — correct for every router, since a sharded run must be
+    /// byte-identical to a sequential one anyway. Routers whose
+    /// unit-boundary work decomposes per landmark (DTN-FLOW's table
+    /// recompute and rebucketing) override this to fan the compute out
+    /// over `shards` while keeping all commits in ascending landmark
+    /// order.
+    fn on_time_unit_sharded(&mut self, world: &mut World, unit: u64, shards: &Sharding<'_>) {
+        let _ = shards;
+        self.on_time_unit(world, unit);
     }
 
     /// An evenly spaced observation point (Fig. 8 snapshots).

@@ -14,7 +14,8 @@ use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
 use dtnflow_core::metrics::RunMetrics;
 use dtnflow_core::packet::{Packet, PacketLoc};
 use dtnflow_core::time::SimTime;
-use dtnflow_obs::{LossKind, Place, SimEvent, TraceSink};
+use dtnflow_obs::{EventBuffer, LossKind, Place, ShardBuffers, SimEvent, TraceSink};
+use dtnflow_shard::ShardExec;
 use dtnflow_snapshot::{Reader, SnapshotError, Writer};
 
 /// Map a live packet location to its observability [`Place`]; terminal
@@ -96,6 +97,57 @@ pub struct TransferOutcome {
     /// The packet had already visited this station: a routing loop closed
     /// (§IV-E.2).
     pub loop_closed: bool,
+}
+
+/// A read-only, thread-shareable view of the state sharded compute
+/// phases may consult (DESIGN.md §13).
+///
+/// [`World`] itself cannot cross threads — its trace sink is a
+/// `Box<dyn TraceSink>` without a `Sync` bound — so parallel workers get
+/// this borrowed slice-level view instead: packets, station contents,
+/// the run config and the clock. Everything here is plain data; nothing
+/// a worker reads through it can be concurrently mutated, because the
+/// engine only hands views out while the world is otherwise frozen.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldView<'a> {
+    packets: &'a [Packet],
+    station_store: &'a [PacketStore],
+    cfg: &'a SimConfig,
+    now: SimTime,
+}
+
+impl<'a> WorldView<'a> {
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &'a SimConfig {
+        self.cfg
+    }
+
+    /// Immutable view of a packet.
+    pub fn packet(&self, id: PacketId) -> &'a Packet {
+        &self.packets[id.index()]
+    }
+
+    /// Packets stored at a station, ascending by id — same order as
+    /// [`World::station_packets`].
+    pub fn station_packets(&self, lm: LandmarkId) -> impl Iterator<Item = PacketId> + 'a {
+        self.station_store[lm.index()].iter()
+    }
+
+    /// Number of packets at a station.
+    pub fn station_packet_count(&self, lm: LandmarkId) -> usize {
+        self.station_store[lm.index()].len()
+    }
+
+    /// Number of landmarks.
+    pub fn num_landmarks(&self) -> usize {
+        self.station_store.len()
+    }
 }
 
 /// The complete simulation state.
@@ -301,6 +353,17 @@ impl World {
     #[inline]
     pub fn visit_recorded(&self) -> bool {
         self.visit_recorded
+    }
+
+    /// A read-only view safe to share across shard workers (the world
+    /// itself stays on the engine thread).
+    pub fn view(&self) -> WorldView<'_> {
+        WorldView {
+            packets: &self.packets,
+            station_store: &self.station_store,
+            cfg: &self.cfg,
+            now: self.now,
+        }
     }
 
     // ---- observability ---------------------------------------------------
@@ -822,6 +885,60 @@ impl World {
             .collect();
         for pkt in expired {
             self.expire_packet(pkt);
+        }
+    }
+
+    /// [`World::purge_expired`], with the scan fanned out over `exec`.
+    ///
+    /// Workers only *find* expired packets (a pure read over disjoint
+    /// packet ranges); the commits — `expire_packet`, which mutates
+    /// stores, metrics and the trace — happen serially afterwards. The
+    /// ranges are contiguous and consumed in part order, so the flattened
+    /// candidate list is ascending by packet id: exactly the order the
+    /// sequential scan produces, hence byte-identical outcomes.
+    pub(crate) fn purge_expired_sharded(&mut self, exec: &ShardExec) {
+        /// Below this packet count the spawn overhead dwarfs the scan.
+        const PAR_MIN: usize = 1024;
+        if !exec.parallel() || self.packets.len() < PAR_MIN {
+            self.purge_expired();
+            return;
+        }
+        let now = self.now;
+        let n = self.packets.len();
+        let chunk = n.div_ceil(exec.threads());
+        let parts: Vec<(usize, usize)> = (0..exec.threads())
+            .map(|i| (i * chunk, ((i + 1) * chunk).min(n)))
+            .filter(|&(lo, hi)| lo < hi)
+            .collect();
+        let packets = &self.packets;
+        let found = exec.map_parts(parts, |_, (lo, hi)| {
+            packets[lo..hi]
+                .iter()
+                .filter(|p| p.loc.is_live() && p.is_expired_at(now))
+                .map(|p| p.id)
+                .collect::<Vec<PacketId>>()
+        });
+        for pkt in found.into_iter().flatten() {
+            self.expire_packet(pkt);
+        }
+    }
+
+    /// Drain a worker-filled event buffer into the attached sink, or
+    /// discard it when tracing is off.
+    pub fn flush_event_buffer(&mut self, buf: &mut EventBuffer) {
+        match self.trace.as_deref_mut() {
+            Some(sink) => buf.drain_into(sink),
+            None => buf.clear(),
+        }
+    }
+
+    /// Drain per-group event buffers into the attached sink in ascending
+    /// group order (the sharded commit phase's deterministic flush), or
+    /// discard them when tracing is off.
+    pub fn flush_shard_buffers(&mut self, bufs: &mut ShardBuffers) {
+        match self.trace.as_deref_mut() {
+            Some(sink) => bufs.drain_into(sink),
+            None => bufs.clear(),
         }
     }
 
