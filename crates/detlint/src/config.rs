@@ -61,6 +61,7 @@ impl Default for Config {
         Config {
             d1_crates: s(&[
                 "dtnflow",
+                "dtnflow-core",
                 "baselines",
                 "sim",
                 "predictor",
@@ -68,7 +69,7 @@ impl Default for Config {
                 "obs",
                 "snapshot",
             ]),
-            p1_crates: s(&["sim", "dtnflow", "obs", "snapshot", "shard"]),
+            p1_crates: s(&["sim", "dtnflow", "dtnflow-core", "obs", "snapshot", "shard"]),
             // Everything that can touch an experiment outcome, plus the
             // root package: the sharded engine (ROADMAP item 1) will
             // fan these crates out across threads, so they must not

@@ -79,6 +79,28 @@ fn waivers_fixture_suppresses_exactly_what_it_says() {
 }
 
 #[test]
+fn core_bad_fixture_fires_d1_p1_s1_in_the_hotpath_crate() {
+    // `dtnflow-core` joined D1/P1 scope when the timing wheel and rank
+    // index put it on the forwarding path (it was already C1/S1).
+    let got = check("core/bad");
+    let want = vec![
+        triple("crates/dtnflow-core/src/lib.rs", 4, "D1"),
+        triple("crates/dtnflow-core/src/lib.rs", 9, "S1"),
+        triple("crates/dtnflow-core/src/lib.rs", 25, "D1"),
+        triple("crates/dtnflow-core/src/lib.rs", 26, "P1"),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn core_clean_fixture_passes_with_rebuilt_field_waivers() {
+    // Mirrors the live `TimingWheel` codec shape: canonical entry list
+    // on the wire, placement rebuilt on decode behind a reasoned S1
+    // waiver.
+    assert_eq!(check("core/clean"), Vec::new());
+}
+
+#[test]
 fn clean_fixture_has_no_findings() {
     // Includes `crates/sim/src/dense_ok.rs`: the approved dense containers
     // (`DenseMap`/`DenseSet`/`LinkMatrix`) never trip D1.

@@ -1,0 +1,28 @@
+// Fixture: the dtnflow-core crate is in D1/P1/C1 scope (hot-path round
+// 2 put its wheel/rank-index modules on the forwarding path) and its
+// codecs are S1-checked. Never compiled.
+use std::collections::HashMap; // line 4: D1
+
+/// A wheel-shaped schedule whose codec forgot a field.
+pub struct MiniWheel {
+    pub base: u64,
+    pub entries: Vec<u64>, // line 9: S1 (absent from decode)
+}
+
+impl MiniWheel {
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.base);
+        w.put_usize(self.entries.len());
+    }
+
+    pub fn decode(r: &mut Reader) -> MiniWheel {
+        MiniWheel {
+            base: r.u64(),
+            ..Default::default()
+        }
+    }
+
+    pub fn first(&self, m: &HashMap<u32, u64>) -> u64 { // line 25: D1
+        *m.get(&0).unwrap() // line 26: P1
+    }
+}

@@ -62,6 +62,83 @@ fn deleting_a_codec_line_turns_s1_red() {
 }
 
 #[test]
+fn deleting_the_wheel_base_from_its_codec_turns_s1_red() {
+    // The timing wheel's codec writes the canonical sorted entry list;
+    // its only directly-serialized field is `base`. A refactor that
+    // drops the base write desynchronizes every restored schedule.
+    let rel = "crates/dtnflow-core/src/wheel.rs";
+    let src = live_source(rel);
+    assert_eq!(scan(rel, &src), Vec::new(), "live {rel} must scan clean");
+
+    let needle = "w.put_u64(self.base);";
+    assert!(src.contains(needle), "mutation anchor moved in {rel}");
+    let mutated: String = src
+        .lines()
+        .filter(|l| !l.contains(needle))
+        .map(|l| format!("{l}\n"))
+        .collect();
+
+    let diags = scan(rel, &mutated);
+    let s1: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "S1").collect();
+    assert_eq!(s1.len(), 1, "exactly one S1 after dropping base: {diags:?}");
+    assert!(
+        s1[0].message.contains("base") && s1[0].message.contains("encode path"),
+        "S1 names the dropped field and direction: {}",
+        s1[0].message
+    );
+}
+
+#[test]
+fn deleting_the_rank_index_from_the_router_codec_turns_s1_red() {
+    // `FlowRouter::save_state` serializes the carrier rank index; a
+    // checkpoint that forgets it would restore a router that never
+    // assigns packets to carriers again.
+    let rel = "crates/dtnflow/src/router.rs";
+    let src = live_source(rel);
+    assert_eq!(scan(rel, &src), Vec::new(), "live {rel} must scan clean");
+
+    let needle = "self.rank.encode(w);";
+    assert!(src.contains(needle), "mutation anchor moved in {rel}");
+    let mutated: String = src
+        .lines()
+        .filter(|l| !l.contains(needle))
+        .map(|l| format!("{l}\n"))
+        .collect();
+
+    let diags = scan(rel, &mutated);
+    let s1: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "S1").collect();
+    assert_eq!(s1.len(), 1, "exactly one S1 after dropping rank: {diags:?}");
+    assert!(
+        s1[0].message.contains("rank") && s1[0].message.contains("encode path"),
+        "S1 names the dropped field and direction: {}",
+        s1[0].message
+    );
+
+    // The route-cache hit counter travels through the landmark codec
+    // the same way: dropping it must fire too (restored lineages would
+    // report diverged observability totals).
+    let needle = "w.put_u64(st.cache_hits);";
+    assert!(src.contains(needle), "mutation anchor moved in {rel}");
+    let mutated: String = src
+        .lines()
+        .filter(|l| !l.contains(needle))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let diags = scan(rel, &mutated);
+    let s1: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "S1").collect();
+    assert_eq!(
+        s1.len(),
+        1,
+        "exactly one S1 after dropping cache_hits: {diags:?}"
+    );
+    assert!(
+        s1[0].message.contains("cache_hits") && s1[0].message.contains("encode path"),
+        "S1 names the dropped field and direction: {}",
+        s1[0].message
+    );
+}
+
+#[test]
 fn deleting_a_kind_tag_turns_x1_red() {
     let rel = "crates/obs/src/event.rs";
     let src = live_source(rel);

@@ -207,6 +207,7 @@ impl<K: DenseKey, V> DenseMap<K, V> {
         // only be of a present value.
         match slot.as_mut() {
             Some(v) => v,
+            // detlint: allow(P1, reason = "the arm above just filled this exact slot; the None branch is unreachable by construction")
             None => unreachable!("slot filled above"),
         }
     }
@@ -293,6 +294,7 @@ impl<K: DenseKey, V> std::ops::Index<K> for DenseMap<K, V> {
     fn index(&self, k: K) -> &V {
         match self.get(k) {
             Some(v) => v,
+            // detlint: allow(P1, reason = "Index is documented to panic on absent keys, matching BTreeMap's Index contract")
             None => panic!("no entry for key index {}", k.index()),
         }
     }

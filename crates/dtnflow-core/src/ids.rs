@@ -45,18 +45,21 @@ impl PacketId {
 
 impl From<usize> for NodeId {
     fn from(i: usize) -> Self {
+        // detlint: allow(P1, reason = "id construction from trusted dense indexes; overflow means the scenario exceeds the id space, a configuration bug")
         NodeId(u32::try_from(i).expect("node index exceeds u32"))
     }
 }
 
 impl From<usize> for LandmarkId {
     fn from(i: usize) -> Self {
+        // detlint: allow(P1, reason = "id construction from trusted dense indexes; overflow means the scenario exceeds the id space, a configuration bug")
         LandmarkId(u16::try_from(i).expect("landmark index exceeds u16"))
     }
 }
 
 impl From<usize> for PacketId {
     fn from(i: usize) -> Self {
+        // detlint: allow(P1, reason = "id construction from trusted dense indexes; overflow means the scenario exceeds the id space, a configuration bug")
         PacketId(u32::try_from(i).expect("packet index exceeds u32"))
     }
 }

@@ -17,8 +17,10 @@ pub mod geometry;
 pub mod ids;
 pub mod metrics;
 pub mod packet;
+pub mod rankidx;
 pub mod rngutil;
 pub mod time;
+pub mod wheel;
 
 pub use config::SimConfig;
 pub use dense::{DenseKey, DenseMap, DenseSet, LinkMatrix};
@@ -26,4 +28,6 @@ pub use geometry::Point;
 pub use ids::{LandmarkId, NodeId, PacketId};
 pub use metrics::{MetricsSummary, RunMetrics};
 pub use packet::{Packet, PacketLoc};
+pub use rankidx::{RankEntry, RankIndex};
 pub use time::{SimDuration, SimTime, DAY, HOUR, MINUTE, SECOND};
+pub use wheel::{TimingWheel, WheelEntry};

@@ -131,6 +131,7 @@ impl Packet {
                     .visited
                     .iter()
                     .rposition(|&v| v == lm)
+                    // detlint: allow(P1, reason = "guarded by the contains() check in this match arm; a second occurrence is proven present")
                     .expect("second occurrence exists");
                 &self.visited[first..=last]
             }

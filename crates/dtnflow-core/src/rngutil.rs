@@ -56,6 +56,7 @@ pub fn weighted_choice(rng: &mut impl Rng, weights: &[f64]) -> usize {
     weights
         .iter()
         .rposition(|&w| w > 0.0)
+        // detlint: allow(P1, reason = "callers pass weight vectors with a positive total, checked above; an all-nonpositive vector cannot reach this line")
         .expect("at least one positive weight")
 }
 

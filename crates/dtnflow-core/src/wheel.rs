@@ -1,0 +1,640 @@
+//! Hierarchical timing wheel for deadline scheduling.
+//!
+//! The simulator has two deadline populations: packet expiries (every
+//! packet dies exactly `ttl` after creation) and router retry/dead-end
+//! timers. Both were previously served by per-unit linear scans or a
+//! binary heap; this wheel gives O(1) insert and amortized O(1)
+//! advance while draining entries in exactly the total order the old
+//! code observed: ascending `(at, seq)`.
+//!
+//! Layout: [`LEVELS`] levels of [`SLOTS`] slots each, one tick (one
+//! simulated second) of granularity at level 0 and a ×256 coarsening
+//! per level, covering 2^32 ticks (~136 years) before the overflow
+//! list is touched. An entry lives at the level of the *highest byte*
+//! in which its deadline differs from `base` (the next undrained
+//! tick), in the slot named by that byte of the deadline; whenever
+//! `base` rolls over a 256^l boundary, the slot of level `l` that has
+//! just come into range is cascaded down. Entries pushed with a
+//! deadline before `base` (never produced by the simulator, but
+//! accepted defensively) sit in a dedicated overdue list that drains
+//! first.
+//!
+//! Determinism: every slot drain sorts its (same-deadline) entries by
+//! `seq`, so the drain order is a pure function of the inserted
+//! `(at, seq)` pairs — independent of insertion order, cascade
+//! history, or checkpoint/restore (the codec stores the canonical
+//! sorted entry list and re-places it against the serialized `base`).
+
+use dtnflow_snapshot::{Reader, SnapshotError, Writer};
+
+/// Number of wheel levels.
+pub const LEVELS: usize = 4;
+/// Slots per level (one byte of the deadline).
+pub const SLOTS: usize = 256;
+
+/// One scheduled item: fires at tick `at`, tie-broken by `seq`, and
+/// carries an opaque `payload` (a packet id or timer token).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WheelEntry {
+    /// Absolute deadline tick.
+    pub at: u64,
+    /// Total-order tie-break among equal deadlines (insertion sequence
+    /// number or dense id — the caller's choice, but unique per entry).
+    pub seq: u64,
+    /// Opaque caller data.
+    pub payload: u64,
+}
+
+impl WheelEntry {
+    #[inline]
+    fn key(&self) -> (u64, u64) {
+        (self.at, self.seq)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Level {
+    /// One bit per slot; bit set iff the slot's `Vec` is non-empty.
+    occupied: [u64; SLOTS / 64],
+    slots: Vec<Vec<WheelEntry>>,
+}
+
+impl Level {
+    fn new() -> Self {
+        let mut slots = Vec::with_capacity(SLOTS);
+        slots.resize_with(SLOTS, Vec::new);
+        Level {
+            occupied: [0; SLOTS / 64],
+            slots,
+        }
+    }
+
+    #[inline]
+    fn set_bit(&mut self, slot: usize) {
+        self.occupied[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, slot: usize) {
+        self.occupied[slot / 64] &= !(1u64 << (slot % 64));
+    }
+
+    /// Lowest occupied slot index `>= from`, if any.
+    fn first_occupied(&self, from: usize) -> Option<usize> {
+        let mut word = from / 64;
+        let mut mask = !0u64 << (from % 64);
+        while word < SLOTS / 64 {
+            let bits = self.occupied[word] & mask;
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            mask = !0;
+        }
+        None
+    }
+}
+
+/// Where [`TimingWheel::place`] files an entry.
+enum Placement {
+    Overdue,
+    Slot(usize, usize),
+    Overflow,
+}
+
+/// A hierarchical timing wheel over `u64` ticks. See the module docs
+/// for the layout and the determinism contract.
+#[derive(Debug, Clone)]
+pub struct TimingWheel {
+    /// The next undrained tick: every drained entry had `at < base`,
+    /// every stored non-overdue entry has `at >= base`.
+    base: u64,
+    // detlint: allow(S1, reason = "slot placement is not wire state; decode re-places every entry via push against the serialized base")
+    levels: Vec<Level>,
+    /// Entries pushed with `at < base` (defensive; drain first).
+    // detlint: allow(S1, reason = "entries travel in the canonical sorted list; decode re-files overdue ones via push")
+    overdue: Vec<WheelEntry>,
+    /// Entries beyond the top level's horizon (`at` differs from
+    /// `base` above byte `LEVELS - 1`).
+    // detlint: allow(S1, reason = "entries travel in the canonical sorted list; decode re-files overflow ones via push")
+    overflow: Vec<WheelEntry>,
+    // detlint: allow(S1, reason = "derived count; every decode-side push re-increments it")
+    len: usize,
+}
+
+impl Default for TimingWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimingWheel {
+    /// An empty wheel with `base = 0`.
+    pub fn new() -> Self {
+        let mut levels = Vec::with_capacity(LEVELS);
+        levels.resize_with(LEVELS, Level::new);
+        TimingWheel {
+            base: 0,
+            levels,
+            overdue: Vec::new(),
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The next undrained tick.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    #[inline]
+    fn classify(&self, at: u64) -> Placement {
+        if at < self.base {
+            return Placement::Overdue;
+        }
+        let diff = at ^ self.base;
+        if diff == 0 {
+            return Placement::Slot(0, (at & 0xFF) as usize);
+        }
+        let level = (63 - diff.leading_zeros() as usize) / 8;
+        if level >= LEVELS {
+            return Placement::Overflow;
+        }
+        Placement::Slot(level, ((at >> (8 * level)) & 0xFF) as usize)
+    }
+
+    fn place(&mut self, e: WheelEntry) {
+        match self.classify(e.at) {
+            Placement::Overdue => self.overdue.push(e),
+            Placement::Overflow => self.overflow.push(e),
+            Placement::Slot(level, slot) => {
+                self.levels[level].slots[slot].push(e);
+                self.levels[level].set_bit(slot);
+            }
+        }
+    }
+
+    /// Schedule `payload` to fire at tick `at`, tie-broken by `seq`.
+    /// `(at, seq)` pairs must be unique across live entries.
+    pub fn push(&mut self, at: u64, seq: u64, payload: u64) {
+        self.place(WheelEntry { at, seq, payload });
+        self.len += 1;
+    }
+
+    /// Remove the entry `(at, seq)`, returning its payload if present.
+    pub fn cancel(&mut self, at: u64, seq: u64) -> Option<u64> {
+        let (vec, level_slot) = match self.classify(at) {
+            Placement::Overdue => (&mut self.overdue, None),
+            Placement::Overflow => (&mut self.overflow, None),
+            Placement::Slot(level, slot) => {
+                (&mut self.levels[level].slots[slot], Some((level, slot)))
+            }
+        };
+        let pos = vec.iter().position(|e| e.at == at && e.seq == seq)?;
+        let e = vec.remove(pos);
+        if vec.is_empty() {
+            if let Some((level, slot)) = level_slot {
+                self.levels[level].clear_bit(slot);
+            }
+        }
+        self.len -= 1;
+        Some(e.payload)
+    }
+
+    /// Cascade freshly-in-range slots after `base` rolled over one or
+    /// more 256^l boundaries (its low bytes became zero).
+    fn cascade(&mut self) {
+        // Highest level whose window `base` just entered: the number
+        // of trailing zero bytes of `base` (capped at the top level).
+        let mut maxl = 0;
+        while maxl + 1 < LEVELS && self.base.is_multiple_of(1u64 << (8 * (maxl + 1))) {
+            maxl += 1;
+        }
+        if self.base.is_multiple_of(1u64 << (8 * LEVELS)) {
+            // The whole wheel horizon rolled over: overflow entries
+            // may be reachable now.
+            let pending = std::mem::take(&mut self.overflow);
+            for e in pending {
+                self.place(e);
+            }
+        }
+        for level in (1..=maxl).rev() {
+            let slot = ((self.base >> (8 * level)) & 0xFF) as usize;
+            if self.levels[level].slots[slot].is_empty() {
+                continue;
+            }
+            let pending = std::mem::take(&mut self.levels[level].slots[slot]);
+            self.levels[level].clear_bit(slot);
+            for e in pending {
+                self.place(e);
+            }
+        }
+    }
+
+    /// Advance to `now` inclusive, appending every entry with
+    /// `at <= now` to `out` in ascending `(at, seq)` order. Afterwards
+    /// `base = now + 1`.
+    pub fn drain_up_to(&mut self, now: u64, out: &mut Vec<WheelEntry>) {
+        if !self.overdue.is_empty() {
+            // All overdue deadlines precede every in-wheel deadline
+            // (`at < base`), so the eligible ones drain first.
+            self.overdue.sort_unstable_by_key(WheelEntry::key);
+            let cut = self.overdue.partition_point(|e| e.at <= now);
+            self.len -= cut;
+            out.extend(self.overdue.drain(..cut));
+        }
+        // A jump far past the level-0 horizon would otherwise hop empty
+        // 256-tick windows one at a time (a final `u64::MAX` drain would
+        // take ~2^56 iterations). Rebuild from the canonical sorted view
+        // instead: identical output order, `O(n log n)` in the entry
+        // count rather than `O(Δt / SLOTS)` in the jump width.
+        const REBUILD_SPAN: u64 = (SLOTS * SLOTS) as u64;
+        if now.saturating_sub(self.base) >= REBUILD_SPAN {
+            let all = self.to_sorted_vec();
+            let cut = all.partition_point(|e| e.at <= now);
+            out.extend_from_slice(&all[..cut]);
+            self.levels.clear();
+            self.levels.resize_with(LEVELS, Level::new);
+            self.overdue.clear();
+            self.overflow.clear();
+            self.base = now.saturating_add(1);
+            self.len = all.len() - cut;
+            for &e in &all[cut..] {
+                self.place(e);
+            }
+            return;
+        }
+        while self.base <= now {
+            let window = self.base & !0xFF;
+            let d0 = (self.base & 0xFF) as usize;
+            match self.levels[0].first_occupied(d0) {
+                Some(slot) if window + slot as u64 <= now => {
+                    let at = window + slot as u64;
+                    let mut fired = std::mem::take(&mut self.levels[0].slots[slot]);
+                    self.levels[0].clear_bit(slot);
+                    fired.sort_unstable_by_key(|e| e.seq);
+                    self.len -= fired.len();
+                    out.append(&mut fired);
+                    self.base = at.saturating_add(1);
+                    if self.base == at {
+                        return; // saturated at u64::MAX
+                    }
+                }
+                _ => {
+                    // Nothing fires in the rest of this 256-tick
+                    // window; hop to the next window or stop at `now`.
+                    let window_end = match window.checked_add(SLOTS as u64) {
+                        Some(end) if end <= now.saturating_add(1) => end,
+                        _ => {
+                            self.base = now.saturating_add(1);
+                            return;
+                        }
+                    };
+                    self.base = window_end;
+                }
+            }
+            if self.base.is_multiple_of(SLOTS as u64) {
+                self.cascade();
+            }
+        }
+    }
+
+    /// The entry with the smallest `(at, seq)`, without removing it.
+    pub fn peek_min(&self) -> Option<WheelEntry> {
+        self.locate_min().map(|(placement, pos)| match placement {
+            Placement::Overdue => self.overdue[pos],
+            Placement::Overflow => self.overflow[pos],
+            Placement::Slot(level, slot) => self.levels[level].slots[slot][pos],
+        })
+    }
+
+    /// Remove and return the entry with the smallest `(at, seq)`.
+    pub fn pop_min(&mut self) -> Option<WheelEntry> {
+        let (placement, pos) = self.locate_min()?;
+        let (vec, level_slot) = match placement {
+            Placement::Overdue => (&mut self.overdue, None),
+            Placement::Overflow => (&mut self.overflow, None),
+            Placement::Slot(level, slot) => {
+                (&mut self.levels[level].slots[slot], Some((level, slot)))
+            }
+        };
+        let e = vec.remove(pos);
+        if vec.is_empty() {
+            if let Some((level, slot)) = level_slot {
+                self.levels[level].clear_bit(slot);
+            }
+        }
+        self.len -= 1;
+        Some(e)
+    }
+
+    /// Locate the minimal entry: overdue beats everything (its
+    /// deadlines all precede `base`); otherwise the first occupied
+    /// slot of the lowest non-empty level covers the earliest window
+    /// (higher levels only hold deadlines beyond the lower levels'
+    /// horizon); otherwise overflow.
+    fn locate_min(&self) -> Option<(Placement, usize)> {
+        fn min_pos(v: &[WheelEntry]) -> Option<usize> {
+            v.iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.key())
+                .map(|(i, _)| i)
+        }
+        if let Some(pos) = min_pos(&self.overdue) {
+            return Some((Placement::Overdue, pos));
+        }
+        for (level, lv) in self.levels.iter().enumerate() {
+            let from = if level == 0 {
+                (self.base & 0xFF) as usize
+            } else {
+                // Slot == the base digit is impossible at level > 0
+                // (it would have been placed lower), so start past it.
+                ((self.base >> (8 * level)) & 0xFF) as usize + 1
+            };
+            if from >= SLOTS {
+                continue;
+            }
+            if let Some(slot) = lv.first_occupied(from) {
+                let pos = min_pos(&lv.slots[slot])?;
+                return Some((Placement::Slot(level, slot), pos));
+            }
+        }
+        min_pos(&self.overflow).map(|pos| (Placement::Overflow, pos))
+    }
+
+    /// Every stored entry in ascending `(at, seq)` order — the
+    /// canonical view the codec writes and the drain order respects.
+    pub fn to_sorted_vec(&self) -> Vec<WheelEntry> {
+        let mut all = Vec::with_capacity(self.len);
+        all.extend_from_slice(&self.overdue);
+        for lv in &self.levels {
+            for slot in &lv.slots {
+                all.extend_from_slice(slot);
+            }
+        }
+        all.extend_from_slice(&self.overflow);
+        all.sort_unstable_by_key(WheelEntry::key);
+        all
+    }
+
+    /// Checkpoint encoding (DESIGN.md §11): `base`, then the entries
+    /// in canonical ascending `(at, seq)` order. Slot placement is not
+    /// observable and is not preserved.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.base);
+        let all = self.to_sorted_vec();
+        w.put_usize(all.len());
+        for e in &all {
+            w.put_u64(e.at);
+            w.put_u64(e.seq);
+            w.put_u64(e.payload);
+        }
+    }
+
+    /// Inverse of [`TimingWheel::encode`]; rejects out-of-order
+    /// entries so decoding then re-encoding is byte-stable.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        const CTX: &str = "TimingWheel";
+        let base = r.u64(CTX)?;
+        let n = r.seq_len(CTX)?;
+        let mut wheel = TimingWheel::new();
+        wheel.base = base;
+        let mut prev: Option<(u64, u64)> = None;
+        for _ in 0..n {
+            let at = r.u64(CTX)?;
+            let seq = r.u64(CTX)?;
+            let payload = r.u64(CTX)?;
+            if prev.is_some_and(|p| (at, seq) <= p) {
+                return Err(SnapshotError::Corrupt { context: CTX });
+            }
+            prev = Some((at, seq));
+            wheel.push(at, seq, payload);
+        }
+        Ok(wheel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The structure the wheel replaces: a flat list drained by scan.
+    #[derive(Default)]
+    struct Naive {
+        entries: Vec<WheelEntry>,
+    }
+
+    impl Naive {
+        fn push(&mut self, at: u64, seq: u64, payload: u64) {
+            self.entries.push(WheelEntry { at, seq, payload });
+        }
+
+        fn drain_up_to(&mut self, now: u64, out: &mut Vec<WheelEntry>) {
+            let mut fired: Vec<WheelEntry> = self
+                .entries
+                .iter()
+                .copied()
+                .filter(|e| e.at <= now)
+                .collect();
+            fired.sort_unstable_by_key(WheelEntry::key);
+            self.entries.retain(|e| e.at > now);
+            out.append(&mut fired);
+        }
+    }
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    #[test]
+    fn drains_in_deadline_then_seq_order() {
+        let mut w = TimingWheel::new();
+        w.push(50, 3, 103);
+        w.push(10, 1, 101);
+        w.push(50, 2, 102);
+        w.push(700, 4, 104); // level 1
+        let mut out = Vec::new();
+        w.drain_up_to(60, &mut out);
+        let got: Vec<(u64, u64)> = out.iter().map(|e| (e.at, e.seq)).collect();
+        assert_eq!(got, vec![(10, 1), (50, 2), (50, 3)]);
+        assert_eq!(w.len(), 1);
+        out.clear();
+        w.drain_up_to(1_000, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, 104);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cascades_across_every_level() {
+        let mut w = TimingWheel::new();
+        // One entry per level plus overflow.
+        let ats = [
+            5u64,
+            300,
+            70_000,
+            17_000_000,
+            (1u64 << 32) + 9, // beyond the 4-level horizon from base 0
+        ];
+        for (i, &at) in ats.iter().enumerate() {
+            w.push(at, i as u64, at);
+        }
+        let mut out = Vec::new();
+        w.drain_up_to((1 << 32) + 100, &mut out);
+        let got: Vec<u64> = out.iter().map(|e| e.at).collect();
+        assert_eq!(got, ats.to_vec());
+        assert!(w.is_empty());
+        assert_eq!(w.base(), (1 << 32) + 101);
+    }
+
+    #[test]
+    fn equivalent_to_naive_scan_under_random_workload() {
+        let mut seed = 0x5EED_0001u64;
+        for round in 0..20 {
+            let mut w = TimingWheel::new();
+            let mut n = Naive::default();
+            let mut now = 0u64;
+            let mut seq = 0u64;
+            for _ in 0..400 {
+                match lcg(&mut seed) % 4 {
+                    0 | 1 => {
+                        // Mostly future deadlines; occasionally far.
+                        let span = if lcg(&mut seed).is_multiple_of(10) {
+                            200_000
+                        } else {
+                            2_000
+                        };
+                        let at = now + lcg(&mut seed) % span;
+                        w.push(at, seq, seq);
+                        n.push(at, seq, seq);
+                        seq += 1;
+                    }
+                    2 => {
+                        now += lcg(&mut seed) % 3_000;
+                        let (mut a, mut b) = (Vec::new(), Vec::new());
+                        w.drain_up_to(now, &mut a);
+                        n.drain_up_to(now, &mut b);
+                        assert_eq!(a, b, "round {round} diverged at now={now}");
+                    }
+                    _ => {
+                        // Cancel a random live entry (if any).
+                        if let Some(&e) = n
+                            .entries
+                            .get(lcg(&mut seed) as usize % n.entries.len().max(1))
+                        {
+                            assert_eq!(w.cancel(e.at, e.seq), Some(e.payload));
+                            n.entries.retain(|x| x.seq != e.seq);
+                        }
+                    }
+                }
+                assert_eq!(w.len(), n.entries.len());
+            }
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            w.drain_up_to(u64::MAX, &mut a);
+            n.drain_up_to(u64::MAX, &mut b);
+            assert_eq!(a, b, "final drain diverged in round {round}");
+        }
+    }
+
+    #[test]
+    fn peek_and_pop_follow_the_total_order() {
+        let mut w = TimingWheel::new();
+        w.push(500, 7, 1);
+        w.push(500, 2, 2);
+        w.push(40, 9, 3);
+        w.push(90_000, 1, 4);
+        let mut popped = Vec::new();
+        while let Some(min) = w.peek_min() {
+            assert_eq!(w.pop_min(), Some(min));
+            popped.push(min.key());
+        }
+        assert_eq!(popped, vec![(40, 9), (500, 2), (500, 7), (90_000, 1)]);
+        assert!(w.is_empty());
+        assert_eq!(w.pop_min(), None);
+    }
+
+    #[test]
+    fn pop_then_push_earlier_entry_is_still_found() {
+        let mut w = TimingWheel::new();
+        w.push(1_000, 1, 1);
+        assert_eq!(w.pop_min().map(|e| e.at), Some(1_000));
+        // `pop_min` must not advance `base`, so an earlier deadline
+        // pushed afterwards still drains first.
+        w.push(10, 2, 2);
+        w.push(1_000, 3, 3);
+        assert_eq!(w.peek_min().map(|e| e.at), Some(10));
+        let mut out = Vec::new();
+        w.drain_up_to(2_000, &mut out);
+        let got: Vec<u64> = out.iter().map(|e| e.at).collect();
+        assert_eq!(got, vec![10, 1_000]);
+    }
+
+    #[test]
+    fn overdue_pushes_drain_first_in_order() {
+        let mut w = TimingWheel::new();
+        let mut out = Vec::new();
+        w.drain_up_to(100, &mut out); // base = 101
+        assert!(out.is_empty());
+        w.push(50, 1, 1); // overdue
+        w.push(20, 2, 2); // overdue
+        w.push(150, 3, 3);
+        assert_eq!(w.peek_min().map(|e| e.at), Some(20));
+        w.drain_up_to(200, &mut out);
+        let got: Vec<u64> = out.iter().map(|e| e.at).collect();
+        assert_eq!(got, vec![20, 50, 150]);
+    }
+
+    #[test]
+    fn codec_roundtrips_and_preserves_drain_order() {
+        let mut w = TimingWheel::new();
+        let mut out = Vec::new();
+        w.drain_up_to(999, &mut out); // non-zero base
+        for (i, at) in [1_500u64, 1_200, 400_000, 1_200].iter().enumerate() {
+            w.push(*at, i as u64, 100 + i as u64);
+        }
+        let mut buf = Writer::new();
+        w.encode(&mut buf);
+        let bytes = buf.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let mut back = TimingWheel::decode(&mut r).expect("decode");
+        assert_eq!(back.base(), w.base());
+        assert_eq!(back.len(), w.len());
+        // Re-encode is byte-stable.
+        let mut buf2 = Writer::new();
+        back.encode(&mut buf2);
+        assert_eq!(buf2.into_bytes(), bytes);
+        // And the restored wheel drains identically.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        w.drain_up_to(u64::MAX, &mut a);
+        back.drain_up_to(u64::MAX, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn codec_rejects_unsorted_entries() {
+        let mut buf = Writer::new();
+        buf.put_u64(0); // base
+        buf.put_usize(2);
+        for (at, seq) in [(500u64, 1u64), (400, 0)] {
+            buf.put_u64(at);
+            buf.put_u64(seq);
+            buf.put_u64(0);
+        }
+        let bytes = buf.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(TimingWheel::decode(&mut r).is_err());
+    }
+}

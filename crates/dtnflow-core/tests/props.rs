@@ -156,6 +156,7 @@ proptest! {
             SimTime(0),
             SimDuration(1_000),
         );
+        // detlint: allow(D1, reason = "model-only membership set in a proptest; only contains() is queried, iteration order never escapes")
         let mut seen = std::collections::HashSet::new();
         for &v in &visits {
             let looped = p.record_station_visit(LandmarkId(v));

@@ -1,0 +1,99 @@
+//! Property equivalence: [`TimingWheel`] vs the naive sorted scan it
+//! replaced, under arbitrary insert/cancel/advance interleavings
+//! (DESIGN.md §14). The wheel is only a legal swap because its drain
+//! order is bit-for-bit the old scan order — ascending `(at, seq)` —
+//! for every schedule, including overdue pushes (deadline before the
+//! already-drained frontier) and cancellations.
+
+use dtnflow_core::{TimingWheel, WheelEntry};
+use dtnflow_snapshot::{Reader, Writer};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule a new entry `delta` ticks past the last drain frontier.
+    Insert { delta: u64 },
+    /// Cancel a live entry (picked by index modulo the live count).
+    Cancel { pick: usize },
+    /// Drain everything due up to `delta` ticks past the frontier.
+    Advance { delta: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Deadlines spread across several wheel levels (0..=70_000
+        // covers levels 0-2) plus the occasional overflow-scale jump.
+        4 => (0u64..70_000).prop_map(|delta| Op::Insert { delta }),
+        1 => ((1u64 << 32)..(1u64 << 33)).prop_map(|delta| Op::Insert { delta }),
+        2 => any::<usize>().prop_map(|pick| Op::Cancel { pick }),
+        3 => (0u64..70_000).prop_map(|delta| Op::Advance { delta }),
+    ]
+}
+
+/// The structure the wheel replaced: a flat list drained by scan.
+fn naive_drain(model: &mut Vec<WheelEntry>, now: u64) -> Vec<WheelEntry> {
+    let mut due: Vec<WheelEntry> = model.iter().copied().filter(|e| e.at <= now).collect();
+    due.sort_unstable_by_key(|e| (e.at, e.seq));
+    model.retain(|e| e.at > now);
+    due
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn wheel_matches_naive_scan(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        let mut wheel = TimingWheel::new();
+        let mut model: Vec<WheelEntry> = Vec::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        let mut fired = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert { delta } => {
+                    // `delta` saturating below the frontier sometimes:
+                    // alternate entries land overdue on purpose.
+                    let at = if seq.is_multiple_of(5) { now.saturating_sub(delta) } else { now + delta };
+                    let payload = seq ^ 0xA5A5;
+                    wheel.push(at, seq, payload);
+                    model.push(WheelEntry { at, seq, payload });
+                    seq += 1;
+                }
+                Op::Cancel { pick } => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let e = model.remove(pick % model.len());
+                    prop_assert_eq!(wheel.cancel(e.at, e.seq), Some(e.payload));
+                }
+                Op::Advance { delta } => {
+                    now += delta;
+                    fired.clear();
+                    wheel.drain_up_to(now, &mut fired);
+                    let due = naive_drain(&mut model, now);
+                    prop_assert_eq!(&fired[..], &due[..]);
+                }
+            }
+            prop_assert_eq!(wheel.len(), model.len());
+            // `peek_min` always agrees with the scan's minimum.
+            let mut min = model.clone();
+            min.sort_unstable_by_key(|e| (e.at, e.seq));
+            prop_assert_eq!(wheel.peek_min(), min.first().copied());
+        }
+
+        // Canonical snapshot and codec agree with the surviving model.
+        let mut want = model.clone();
+        want.sort_unstable_by_key(|e| (e.at, e.seq));
+        prop_assert_eq!(wheel.to_sorted_vec(), want.clone());
+        let mut w = Writer::new();
+        wheel.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = TimingWheel::decode(&mut r).expect("decode");
+        prop_assert_eq!(back.base(), wheel.base());
+        prop_assert_eq!(back.to_sorted_vec(), want);
+        let mut w2 = Writer::new();
+        back.encode(&mut w2);
+        prop_assert_eq!(w2.into_bytes(), bytes);
+    }
+}

@@ -23,6 +23,7 @@ use crate::routing_table::{decode_opt_lm, encode_opt_lm, RoutingTable, StoredVec
 use dtnflow_core::dense::{DenseMap, DenseSet};
 use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
 use dtnflow_core::packet::PacketLoc;
+use dtnflow_core::rankidx::{RankEntry, RankIndex};
 use dtnflow_core::time::{SimDuration, SimTime};
 use dtnflow_predictor::{AccuracyTracker, MarkovPredictor, VisitHistory};
 use dtnflow_sim::{
@@ -74,6 +75,32 @@ struct NodeState {
     episode: u64,
 }
 
+/// One memoized [`choose_next_in`] result (DESIGN.md §14). Valid while
+/// the owning table's `computed` stamp and the router-wide
+/// `route_epoch` (bumped on `known_down` changes) both still match the
+/// values the cell was filled under; `computed == u64::MAX` marks a
+/// never-filled cell (a table's real stamp counts up from zero).
+#[derive(Debug, Clone, Copy)]
+struct RouteCacheCell {
+    computed: u64,
+    epoch: u64,
+    next: Option<LandmarkId>,
+    expected: f64,
+    lb_diverted: bool,
+    fellback: bool,
+}
+
+impl RouteCacheCell {
+    const EMPTY: RouteCacheCell = RouteCacheCell {
+        computed: u64::MAX,
+        epoch: 0,
+        next: None,
+        expected: f64::INFINITY,
+        lb_diverted: false,
+        fellback: false,
+    };
+}
+
 /// Per-landmark router state.
 struct LandmarkState {
     rt: RoutingTable,
@@ -93,6 +120,16 @@ struct LandmarkState {
     lb_outgoing: Vec<u64>,
     overloaded: Vec<bool>,
     unit_seq: u64,
+    /// §IV-D.3 next-hop decisions memoized per destination
+    /// (DESIGN.md §14): forwarding between table changes is one flat
+    /// lookup instead of a fresh divert/fallback evaluation.
+    route_cache: Vec<RouteCacheCell>,
+    /// Cumulative route-cache hit/miss counts, exported through the
+    /// obs stream at each observation point and serialized verbatim so
+    /// a restored lineage reports the same totals as an uninterrupted
+    /// run.
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl LandmarkState {
@@ -112,6 +149,9 @@ impl LandmarkState {
             lb_outgoing: Vec::new(),
             overloaded: Vec::new(),
             unit_seq: 0,
+            route_cache: Vec::new(),
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -205,6 +245,41 @@ fn choose_next_in(
     (next, expected, lb_diverted, fellback)
 }
 
+/// [`choose_next_in`] behind the per-destination route cache
+/// (DESIGN.md §14). Sound because every input that can change the
+/// choice is covered by the two stamps: the table entries only move on
+/// `recompute` (the `computed` stamp), `overloaded` only moves at unit
+/// boundaries *before* that unit's recompute (so the same stamp covers
+/// it), and `known_down` only moves with the router-wide `route_epoch`.
+/// Like [`choose_next_in`], a free function so shard workers can run it
+/// against a taken-out [`LandmarkState`].
+fn choose_next_cached(
+    st: &mut LandmarkState,
+    cfg: &FlowConfig,
+    known_down: &[bool],
+    route_epoch: u64,
+    lm: LandmarkId,
+    dst: LandmarkId,
+) -> (Option<LandmarkId>, f64, bool, bool) {
+    let computed = st.rt.computed();
+    let cell = st.route_cache[dst.index()];
+    if cell.computed == computed && cell.epoch == route_epoch {
+        st.cache_hits += 1;
+        return (cell.next, cell.expected, cell.lb_diverted, cell.fellback);
+    }
+    st.cache_misses += 1;
+    let (next, expected, lb_diverted, fellback) = choose_next_in(st, cfg, known_down, lm, dst);
+    st.route_cache[dst.index()] = RouteCacheCell {
+        computed,
+        epoch: route_epoch,
+        next,
+        expected,
+        lb_diverted,
+        fellback,
+    };
+    (next, expected, lb_diverted, fellback)
+}
+
 /// What one shard worker computed for one landmark at a unit boundary
 /// (DESIGN.md §13): the updated state to put back, buffered trace events,
 /// the packet-metadata stamps, and the fallback-reroute count — all
@@ -241,6 +316,7 @@ fn landmark_unit_work(
     bw: &BandwidthMatrix,
     cfg: &FlowConfig,
     known_down: &[bool],
+    route_epoch: u64,
     meta: &[PktMeta],
 ) -> LandmarkUnitResult {
     let lm = LandmarkId::from(l);
@@ -284,7 +360,8 @@ fn landmark_unit_work(
     let mut fallbacks = 0u64;
     for pkt in view.station_packets(lm) {
         let p = view.packet(pkt);
-        let (next, expected, _, fellback) = choose_next_in(&st, cfg, known_down, lm, p.dst);
+        let (next, expected, _, fellback) =
+            choose_next_cached(&mut st, cfg, known_down, route_epoch, lm, p.dst);
         if fellback {
             fallbacks += 1;
         }
@@ -349,6 +426,14 @@ pub struct FlowRouter {
     /// Landmarks currently known to be down (fault hooks); routing falls
     /// back to backup next hops around them.
     known_down: Vec<bool>,
+    /// Bumped whenever `known_down` changes; the second validity stamp
+    /// of every landmark's route cache (DESIGN.md §14).
+    route_epoch: u64,
+    /// Per-(landmark, target-landmark) connected carriers ranked by
+    /// `accuracy × transit-probability` (DESIGN.md §14), maintained on
+    /// arrive/depart/fail so `try_assign_packet` walks a pre-ranked
+    /// list instead of rescanning every connected node per packet.
+    rank: RankIndex,
     stats: FlowStats,
     /// Reusable packet-id buffer for the per-contact and per-tick loops
     /// (rebucket, uplink, §IV-E.4 delivery), taken and restored around
@@ -397,6 +482,9 @@ impl FlowRouter {
                 lb_outgoing: vec![0; num_landmarks],
                 overloaded: vec![false; num_landmarks],
                 unit_seq: 0,
+                route_cache: vec![RouteCacheCell::EMPTY; num_landmarks],
+                cache_hits: 0,
+                cache_misses: 0,
             })
             .collect();
         let injections = cfg.inject_loops.clone();
@@ -412,6 +500,8 @@ impl FlowRouter {
             injections,
             registrations: vec![Vec::new(); num_nodes],
             known_down: vec![false; num_landmarks],
+            route_epoch: 0,
+            rank: RankIndex::new(num_landmarks),
             stats: FlowStats::default(),
             scratch_pkts: Vec::new(),
             scratch_bucket: Vec::new(),
@@ -487,6 +577,31 @@ impl FlowRouter {
         self.meta_of(pkt).next_hop
     }
 
+    // ---- bench hooks ------------------------------------------------------
+    //
+    // The `hotpath` microbenches (crates/bench) drive the real cached
+    // next-hop chooser without standing up a `World`. Hidden from docs;
+    // not a stable API.
+
+    /// Install a pre-built routing table at `lm` (bench support).
+    #[doc(hidden)]
+    pub fn bench_install_table(&mut self, lm: LandmarkId, rt: RoutingTable) {
+        self.landmarks[lm.index()].rt = rt;
+    }
+
+    /// One next-hop decision through the route cache (bench support).
+    #[doc(hidden)]
+    pub fn bench_route_lookup(&mut self, lm: LandmarkId, dst: LandmarkId) -> Option<LandmarkId> {
+        self.choose_next(lm, dst).0
+    }
+
+    /// Invalidate every landmark's route cache, as a station up/down
+    /// transition would (bench support).
+    #[doc(hidden)]
+    pub fn bench_flush_route_cache(&mut self) {
+        self.route_epoch += 1;
+    }
+
     // ---- internals --------------------------------------------------------
 
     fn meta_of(&self, pkt: PacketId) -> PktMeta {
@@ -498,6 +613,39 @@ impl FlowRouter {
             self.meta.resize(pkt.index() + 1, PktMeta::default());
         }
         self.meta[pkt.index()] = m;
+    }
+
+    /// File (`insert == true`) or delete (`insert == false`) `node`'s
+    /// carrier-rank entries at `lm`: one `(accuracy × transit-prob,
+    /// node)` key per positive-probability successor of its current
+    /// context (DESIGN.md §14). Insert and remove recompute identical
+    /// keys because a node's predictor distribution and accuracy are
+    /// frozen during its stay — both only move inside `on_arrive`,
+    /// before the arrival insert. A node whose predictor does not place
+    /// it at `lm` (e.g. its visit record was dropped by the fault plan
+    /// and it was last observed elsewhere) files nothing, exactly as
+    /// the scan this index replaces skipped it.
+    fn rank_update(&mut self, node: NodeId, lm: LandmarkId, insert: bool) {
+        let mut dist = std::mem::take(&mut self.scratch_dist);
+        let ns = &self.nodes[node.index()];
+        if ns.predictor.current() != Some(lm) {
+            self.scratch_dist = dist;
+            return;
+        }
+        ns.predictor.distribution_into(&mut dist);
+        let acc = ns.accuracy.get(lm);
+        for &(target, p) in dist.iter() {
+            if target == lm || p <= 0.0 {
+                continue;
+            }
+            let score = acc * p;
+            if insert {
+                self.rank.insert(lm.index(), target.0, score, node.0);
+            } else {
+                self.rank.remove(lm.index(), target.0, score, node.0);
+            }
+        }
+        self.scratch_dist = dist;
     }
 
     fn recompute_tables(&mut self, lm: LandmarkId, world: &World) {
@@ -512,16 +660,18 @@ impl FlowRouter {
     /// the routing-table entry, diverted to the backup next hop when the
     /// primary is overloaded (§IV-E.3) or a known-down landmark
     /// (degradation). Returns `(next, expected delay, lb-diverted,
-    /// down-fallback)`.
+    /// down-fallback)`. Served from the per-destination route cache
+    /// between table changes (DESIGN.md §14).
     fn choose_next(
-        &self,
+        &mut self,
         lm: LandmarkId,
         dst: LandmarkId,
     ) -> (Option<LandmarkId>, f64, bool, bool) {
-        choose_next_in(
-            &self.landmarks[lm.index()],
+        choose_next_cached(
+            &mut self.landmarks[lm.index()],
             &self.cfg,
             &self.known_down,
+            self.route_epoch,
             lm,
             dst,
         )
@@ -576,6 +726,13 @@ impl FlowRouter {
     /// predicted to transit to the packet's destination (direct delivery)
     /// or, failing that, to its next-hop landmark — ranked by the overall
     /// transit probability `p_a · p_pred` (§IV-D.4).
+    ///
+    /// Served by the incrementally maintained carrier rank index
+    /// (DESIGN.md §14): the pre-ranked `(lm, dst)` list is walked first
+    /// — any direct-delivery candidate beats every routed one, whatever
+    /// the scores — then the `(lm, next-hop)` list. Each walk stops at
+    /// the first eligible member; the lists' `(score desc, id asc)`
+    /// order makes that exactly the scan's best-score/lowest-id winner.
     fn try_assign_packet(
         &mut self,
         world: &mut World,
@@ -591,49 +748,26 @@ impl FlowRouter {
         let dst = p.dst;
         let remaining = p.remaining_ttl(world.now()).secs() as f64;
 
-        // Rank connected nodes by their overall probability of transiting
-        // to the packet's destination (direct delivery, §IV-D.2) or to its
-        // next-hop landmark (§IV-D.3 step 4). Any node with a nonzero
-        // predicted probability is a candidate — the paper picks the best
-        // connected node, not only nodes whose single most likely next
-        // landmark matches.
-        let mut best: Option<(bool, f64, NodeId, LandmarkId)> = None;
-        for n in world.nodes_at(lm).iter() {
-            if Some(n) == exclude || !world.node_has_space(n) {
-                continue;
-            }
-            let ns = &self.nodes[n.index()];
-            if ns.predictor.current() != Some(lm) {
-                continue;
-            }
-            let acc = ns.accuracy.get(lm);
-            for (direct, target) in [(true, Some(dst)), (false, meta.next_hop)] {
-                let Some(target) = target else { continue };
-                if target == lm {
-                    continue;
-                }
-                if !direct && meta.expected >= remaining {
-                    continue; // infeasible within TTL (§IV-D.5 step 4)
-                }
-                let p = ns.predictor.probability(target);
-                if p <= 0.0 {
-                    continue;
-                }
-                let score = acc * p;
-                let cand = (direct, score, n, target);
-                let better = match &best {
-                    None => true,
-                    Some((bd, bs, bn, _)) => {
-                        (cand.0, cand.1) > (*bd, *bs) || ((cand.0, cand.1) == (*bd, *bs) && n < *bn)
-                    }
-                };
-                if better {
-                    best = Some(cand);
-                }
+        let pick = |world: &World, list: &[RankEntry]| -> Option<NodeId> {
+            list.iter()
+                .map(|e| NodeId(e.member))
+                .find(|&n| Some(n) != exclude && world.node_has_space(n))
+        };
+        // Direct delivery (§IV-D.2): any candidate here wins outright.
+        if dst != lm {
+            if let Some(n) = pick(world, self.rank.ranked(lm.index(), dst.0)) {
+                self.hand_to_carrier(world, lm, pkt, n, dst);
+                return;
             }
         }
-        if let Some((_, _, n, to)) = best {
-            self.hand_to_carrier(world, lm, pkt, n, to);
+        // Next-hop relay (§IV-D.3 step 4), only when the stamped route
+        // still fits the remaining TTL (§IV-D.5 step 4).
+        if let Some(nh) = meta.next_hop {
+            if nh != lm && meta.expected < remaining {
+                if let Some(n) = pick(world, self.rank.ranked(lm.index(), nh.0)) {
+                    self.hand_to_carrier(world, lm, pkt, n, nh);
+                }
+            }
         }
     }
 
@@ -1024,6 +1158,8 @@ impl FlowRouter {
         for &d in &self.known_down {
             w.put_u8(d as u8);
         }
+        w.put_u64(self.route_epoch);
+        self.rank.encode(w);
         w.put_u64(self.stats.dead_ends_detected);
         w.put_u64(self.stats.loops_detected);
         w.put_u64(self.stats.lb_reroutes);
@@ -1117,6 +1253,13 @@ impl FlowRouter {
         for _ in 0..nd {
             known_down.push(decode_bool(r, "FlowRouter.known_down")?);
         }
+        let route_epoch = r.u64(CTX)?;
+        let rank = RankIndex::decode(r)?;
+        if rank.groups() != num_landmarks {
+            return Err(SnapshotError::Corrupt {
+                context: "FlowRouter.rank",
+            });
+        }
         let stats = FlowStats {
             dead_ends_detected: r.u64(CTX)?,
             loops_detected: r.u64(CTX)?,
@@ -1139,6 +1282,8 @@ impl FlowRouter {
             injections,
             registrations,
             known_down,
+            route_epoch,
+            rank,
             stats,
             scratch_pkts: Vec::new(),
             scratch_bucket: Vec::new(),
@@ -1358,6 +1503,20 @@ fn encode_landmark_state(w: &mut Writer, st: &LandmarkState) {
         w.put_u8(b as u8);
     }
     w.put_u64(st.unit_seq);
+    // The route cache travels verbatim (cells, then the counters): a
+    // restored lineage must serve the same hits and misses as the
+    // uninterrupted run, and a cold cache would diverge the counters.
+    w.put_usize(st.route_cache.len());
+    for c in &st.route_cache {
+        w.put_u64(c.computed);
+        w.put_u64(c.epoch);
+        encode_opt_lm(w, c.next);
+        w.put_f64(c.expected);
+        w.put_u8(c.lb_diverted as u8);
+        w.put_u8(c.fellback as u8);
+    }
+    w.put_u64(st.cache_hits);
+    w.put_u64(st.cache_misses);
 }
 
 fn decode_landmark_state(
@@ -1423,6 +1582,25 @@ fn decode_landmark_state(
         overloaded.push(decode_bool(r, "LandmarkState.overloaded")?);
     }
     let unit_seq = r.u64(CTX)?;
+    let nc = r.seq_len("LandmarkState.route_cache")?;
+    if nc != num_landmarks {
+        return Err(SnapshotError::Corrupt {
+            context: "LandmarkState.route_cache",
+        });
+    }
+    let mut route_cache = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        route_cache.push(RouteCacheCell {
+            computed: r.u64("RouteCacheCell")?,
+            epoch: r.u64("RouteCacheCell")?,
+            next: decode_opt_lm(r, "RouteCacheCell.next")?,
+            expected: r.f64("RouteCacheCell")?,
+            lb_diverted: decode_bool(r, "RouteCacheCell.lb_diverted")?,
+            fellback: decode_bool(r, "RouteCacheCell.fellback")?,
+        });
+    }
+    let cache_hits = r.u64(CTX)?;
+    let cache_misses = r.u64(CTX)?;
     Ok(LandmarkState {
         rt,
         by_next_hop,
@@ -1434,6 +1612,9 @@ fn decode_landmark_state(
         lb_outgoing,
         overloaded,
         unit_seq,
+        route_cache,
+        cache_hits,
+        cache_misses,
     })
 }
 
@@ -1541,6 +1722,10 @@ impl Router for FlowRouter {
                 ns.predicted = ns.predictor.predict().map(|(to, p)| (lm, to, p));
             }
         }
+        // File the node in the carrier rank index now that its predictor
+        // is settled for this stay — the uplink below may already need it
+        // as a candidate for other packets at this station.
+        self.rank_update(node, lm, true);
 
         // 4. Uplink: hand over deliverable/improvable packets (§IV-D.1).
         let mut carried_pkts = std::mem::take(&mut self.scratch_pkts);
@@ -1621,6 +1806,9 @@ impl Router for FlowRouter {
     }
 
     fn on_depart(&mut self, world: &mut World, node: NodeId, lm: LandmarkId) {
+        // The node is leaving: delete its carrier-rank entries (same keys
+        // the arrival filed — its predictor state has not moved since).
+        self.rank_update(node, lm, false);
         // Last-call downlink: packets that reached this station during the
         // node's stay leave with it if they match its prediction.
         self.assign_to_node(world, lm, node);
@@ -1768,12 +1956,24 @@ impl Router for FlowRouter {
         let bw = &self.bw;
         let cfg = &self.cfg;
         let known_down = &self.known_down;
+        let route_epoch = self.route_epoch;
         let meta = &self.meta;
         let results = shards.exec.map_parts(parts, |_, group| {
             group
                 .into_iter()
                 .map(|(l, st)| {
-                    landmark_unit_work(l, st, unit, trace_on, &view, bw, cfg, known_down, meta)
+                    landmark_unit_work(
+                        l,
+                        st,
+                        unit,
+                        trace_on,
+                        &view,
+                        bw,
+                        cfg,
+                        known_down,
+                        route_epoch,
+                        meta,
+                    )
                 })
                 .collect::<Vec<LandmarkUnitResult>>()
         });
@@ -1807,6 +2007,17 @@ impl Router for FlowRouter {
                     lm,
                     coverage,
                     revision,
+                });
+                let (hits, misses) = (st.cache_hits, st.cache_misses);
+                world.emit(|at| SimEvent::RouteCacheHit {
+                    at,
+                    lm,
+                    count: hits,
+                });
+                world.emit(|at| SimEvent::RouteCacheMiss {
+                    at,
+                    lm,
+                    count: misses,
                 });
             }
         }
@@ -1871,6 +2082,7 @@ impl Router for FlowRouter {
 
     fn on_station_down(&mut self, world: &mut World, lm: LandmarkId) {
         self.known_down[lm.index()] = true;
+        self.route_epoch += 1; // `known_down` changed: stale route caches
         if self.cfg.degradation.is_none() {
             return;
         }
@@ -1895,6 +2107,7 @@ impl Router for FlowRouter {
 
     fn on_station_up(&mut self, world: &mut World, lm: LandmarkId) {
         self.known_down[lm.index()] = false;
+        self.route_epoch += 1; // `known_down` changed: stale route caches
         let Some(deg) = self.cfg.degradation else {
             return;
         };
@@ -1930,7 +2143,13 @@ impl Router for FlowRouter {
         }
     }
 
-    fn on_node_fail(&mut self, _world: &mut World, node: NodeId, _at: Option<LandmarkId>) {
+    fn on_node_fail(&mut self, _world: &mut World, node: NodeId, at: Option<LandmarkId>) {
+        // A node that dies while connected leaves without an `on_depart`:
+        // delete its carrier-rank entries here instead (the predictor
+        // state the keys derive from is untouched by the failure).
+        if let Some(lm) = at {
+            self.rank_update(node, lm, false);
+        }
         // Everything the node carried (packets, snapshot tables) is
         // already destroyed by the engine. Reset the router-side view of
         // its in-flight state; its long-term mobility model (predictor,
@@ -2067,8 +2286,11 @@ mod tests {
         assert!((delay - 6.0).abs() < 1e-12);
         assert!(!fellback);
 
-        // Primary's landmark is known down: divert to the backup.
+        // Primary's landmark is known down: divert to the backup. Every
+        // raw `known_down` write mirrors the station-fault path's epoch
+        // bump — that is the route-cache invalidation contract.
         router.known_down[1] = true;
+        router.route_epoch += 1;
         let (next, delay, _, fellback) = router.choose_next(LandmarkId(0), LandmarkId(3));
         assert_eq!(next, Some(LandmarkId(2)));
         assert!((delay - 7.0).abs() < 1e-12);
@@ -2076,6 +2298,7 @@ mod tests {
 
         // Backup down too: nothing better exists, keep the primary.
         router.known_down[2] = true;
+        router.route_epoch += 1;
         let (next, _, _, fellback) = router.choose_next(LandmarkId(0), LandmarkId(3));
         assert_eq!(next, Some(LandmarkId(1)));
         assert!(!fellback);
@@ -2083,6 +2306,7 @@ mod tests {
         // Without the degradation extension the down-set is ignored.
         router.cfg.degradation = None;
         router.known_down[2] = false;
+        router.route_epoch += 1;
         let (next, _, _, fellback) = router.choose_next(LandmarkId(0), LandmarkId(3));
         assert_eq!(next, Some(LandmarkId(1)));
         assert!(!fellback);

@@ -53,6 +53,13 @@ pub struct RoutingTable {
     /// claim injection, distrust, stale decay) — lets observers tell
     /// "table content changed" apart from "recompute over same inputs".
     revision: u64,
+    /// Bumped on every [`RoutingTable::recompute`] — the entries (what
+    /// [`RoutingTable::entry`] serves) can only change when this does,
+    /// so it is the validity stamp for the router's next-hop route
+    /// cache (DESIGN.md §14). Distinct from `revision`: stored vectors
+    /// can change without a recompute, and a recompute can rerun over
+    /// changed link delays without any vector change.
+    computed: u64,
 }
 
 impl RoutingTable {
@@ -72,6 +79,7 @@ impl RoutingTable {
             vectors: DenseMap::with_index_capacity(num),
             entries,
             revision: 0,
+            computed: 0,
         }
     }
 
@@ -88,6 +96,12 @@ impl RoutingTable {
     /// How many times the stored vectors have changed (observability).
     pub fn revision(&self) -> u64 {
         self.revision
+    }
+
+    /// How many times the entries have been recomputed — the validity
+    /// stamp for memoized next-hop decisions.
+    pub fn computed(&self) -> u64 {
+        self.computed
     }
 
     /// Store a vector received from `from` unless an equally-new or newer
@@ -223,6 +237,7 @@ impl RoutingTable {
                 }
             }
         }
+        self.computed += 1;
     }
 
     /// The routing entry for a destination.
@@ -308,6 +323,7 @@ impl RoutingTable {
             w.put_f64(e.backup_delay);
         }
         w.put_u64(self.revision);
+        w.put_u64(self.computed);
     }
 
     /// Inverse of [`RoutingTable::encode`].
@@ -346,12 +362,14 @@ impl RoutingTable {
             });
         }
         let revision = r.u64(CTX)?;
+        let computed = r.u64(CTX)?;
         Ok(RoutingTable {
             me,
             num,
             vectors,
             entries,
             revision,
+            computed,
         })
     }
 }

@@ -1,0 +1,86 @@
+//! Property equivalence: the `FlowRouter` next-hop route cache vs an
+//! uncached recompute, across recompute stamps and epoch flushes
+//! (DESIGN.md §14). A cached router serving an arbitrary interleaving
+//! of table growth, recomputes, cache flushes, and lookups must answer
+//! every lookup exactly as a cold router (fresh cache, same table)
+//! does — the cache may only ever memoize, never change, a decision.
+
+use dtnflow_core::ids::LandmarkId;
+use dtnflow_router::{FlowConfig, FlowRouter, RoutingTable};
+use proptest::prelude::*;
+
+const LANDMARKS: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Store a fresher distance claim `from -> dst` and recompute, the
+    /// way a carried-table merge does. Bumps the table's recompute
+    /// stamp, so every cached cell must refill.
+    Claim { from: u16, dst: u16, delay: u16 },
+    /// Re-derive entries over unchanged vectors (stamp still bumps).
+    Recompute,
+    /// A station up/down transition: router-wide epoch bump.
+    FlushEpoch,
+    /// One next-hop decision at landmark 0.
+    Lookup { dst: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let lm = 1..LANDMARKS as u16;
+    prop_oneof![
+        2 => (lm.clone(), lm.clone(), 1u16..2_000).prop_map(|(from, dst, delay)| {
+            Op::Claim { from, dst, delay }
+        }),
+        1 => Just(Op::Recompute),
+        1 => Just(Op::FlushEpoch),
+        4 => (1..LANDMARKS as u16).prop_map(|dst| Op::Lookup { dst }),
+    ]
+}
+
+fn link_delay(lm: LandmarkId) -> f64 {
+    30.0 + f64::from(lm.0) * 5.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cached_lookup_matches_cold_router(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut table = RoutingTable::new(LandmarkId(0), LANDMARKS);
+        let mut cached = FlowRouter::new(FlowConfig::default(), 1, LANDMARKS);
+        cached.bench_install_table(LandmarkId(0), table.clone());
+        let mut claim_seq = 0u64;
+        for op in ops {
+            match op {
+                Op::Claim { from, dst, delay } => {
+                    claim_seq += 1;
+                    table.set_claim(
+                        LandmarkId(from),
+                        LandmarkId(dst),
+                        f64::from(delay),
+                        claim_seq,
+                    );
+                    table.recompute(&link_delay);
+                    cached.bench_install_table(LandmarkId(0), table.clone());
+                }
+                Op::Recompute => {
+                    table.recompute(&link_delay);
+                    cached.bench_install_table(LandmarkId(0), table.clone());
+                }
+                Op::FlushEpoch => cached.bench_flush_route_cache(),
+                Op::Lookup { dst } => {
+                    let dst = LandmarkId(dst);
+                    // Cold reference: a fresh router whose first (and
+                    // only) lookup takes the uncached recompute path.
+                    let mut cold = FlowRouter::new(FlowConfig::default(), 1, LANDMARKS);
+                    cold.bench_install_table(LandmarkId(0), table.clone());
+                    let want = cold.bench_route_lookup(LandmarkId(0), dst);
+                    let got = cached.bench_route_lookup(LandmarkId(0), dst);
+                    prop_assert_eq!(got, want, "dst {:?}", dst);
+                    // A repeat is a guaranteed hit and must agree too.
+                    prop_assert_eq!(cached.bench_route_lookup(LandmarkId(0), dst), want);
+                }
+            }
+        }
+    }
+}

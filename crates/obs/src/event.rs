@@ -158,6 +158,21 @@ pub enum SimEvent {
         lm: LandmarkId,
         pkt: PacketId,
     },
+    /// Periodic route-cache health sample for one landmark: cumulative
+    /// forwarding decisions served from the memoized next-hop cell
+    /// (DESIGN.md §14).
+    RouteCacheHit {
+        at: SimTime,
+        lm: LandmarkId,
+        count: u64,
+    },
+    /// Counterpart of [`SimEvent::RouteCacheHit`]: cumulative decisions
+    /// that had to re-evaluate the divert/fallback logic.
+    RouteCacheMiss {
+        at: SimTime,
+        lm: LandmarkId,
+        count: u64,
+    },
     /// Periodic routing-table health sample for one landmark.
     RouteCoverage {
         at: SimTime,
@@ -177,7 +192,7 @@ pub enum SimEvent {
 /// Every kind tag, sorted — `kind_index` is the position here, so a flat
 /// `[u64; KIND_COUNT]` counter array iterated in index order reads back
 /// in exactly the order a `BTreeMap<&str, u64>` keyed by tag would.
-pub const KIND_TAGS: [&str; 19] = [
+pub const KIND_TAGS: [&str; 21] = [
     "bandwidth_updated",
     "checkpoint_written",
     "contact_close",
@@ -192,6 +207,8 @@ pub const KIND_TAGS: [&str; 19] = [
     "packet_lost",
     "restored",
     "retry_queued",
+    "route_cache_hit",
+    "route_cache_miss",
     "route_coverage",
     "station_down",
     "station_up",
@@ -222,6 +239,8 @@ impl SimEvent {
             | SimEvent::BandwidthUpdated { at, .. }
             | SimEvent::MisTransit { at, .. }
             | SimEvent::RetryQueued { at, .. }
+            | SimEvent::RouteCacheHit { at, .. }
+            | SimEvent::RouteCacheMiss { at, .. }
             | SimEvent::RouteCoverage { at, .. }
             | SimEvent::CheckpointWritten { at, .. }
             | SimEvent::Restored { at, .. } => at,
@@ -251,11 +270,13 @@ impl SimEvent {
             SimEvent::PacketLost { .. } => 11,
             SimEvent::Restored { .. } => 12,
             SimEvent::RetryQueued { .. } => 13,
-            SimEvent::RouteCoverage { .. } => 14,
-            SimEvent::StationDown { .. } => 15,
-            SimEvent::StationUp { .. } => 16,
-            SimEvent::TableExchanged { .. } => 17,
-            SimEvent::UnitBoundary { .. } => 18,
+            SimEvent::RouteCacheHit { .. } => 14,
+            SimEvent::RouteCacheMiss { .. } => 15,
+            SimEvent::RouteCoverage { .. } => 16,
+            SimEvent::StationDown { .. } => 17,
+            SimEvent::StationUp { .. } => 18,
+            SimEvent::TableExchanged { .. } => 19,
+            SimEvent::UnitBoundary { .. } => 20,
         }
     }
 
@@ -358,6 +379,11 @@ impl SimEvent {
             SimEvent::RetryQueued { lm, pkt, .. } => {
                 w.put_u16(lm.0);
                 w.put_u32(pkt.0);
+            }
+            SimEvent::RouteCacheHit { lm, count, .. }
+            | SimEvent::RouteCacheMiss { lm, count, .. } => {
+                w.put_u16(lm.0);
+                w.put_u64(count);
             }
             SimEvent::RouteCoverage {
                 lm,
@@ -472,28 +498,38 @@ impl SimEvent {
                 lm: LandmarkId(r.u16(CTX)?),
                 pkt: PacketId(r.u32(CTX)?),
             },
-            14 => SimEvent::RouteCoverage {
+            14 => SimEvent::RouteCacheHit {
+                at,
+                lm: LandmarkId(r.u16(CTX)?),
+                count: r.u64(CTX)?,
+            },
+            15 => SimEvent::RouteCacheMiss {
+                at,
+                lm: LandmarkId(r.u16(CTX)?),
+                count: r.u64(CTX)?,
+            },
+            16 => SimEvent::RouteCoverage {
                 at,
                 lm: LandmarkId(r.u16(CTX)?),
                 coverage: r.f64(CTX)?,
                 revision: r.u64(CTX)?,
             },
-            15 => SimEvent::StationDown {
+            17 => SimEvent::StationDown {
                 at,
                 lm: LandmarkId(r.u16(CTX)?),
             },
-            16 => SimEvent::StationUp {
+            18 => SimEvent::StationUp {
                 at,
                 lm: LandmarkId(r.u16(CTX)?),
             },
-            17 => SimEvent::TableExchanged {
+            19 => SimEvent::TableExchanged {
                 at,
                 from: LandmarkId(r.u16(CTX)?),
                 to: LandmarkId(r.u16(CTX)?),
                 entries: r.usize(CTX)?,
                 accepted: r.bool(CTX)?,
             },
-            18 => SimEvent::UnitBoundary {
+            20 => SimEvent::UnitBoundary {
                 at,
                 unit: r.u64(CTX)?,
             },
@@ -643,6 +679,12 @@ impl fmt::Display for SimEvent {
                 )
             }
             SimEvent::RetryQueued { lm, pkt, .. } => write!(f, "@{t} retry_queued {pkt} at {lm}"),
+            SimEvent::RouteCacheHit { lm, count, .. } => {
+                write!(f, "@{t} route_cache_hit {lm} count={count}")
+            }
+            SimEvent::RouteCacheMiss { lm, count, .. } => {
+                write!(f, "@{t} route_cache_miss {lm} count={count}")
+            }
             SimEvent::RouteCoverage {
                 lm,
                 coverage,
@@ -788,6 +830,16 @@ mod tests {
                 at: SimTime(0),
                 lm: LandmarkId(0),
                 pkt: PacketId(0),
+            },
+            SimEvent::RouteCacheHit {
+                at: SimTime(0),
+                lm: LandmarkId(0),
+                count: 0,
+            },
+            SimEvent::RouteCacheMiss {
+                at: SimTime(0),
+                lm: LandmarkId(0),
+                count: 0,
             },
             SimEvent::RouteCoverage {
                 at: SimTime(0),
@@ -936,6 +988,16 @@ mod tests {
                 at: SimTime(24),
                 lm: LandmarkId(2),
                 pkt: PacketId(8),
+            },
+            SimEvent::RouteCacheHit {
+                at: SimTime(24),
+                lm: LandmarkId(2),
+                count: 990,
+            },
+            SimEvent::RouteCacheMiss {
+                at: SimTime(24),
+                lm: LandmarkId(2),
+                count: 10,
             },
             SimEvent::RouteCoverage {
                 at: SimTime(25),

@@ -156,6 +156,9 @@ pub struct ObsMetrics {
     pub bandwidth: LinkMatrix,
     /// Latest `(coverage, table revision)` sample per landmark.
     pub coverage: DenseMap<u16, (f64, u64)>,
+    /// Latest cumulative route-cache `(hits, misses)` sample per
+    /// landmark (DESIGN.md §14).
+    pub route_cache: DenseMap<u16, (u64, u64)>,
     /// Event counts per kind tag.
     pub event_counts: EventCounts,
     /// End-to-end delivery delay histogram (see `DELAY_BUCKET_EDGES_SECS`).
@@ -194,6 +197,10 @@ impl ObsMetrics {
         self.coverage.encode_with(w, |w, &(cov, rev)| {
             w.put_f64(cov);
             w.put_u64(rev);
+        });
+        self.route_cache.encode_with(w, |w, &(hits, misses)| {
+            w.put_u64(hits);
+            w.put_u64(misses);
         });
         self.event_counts.encode(w);
         for &b in &self.delay_hist {
@@ -235,6 +242,8 @@ impl ObsMetrics {
         let bandwidth = LinkMatrix::decode(r)?;
         let coverage =
             DenseMap::decode_with(r, |r| Ok::<_, SnapshotError>((r.f64(CTX)?, r.u64(CTX)?)))?;
+        let route_cache =
+            DenseMap::decode_with(r, |r| Ok::<_, SnapshotError>((r.u64(CTX)?, r.u64(CTX)?)))?;
         let event_counts = EventCounts::decode(r)?;
         let mut delay_hist = [0u64; DELAY_BUCKETS];
         for b in &mut delay_hist {
@@ -259,6 +268,7 @@ impl ObsMetrics {
             landmarks,
             bandwidth,
             coverage,
+            route_cache,
             event_counts,
             delay_hist,
             hop_hist,
@@ -382,6 +392,12 @@ impl ObsMetrics {
             } => {
                 self.coverage.insert(lm.0, (coverage, revision));
             }
+            SimEvent::RouteCacheHit { lm, count, .. } => {
+                self.route_cache.get_or_default(lm.0).0 = count;
+            }
+            SimEvent::RouteCacheMiss { lm, count, .. } => {
+                self.route_cache.get_or_default(lm.0).1 = count;
+            }
         }
     }
 }
@@ -501,8 +517,19 @@ mod tests {
                 coverage: v,
                 revision: unit,
             });
+            m.apply(&SimEvent::RouteCacheHit {
+                at: SimTime(unit * 100),
+                lm: LandmarkId(0),
+                count: unit * 10,
+            });
+            m.apply(&SimEvent::RouteCacheMiss {
+                at: SimTime(unit * 100),
+                lm: LandmarkId(0),
+                count: unit,
+            });
         }
         assert_eq!(m.bandwidth.get(0, 1), Some(0.75));
         assert_eq!(m.coverage[0], (0.75, 2));
+        assert_eq!(m.route_cache[0], (20, 2));
     }
 }

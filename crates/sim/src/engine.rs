@@ -11,12 +11,11 @@ use dtnflow_core::ids::{LandmarkId, NodeId};
 use dtnflow_core::metrics::RunMetrics;
 use dtnflow_core::packet::Packet;
 use dtnflow_core::time::{SimDuration, SimTime};
+use dtnflow_core::wheel::TimingWheel;
 use dtnflow_mobility::Trace;
 use dtnflow_obs::{Recorder, SimEvent, TraceSink};
 use dtnflow_shard::{ShardExec, ShardPlan, Sharding};
 use dtnflow_snapshot::{Reader, SnapshotError, Writer};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// What one simulation run produced.
 #[derive(Debug)]
@@ -382,7 +381,11 @@ pub struct SimSession<'a, R: Router + ?Sized> {
     plan: ShardPlan,
     // detlint: allow(S1, reason = "run input, not state: a throughput knob, never a semantic one")
     exec: ShardExec,
-    timers: BinaryHeap<Reverse<Event>>,
+    /// Pending router timers in a hierarchical timing wheel (DESIGN.md
+    /// §14): O(1) schedule, pops in exactly the `(at, seq)` order the
+    /// old binary heap produced (the wheel holds only `Timer` events,
+    /// whose kind priority is constant).
+    timers: TimingWheel,
     timer_seq: u64,
     // detlint: allow(S1, reason = "derived from the run's fault plan; resume() recomputes it from the same inputs")
     record_lost: Vec<bool>,
@@ -451,7 +454,7 @@ impl<'a, R: Router + ?Sized> SimSession<'a, R> {
             queues: ShardQueues::build(events, &shard_plan, 0),
             plan: shard_plan,
             exec,
-            timers: BinaryHeap::new(),
+            timers: TimingWheel::new(),
             timer_seq: u64::MAX / 2,
             record_lost: build_record_lost(trace, plan),
             station_mode,
@@ -500,10 +503,14 @@ impl<'a, R: Router + ?Sized> SimSession<'a, R> {
     pub fn run_to_unit(&mut self, target: u64) -> bool {
         loop {
             let static_ev = self.queues.peek();
-            let timer_ev = self.timers.peek().map(|&Reverse(e)| e);
+            let timer_ev = self.timers.peek_min().map(|e| Event {
+                at: SimTime(e.at),
+                kind: EventKind::Timer(e.payload),
+                seq: e.seq,
+            });
             let ev = match (static_ev, timer_ev) {
                 (Some(s), Some(t)) if t < s => {
-                    self.timers.pop();
+                    self.timers.pop_min();
                     t
                 }
                 (Some(s), _) => {
@@ -515,7 +522,7 @@ impl<'a, R: Router + ?Sized> SimSession<'a, R> {
                     s
                 }
                 (None, Some(t)) => {
-                    self.timers.pop();
+                    self.timers.pop_min();
                     t
                 }
                 (None, None) => return false,
@@ -627,14 +634,10 @@ impl<'a, R: Router + ?Sized> SimSession<'a, R> {
         }
     }
 
-    /// Move router-requested timers into the heap.
+    /// Move router-requested timers into the wheel.
     fn drain_timers(&mut self) {
         for (at, token) in self.world.pending_timers.drain(..) {
-            self.timers.push(Reverse(Event {
-                at,
-                kind: EventKind::Timer(token),
-                seq: self.timer_seq,
-            }));
+            self.timers.push(at.secs(), self.timer_seq, token);
             self.timer_seq += 1;
         }
     }
@@ -644,25 +647,17 @@ impl<'a, R: Router + ?Sized> SimSession<'a, R> {
     /// Encode the engine cursor: consumed static-event count (in merge
     /// order, which equals global sorted order — so the value is
     /// shard-count-agnostic), timer sequence counter, and the pending
-    /// timer heap (sorted ascending, so the encoding is canonical
-    /// regardless of heap internals).
+    /// timers (sorted ascending, so the encoding is canonical
+    /// regardless of wheel internals — and byte-identical to the
+    /// format the old binary heap produced).
     pub fn encode_engine(&self, w: &mut Writer) {
         w.put_usize(self.queues.dispatched());
         w.put_u64(self.timer_seq);
-        let mut pending: Vec<Event> = self.timers.iter().map(|&Reverse(e)| e).collect();
-        pending.sort_unstable();
+        let pending = self.timers.to_sorted_vec();
         w.put_usize(pending.len());
         for e in &pending {
-            w.put_u64(e.at.secs());
-            // The heap only ever holds `Timer` events (see `drain_timers`).
-            let token = match e.kind {
-                EventKind::Timer(token) => token,
-                _ => {
-                    debug_assert!(false, "non-timer event in timer heap");
-                    0
-                }
-            };
-            w.put_u64(token);
+            w.put_u64(e.at);
+            w.put_u64(e.payload);
             w.put_u64(e.seq);
         }
     }
@@ -753,16 +748,12 @@ impl<'a, R: Router + ?Sized> SimSession<'a, R> {
         }
         let timer_seq = engine.u64(CTX)?;
         let n = engine.seq_len("SimSession.timers")?;
-        let mut timers: BinaryHeap<Reverse<Event>> = BinaryHeap::with_capacity(n);
+        let mut timers = TimingWheel::new();
         for _ in 0..n {
-            let at = SimTime(engine.u64(CTX)?);
+            let at = engine.u64(CTX)?;
             let token = engine.u64(CTX)?;
             let seq = engine.u64(CTX)?;
-            timers.push(Reverse(Event {
-                at,
-                kind: EventKind::Timer(token),
-                seq,
-            }));
+            timers.push(at, seq, token);
         }
         let mut restored =
             World::decode_state(world, cfg.clone(), trace.num_nodes(), trace.num_landmarks())?;

@@ -14,6 +14,7 @@ use dtnflow_core::ids::{LandmarkId, NodeId, PacketId};
 use dtnflow_core::metrics::RunMetrics;
 use dtnflow_core::packet::{Packet, PacketLoc};
 use dtnflow_core::time::SimTime;
+use dtnflow_core::wheel::{TimingWheel, WheelEntry};
 use dtnflow_obs::{EventBuffer, LossKind, Place, ShardBuffers, SimEvent, TraceSink};
 use dtnflow_shard::ShardExec;
 use dtnflow_snapshot::{Reader, SnapshotError, Writer};
@@ -187,6 +188,18 @@ pub struct World {
     /// (fault injection; `true` outside fault runs). Routers must skip
     /// predictor/history learning when this is `false`.
     visit_recorded: bool,
+    /// Packet deadlines in a hierarchical timing wheel (DESIGN.md §14).
+    /// Every created non-stillborn packet is filed once at creation
+    /// under `(deadline, id)`; purges drain the wheel instead of
+    /// scanning all packets. Because every packet shares `cfg.ttl`,
+    /// deadlines are non-decreasing in packet id, so the wheel's
+    /// `(deadline, id)` drain order IS the ascending-id order the old
+    /// scan produced. Entries of packets that died early (delivered,
+    /// lost, expired on touch) stay filed and are skipped when drained.
+    expiry: TimingWheel,
+    /// Reusable drain buffer for [`World::purge_expired`].
+    // detlint: allow(S1, reason = "scratch buffer, always cleared before use")
+    scratch_fired: Vec<WheelEntry>,
     /// Timers requested by the router, drained by the engine.
     pub(crate) pending_timers: Vec<(SimTime, u64)>,
     /// Attached observability sink (`None` = tracing disabled; event
@@ -245,6 +258,8 @@ impl World {
             node_failed: vec![false; num_nodes],
             awaiting_recovery: vec![None; num_landmarks],
             visit_recorded: true,
+            expiry: TimingWheel::new(),
+            scratch_fired: Vec::new(),
             pending_timers: Vec::new(),
             trace: None,
             cfg,
@@ -839,7 +854,17 @@ impl World {
             self.pending[src.index()].insert(id);
         }
         let start = place_of(p.loc);
+        let deadline = p.deadline();
+        // The wheel's (deadline, id) drain order equals ascending id only
+        // while deadlines are non-decreasing in id: shared ttl + monotone
+        // creation times. Guard the invariant the purge order rests on.
+        debug_assert!(
+            self.packets.last().is_none_or(|q| q.created <= p.created),
+            "packet creation times must be non-decreasing"
+        );
         self.packets.push(p);
+        self.expiry
+            .push(deadline.secs(), id.index() as u64, id.index() as u64);
         self.metrics.generated += 1;
         self.emit(|at| SimEvent::PacketGenerated {
             at,
@@ -875,52 +900,37 @@ impl World {
     }
 
     /// Drop every live packet whose TTL has elapsed.
+    ///
+    /// Drains the expiry wheel up to `now` instead of scanning all
+    /// packets: the drained entries arrive in `(deadline, id)` order —
+    /// equal to the ascending-id order of the scan this replaces, since
+    /// deadlines are non-decreasing in id (see `create_packet`) — and
+    /// the drain condition `deadline <= now` is exactly
+    /// `Packet::is_expired_at`. Entries whose packet already died
+    /// (delivered, lost, expired on touch) are skipped, mirroring the
+    /// old scan's `is_live` filter.
     pub(crate) fn purge_expired(&mut self) {
         let now = self.now;
-        let expired: Vec<PacketId> = self
-            .packets
-            .iter()
-            .filter(|p| p.loc.is_live() && p.is_expired_at(now))
-            .map(|p| p.id)
-            .collect();
-        for pkt in expired {
-            self.expire_packet(pkt);
+        let mut fired = std::mem::take(&mut self.scratch_fired);
+        fired.clear();
+        self.expiry.drain_up_to(now.secs(), &mut fired);
+        for e in &fired {
+            let pkt = PacketId::from(e.payload as usize);
+            if self.packets[pkt.index()].loc.is_live() {
+                self.expire_packet(pkt);
+            }
         }
+        fired.clear();
+        self.scratch_fired = fired;
     }
 
-    /// [`World::purge_expired`], with the scan fanned out over `exec`.
-    ///
-    /// Workers only *find* expired packets (a pure read over disjoint
-    /// packet ranges); the commits — `expire_packet`, which mutates
-    /// stores, metrics and the trace — happen serially afterwards. The
-    /// ranges are contiguous and consumed in part order, so the flattened
-    /// candidate list is ascending by packet id: exactly the order the
-    /// sequential scan produces, hence byte-identical outcomes.
-    pub(crate) fn purge_expired_sharded(&mut self, exec: &ShardExec) {
-        /// Below this packet count the spawn overhead dwarfs the scan.
-        const PAR_MIN: usize = 1024;
-        if !exec.parallel() || self.packets.len() < PAR_MIN {
-            self.purge_expired();
-            return;
-        }
-        let now = self.now;
-        let n = self.packets.len();
-        let chunk = n.div_ceil(exec.threads());
-        let parts: Vec<(usize, usize)> = (0..exec.threads())
-            .map(|i| (i * chunk, ((i + 1) * chunk).min(n)))
-            .filter(|&(lo, hi)| lo < hi)
-            .collect();
-        let packets = &self.packets;
-        let found = exec.map_parts(parts, |_, (lo, hi)| {
-            packets[lo..hi]
-                .iter()
-                .filter(|p| p.loc.is_live() && p.is_expired_at(now))
-                .map(|p| p.id)
-                .collect::<Vec<PacketId>>()
-        });
-        for pkt in found.into_iter().flatten() {
-            self.expire_packet(pkt);
-        }
+    /// [`World::purge_expired`]; the `exec` parameter is kept for call
+    /// sites but unused. The wheel drain touches only due entries —
+    /// already sublinear in the packet population — so the fan-out the
+    /// old full scan needed (find in parallel, commit serially) has
+    /// nothing left to parallelize.
+    pub(crate) fn purge_expired_sharded(&mut self, _exec: &ShardExec) {
+        self.purge_expired();
     }
 
     /// Drain a worker-filled event buffer into the attached sink, or
@@ -1051,6 +1061,7 @@ impl World {
             }
         }
         w.put_bool(self.visit_recorded);
+        self.expiry.encode(w);
         w.put_usize(self.pending_timers.len());
         for &(at, token) in &self.pending_timers {
             w.put_u64(at.secs());
@@ -1176,6 +1187,15 @@ impl World {
             });
         }
         let visit_recorded = r.bool(CTX)?;
+        let expiry = TimingWheel::decode(r)?;
+        if expiry
+            .peek_min()
+            .is_some_and(|e| e.payload as usize >= packets.len())
+        {
+            // Wheel payloads are packet ids; the minimum check catches
+            // gross mismatches cheaply (full validation would rescan).
+            return Err(SnapshotError::Corrupt { context: CTX });
+        }
         let n = r.seq_len("World.pending_timers")?;
         let mut pending_timers = Vec::with_capacity(n);
         for _ in 0..n {
@@ -1205,6 +1225,8 @@ impl World {
             node_failed,
             awaiting_recovery,
             visit_recorded,
+            expiry,
+            scratch_fired: Vec::new(),
             pending_timers,
             trace: None,
         })

@@ -109,7 +109,7 @@ fn recorded_stream_is_byte_stable() {
 const PINNED_FIRST_LINE: &str = "@0 unit_boundary u0";
 const PINNED_LINE_COUNT: usize = 931;
 const PINNED_LOG_FNV1A: u64 = 0x854b_485b_24c9_bf2c;
-const PINNED_SNAPSHOT_FNV1A: u64 = 0x89cd_63f1_f572_7d75;
+const PINNED_SNAPSHOT_FNV1A: u64 = 0xbd5c_c6b6_4e2b_13ef;
 
 /// FNV-1a 64 over the log bytes: a tiny, dependency-free fingerprint.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -147,6 +147,52 @@ fn recorded_stream_is_byte_stable_across_processes() {
         PINNED_SNAPSHOT_FNV1A,
         "snapshot JSON bytes diverged"
     );
+}
+
+/// Observe points drive the gauge exports end-to-end: a traced run with
+/// `observe_points > 0` must surface per-landmark route coverage AND the
+/// route-cache hit/miss gauge in the snapshot (DESIGN.md §14). The two
+/// ride the same `on_observe` emission path; neither appears in untraced
+/// or zero-observe-point runs.
+#[test]
+fn observe_points_populate_route_gauges() {
+    let (trace, mut cfg) = scenario();
+    cfg.observe_points = 4;
+    let wl = Workload::uniform(&cfg, trace.num_landmarks(), trace.duration());
+    let plan = FaultPlan::generate(&FaultConfig::default(), &trace);
+    let mut router = FlowRouter::new(
+        FlowConfig::default(),
+        trace.num_nodes(),
+        trace.num_landmarks(),
+    );
+    let mut out = run_traced(
+        &trace,
+        &cfg,
+        &wl,
+        &plan,
+        &mut router,
+        Box::new(Recorder::new(1 << 16)),
+    );
+    let rec = out
+        .trace
+        .take()
+        .and_then(Recorder::downcast)
+        .expect("recorder sink attached");
+    let snap = rec.snapshot();
+    assert!(!snap.route_coverage.is_empty(), "no coverage gauge rows");
+    assert!(!snap.route_cache.is_empty(), "no route-cache gauge rows");
+    let (hits, misses) = snap
+        .route_cache
+        .iter()
+        .fold((0u64, 0u64), |(h, m), &(_, hh, mm)| (h + hh, m + mm));
+    assert!(
+        hits + misses > 0,
+        "route-cache counters never moved: hits={hits} misses={misses}"
+    );
+    // The gauge must survive the JSON round trip the validator checks.
+    let json = snap.to_json();
+    assert!(json.contains("\"route_cache\""), "key missing from JSON");
+    assert!(json.contains("\"hits\""), "hits missing from JSON");
 }
 
 /// The log renders in simulation order with non-decreasing timestamps —
