@@ -6,13 +6,13 @@
 use crate::experiments::ObsCell;
 use crate::report::Table;
 use crate::runners::{
-    parallel_map, run_method_observed_sharded, run_method_with_faults_sharded, Method,
-    MethodOutcome,
+    parallel_map, run_method_observed_sharded_dispatch, run_method_with_faults_sharded_dispatch,
+    Method, MethodOutcome,
 };
 use crate::scenarios::Scenario;
 use dtnflow_core::config::SimConfig;
 use dtnflow_obs::Snapshot;
-use dtnflow_sim::FaultPlan;
+use dtnflow_sim::{DispatchMode, FaultPlan};
 
 /// One sweep: x-axis points × all six methods → the four metric tables,
 /// plus (when `obs`) one observability snapshot per (point, method) cell.
@@ -26,6 +26,7 @@ fn sweep(
     points: &[(String, SimConfig)],
     obs: bool,
     shards: usize,
+    mode: DispatchMode,
 ) -> (Vec<Table>, Vec<ObsCell>) {
     // Flatten (point, method) into independent jobs.
     let jobs: Vec<(usize, Method)> = (0..points.len())
@@ -35,24 +36,26 @@ fn sweep(
         let cfg = &points[p].1;
         let wl = scenario.workload(cfg);
         if obs {
-            let (o, snap) = run_method_observed_sharded(
+            let (o, snap, _stats) = run_method_observed_sharded_dispatch(
                 &scenario.trace,
                 cfg,
                 &wl,
                 &FaultPlan::none(),
                 m,
                 shards,
+                mode,
             );
             (o, Some(snap))
         } else {
             (
-                run_method_with_faults_sharded(
+                run_method_with_faults_sharded_dispatch(
                     &scenario.trace,
                     cfg,
                     &wl,
                     &FaultPlan::none(),
                     m,
                     shards,
+                    mode,
                 ),
                 None,
             )
@@ -144,109 +147,202 @@ fn rate_points(base: &SimConfig, seed: u64, quick: bool) -> Vec<(String, SimConf
         .collect()
 }
 
-fn memory_campus(quick: bool, obs: bool, shards: usize) -> (Vec<Table>, Vec<ObsCell>) {
+fn memory_campus(
+    quick: bool,
+    obs: bool,
+    shards: usize,
+    mode: DispatchMode,
+) -> (Vec<Table>, Vec<ObsCell>) {
     let s = Scenario::campus();
     let pts = memory_points(&s.base_cfg, 0xF11, quick);
-    sweep(&s, "fig11", "memory (kB)", &pts, obs, shards)
+    sweep(&s, "fig11", "memory (kB)", &pts, obs, shards, mode)
 }
 
-fn memory_bus(quick: bool, obs: bool, shards: usize) -> (Vec<Table>, Vec<ObsCell>) {
+fn memory_bus(
+    quick: bool,
+    obs: bool,
+    shards: usize,
+    mode: DispatchMode,
+) -> (Vec<Table>, Vec<ObsCell>) {
     let s = Scenario::bus();
     let pts = memory_points(&s.base_cfg, 0xF12, quick);
-    sweep(&s, "fig12", "memory (kB)", &pts, obs, shards)
+    sweep(&s, "fig12", "memory (kB)", &pts, obs, shards, mode)
 }
 
-fn rate_campus(quick: bool, obs: bool, shards: usize) -> (Vec<Table>, Vec<ObsCell>) {
+fn rate_campus(
+    quick: bool,
+    obs: bool,
+    shards: usize,
+    mode: DispatchMode,
+) -> (Vec<Table>, Vec<ObsCell>) {
     let s = Scenario::campus();
     let pts = rate_points(&s.base_cfg, 0xF13, quick);
-    sweep(&s, "fig13", "packets/landmark/day", &pts, obs, shards)
+    sweep(&s, "fig13", "packets/landmark/day", &pts, obs, shards, mode)
 }
 
-fn rate_bus(quick: bool, obs: bool, shards: usize) -> (Vec<Table>, Vec<ObsCell>) {
+fn rate_bus(
+    quick: bool,
+    obs: bool,
+    shards: usize,
+    mode: DispatchMode,
+) -> (Vec<Table>, Vec<ObsCell>) {
     let s = Scenario::bus();
     let pts = rate_points(&s.base_cfg, 0xF14, quick);
-    sweep(&s, "fig14", "packets/landmark/day", &pts, obs, shards)
+    sweep(&s, "fig14", "packets/landmark/day", &pts, obs, shards, mode)
 }
 
 /// Fig. 11: campus, memory 1200..=3000 kB, rate 500.
 pub fn memory_sweep_campus(quick: bool) -> Vec<Table> {
-    memory_campus(quick, false, 1).0
+    memory_campus(quick, false, 1, DispatchMode::default()).0
 }
 
 /// Fig. 11 under a shard runtime; byte-identical for every shard count.
 pub fn memory_sweep_campus_sharded(quick: bool, shards: usize) -> Vec<Table> {
-    memory_campus(quick, false, shards).0
+    memory_sweep_campus_sharded_dispatch(quick, shards, DispatchMode::default())
+}
+
+/// [`memory_sweep_campus_sharded`] with an explicit [`DispatchMode`];
+/// byte-identical across modes (DESIGN.md §15).
+pub fn memory_sweep_campus_sharded_dispatch(
+    quick: bool,
+    shards: usize,
+    mode: DispatchMode,
+) -> Vec<Table> {
+    memory_campus(quick, false, shards, mode).0
 }
 
 /// Fig. 11 with per-cell observability snapshots.
 pub fn memory_sweep_campus_obs(quick: bool) -> (Vec<Table>, Vec<ObsCell>) {
-    memory_campus(quick, true, 1)
+    memory_campus(quick, true, 1, DispatchMode::default())
 }
 
 /// Fig. 11 with snapshots, under a shard runtime. Tables and snapshots
 /// are byte-identical for every shard count (`shard_differential` suite).
 pub fn memory_sweep_campus_obs_sharded(quick: bool, shards: usize) -> (Vec<Table>, Vec<ObsCell>) {
-    memory_campus(quick, true, shards)
+    memory_sweep_campus_obs_sharded_dispatch(quick, shards, DispatchMode::default())
+}
+
+/// [`memory_sweep_campus_obs_sharded`] with an explicit [`DispatchMode`].
+pub fn memory_sweep_campus_obs_sharded_dispatch(
+    quick: bool,
+    shards: usize,
+    mode: DispatchMode,
+) -> (Vec<Table>, Vec<ObsCell>) {
+    memory_campus(quick, true, shards, mode)
 }
 
 /// Fig. 12: bus, memory 1200..=3000 kB, rate 500.
 pub fn memory_sweep_bus(quick: bool) -> Vec<Table> {
-    memory_bus(quick, false, 1).0
+    memory_bus(quick, false, 1, DispatchMode::default()).0
 }
 
 /// Fig. 12 under a shard runtime; byte-identical for every shard count.
 pub fn memory_sweep_bus_sharded(quick: bool, shards: usize) -> Vec<Table> {
-    memory_bus(quick, false, shards).0
+    memory_sweep_bus_sharded_dispatch(quick, shards, DispatchMode::default())
+}
+
+/// [`memory_sweep_bus_sharded`] with an explicit [`DispatchMode`].
+pub fn memory_sweep_bus_sharded_dispatch(
+    quick: bool,
+    shards: usize,
+    mode: DispatchMode,
+) -> Vec<Table> {
+    memory_bus(quick, false, shards, mode).0
 }
 
 /// Fig. 12 with per-cell observability snapshots.
 pub fn memory_sweep_bus_obs(quick: bool) -> (Vec<Table>, Vec<ObsCell>) {
-    memory_bus(quick, true, 1)
+    memory_bus(quick, true, 1, DispatchMode::default())
 }
 
 /// Fig. 12 with snapshots, under a shard runtime.
 pub fn memory_sweep_bus_obs_sharded(quick: bool, shards: usize) -> (Vec<Table>, Vec<ObsCell>) {
-    memory_bus(quick, true, shards)
+    memory_sweep_bus_obs_sharded_dispatch(quick, shards, DispatchMode::default())
+}
+
+/// [`memory_sweep_bus_obs_sharded`] with an explicit [`DispatchMode`].
+pub fn memory_sweep_bus_obs_sharded_dispatch(
+    quick: bool,
+    shards: usize,
+    mode: DispatchMode,
+) -> (Vec<Table>, Vec<ObsCell>) {
+    memory_bus(quick, true, shards, mode)
 }
 
 /// Fig. 13: campus, rate 100..=1000, memory 2000 kB.
 pub fn rate_sweep_campus(quick: bool) -> Vec<Table> {
-    rate_campus(quick, false, 1).0
+    rate_campus(quick, false, 1, DispatchMode::default()).0
 }
 
 /// Fig. 13 under a shard runtime; byte-identical for every shard count.
 pub fn rate_sweep_campus_sharded(quick: bool, shards: usize) -> Vec<Table> {
-    rate_campus(quick, false, shards).0
+    rate_sweep_campus_sharded_dispatch(quick, shards, DispatchMode::default())
+}
+
+/// [`rate_sweep_campus_sharded`] with an explicit [`DispatchMode`].
+pub fn rate_sweep_campus_sharded_dispatch(
+    quick: bool,
+    shards: usize,
+    mode: DispatchMode,
+) -> Vec<Table> {
+    rate_campus(quick, false, shards, mode).0
 }
 
 /// Fig. 13 with per-cell observability snapshots.
 pub fn rate_sweep_campus_obs(quick: bool) -> (Vec<Table>, Vec<ObsCell>) {
-    rate_campus(quick, true, 1)
+    rate_campus(quick, true, 1, DispatchMode::default())
 }
 
 /// Fig. 13 with snapshots, under a shard runtime.
 pub fn rate_sweep_campus_obs_sharded(quick: bool, shards: usize) -> (Vec<Table>, Vec<ObsCell>) {
-    rate_campus(quick, true, shards)
+    rate_sweep_campus_obs_sharded_dispatch(quick, shards, DispatchMode::default())
+}
+
+/// [`rate_sweep_campus_obs_sharded`] with an explicit [`DispatchMode`].
+pub fn rate_sweep_campus_obs_sharded_dispatch(
+    quick: bool,
+    shards: usize,
+    mode: DispatchMode,
+) -> (Vec<Table>, Vec<ObsCell>) {
+    rate_campus(quick, true, shards, mode)
 }
 
 /// Fig. 14: bus, rate 100..=1000, memory 2000 kB.
 pub fn rate_sweep_bus(quick: bool) -> Vec<Table> {
-    rate_bus(quick, false, 1).0
+    rate_bus(quick, false, 1, DispatchMode::default()).0
 }
 
 /// Fig. 14 under a shard runtime; byte-identical for every shard count.
 pub fn rate_sweep_bus_sharded(quick: bool, shards: usize) -> Vec<Table> {
-    rate_bus(quick, false, shards).0
+    rate_sweep_bus_sharded_dispatch(quick, shards, DispatchMode::default())
+}
+
+/// [`rate_sweep_bus_sharded`] with an explicit [`DispatchMode`].
+pub fn rate_sweep_bus_sharded_dispatch(
+    quick: bool,
+    shards: usize,
+    mode: DispatchMode,
+) -> Vec<Table> {
+    rate_bus(quick, false, shards, mode).0
 }
 
 /// Fig. 14 with per-cell observability snapshots.
 pub fn rate_sweep_bus_obs(quick: bool) -> (Vec<Table>, Vec<ObsCell>) {
-    rate_bus(quick, true, 1)
+    rate_bus(quick, true, 1, DispatchMode::default())
 }
 
 /// Fig. 14 with snapshots, under a shard runtime.
 pub fn rate_sweep_bus_obs_sharded(quick: bool, shards: usize) -> (Vec<Table>, Vec<ObsCell>) {
-    rate_bus(quick, true, shards)
+    rate_sweep_bus_obs_sharded_dispatch(quick, shards, DispatchMode::default())
+}
+
+/// [`rate_sweep_bus_obs_sharded`] with an explicit [`DispatchMode`].
+pub fn rate_sweep_bus_obs_sharded_dispatch(
+    quick: bool,
+    shards: usize,
+    mode: DispatchMode,
+) -> (Vec<Table>, Vec<ObsCell>) {
+    rate_bus(quick, true, shards, mode)
 }
 
 #[cfg(test)]

@@ -10,10 +10,10 @@ use dtnflow_bench::chaos::{
     boundary_inside_outage, checkpoint, outage_plan, run_segment, run_straight, run_with_kills,
     ChaosInputs, SegmentEnd, SECTIONS,
 };
-use dtnflow_obs::{Recorder, DEFAULT_RING_CAPACITY};
-use dtnflow_router::FlowRouter;
+use dtnflow_obs::{Recorder, SimEvent, DEFAULT_RING_CAPACITY};
+use dtnflow_router::{DegradationConfig, FlowConfig, FlowRouter};
 use dtnflow_sim::{FaultPlan, SimSession};
-use dtnflow_snapshot::{validate, SnapshotError, SnapshotFile};
+use dtnflow_snapshot::{validate, Reader, SnapshotError, SnapshotFile};
 
 /// Take one checkpoint of the tiny cell at `unit`, for corruption tests.
 fn tiny_snapshot(unit: u64) -> Vec<u8> {
@@ -185,9 +185,140 @@ fn checkpoint_written_event_lands_inside_the_snapshot_recorder() {
     assert_eq!(count, 1, "CheckpointWritten missing from snapshot recorder");
 }
 
-/// The full-scale acceptance run: the fig11 campus cell (the tier-1
-/// golden experiment) killed and restored at three crash points plus a
-/// double-kill chain, byte-identical to the uninterrupted run.
+// ---- wheel-backed stranded-packet retries (DESIGN.md §15) -------------
+
+/// The tiny outage cell with graceful degradation on and a configurable
+/// recovery→retry delay, so stranded-packet retries ride the engine
+/// timing wheel instead of firing inline at the recovery instant.
+fn tiny_retry_inputs(seed: u64, retry_delay_secs: u64) -> ChaosInputs {
+    let base = ChaosInputs::tiny(seed, FaultPlan::none());
+    let plan = outage_plan(&base.trace, base.cfg.time_unit.secs(), seed);
+    assert!(!plan.station_outages.is_empty());
+    let flow = FlowConfig {
+        degradation: Some(DegradationConfig {
+            retry_delay_secs,
+            ..DegradationConfig::default()
+        }),
+        ..FlowConfig::default()
+    };
+    ChaosInputs { plan, flow, ..base }
+}
+
+/// The retry-timer token tag (`dtnflow_router`'s bit-63 namespace); the
+/// test asserts a pending wheel entry carries it across a checkpoint.
+const RETRY_TOKEN_TAG: u64 = 1 << 63;
+
+/// A delayed retry is an ordinary pending timer: a checkpoint taken at a
+/// boundary between a station's recovery and its retry firing contains
+/// the tagged wheel entry, and the restored run is byte-identical to the
+/// uninterrupted one — under the old inline scan the retry state would
+/// have been lost with the process.
+#[test]
+fn delayed_retry_timer_survives_checkpoint_restore() {
+    // 1.5 time units: every recovery has a unit boundary before its
+    // retry fires (boundary gap ≤ 1 unit < delay).
+    let unit = ChaosInputs::tiny(13, FaultPlan::none())
+        .cfg
+        .time_unit
+        .secs();
+    let inp = tiny_retry_inputs(13, unit + unit / 2);
+    let m = inp.max_unit();
+    let kill = inp
+        .plan
+        .station_outages
+        .iter()
+        .map(|o| o.up.secs() / unit + 1)
+        .find(|&u| u >= 1 && u < m)
+        .expect("an outage recovery is followed by a unit boundary");
+    let straight = run_straight(&inp).expect("straight run");
+    assert!(straight.conservation_holds());
+
+    let bytes = match run_segment(&inp, None, Some(kill)).expect("segment runs") {
+        SegmentEnd::Paused(b) => b,
+        SegmentEnd::Finished(_) => panic!("run ended before unit {kill}"),
+    };
+    // The snapshot's engine section holds the tagged retry timer.
+    let file = SnapshotFile::parse(&bytes).expect("snapshot parses");
+    let engine = file.section("engine").expect("engine section");
+    let mut r = Reader::new(&engine.payload);
+    let _dispatched = r.usize("engine").expect("cursor");
+    let _timer_seq = r.u64("engine").expect("timer_seq");
+    let pending = r.usize("engine").expect("pending count");
+    let mut tagged = 0;
+    for _ in 0..pending {
+        let _at = r.u64("engine").expect("at");
+        let payload = r.u64("engine").expect("payload");
+        let _seq = r.u64("engine").expect("seq");
+        if payload & RETRY_TOKEN_TAG != 0 {
+            tagged += 1;
+        }
+    }
+    assert!(
+        tagged > 0,
+        "no tagged retry timer pending at unit {kill} (of {pending} timers)"
+    );
+
+    let art = match run_segment(&inp, Some(&bytes), None).expect("resume runs") {
+        SegmentEnd::Finished(a) => a,
+        SegmentEnd::Paused(_) => panic!("unkilled resume paused"),
+    };
+    assert!(art.conservation_holds());
+    assert!(
+        art.matches(&straight),
+        "restore across a pending retry timer diverged"
+    );
+}
+
+/// Golden pin of the retry firing order: at each recovery the stranded
+/// packets re-queue in ascending packet id — exactly the station-store
+/// scan order the old inline implementation used — and with the default
+/// zero delay the whole faulted run stays byte-identical to itself
+/// across kill/restore cycles.
+#[test]
+fn wheel_retries_fire_in_station_scan_order() {
+    let inp = tiny_retry_inputs(13, 0);
+    let mut router = FlowRouter::new(
+        inp.flow.clone(),
+        inp.trace.num_nodes(),
+        inp.trace.num_landmarks(),
+    );
+    let mut session = SimSession::start(
+        &inp.trace,
+        &inp.cfg,
+        &inp.workload,
+        &inp.plan,
+        &mut router,
+        Some(Box::new(Recorder::new(1 << 16))),
+    );
+    session.run_to_end();
+    let out = session.finish();
+    let rec = out
+        .trace
+        .and_then(Recorder::downcast)
+        .expect("recorder attached");
+    assert_eq!(rec.dropped(), 0, "ring too small to pin the retry order");
+    // Group consecutive RetryQueued events by (instant, landmark): one
+    // group per recovery sweep.
+    let mut groups: Vec<(u64, u16, Vec<u32>)> = Vec::new();
+    for ev in rec.events() {
+        if let SimEvent::RetryQueued { at, lm, pkt } = ev {
+            match groups.last_mut() {
+                Some((t, l, pkts)) if *t == at.secs() && *l == lm.0 => pkts.push(pkt.0),
+                _ => groups.push((at.secs(), lm.0, vec![pkt.0])),
+            }
+        }
+    }
+    assert!(
+        !groups.is_empty(),
+        "fault plan produced no stranded-packet retries"
+    );
+    for (t, lm, pkts) in &groups {
+        assert!(
+            pkts.windows(2).all(|w| w[0] < w[1]),
+            "retries at t={t} lm={lm} out of scan order: {pkts:?}"
+        );
+    }
+}
 #[test]
 #[cfg_attr(debug_assertions, ignore = "full simulation; run with --release")]
 fn fig11_cell_resume_is_byte_identical() {

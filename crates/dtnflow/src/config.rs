@@ -79,6 +79,12 @@ pub struct DegradationConfig {
     /// How many station outages a stranded packet survives (being
     /// re-queued on recovery each time) before it is dropped.
     pub max_retries: u32,
+    /// Delay, in seconds, between a station recovering and its stranded
+    /// packets being re-queued. The retry rides the engine timing wheel
+    /// as an ordinary shard-local timer event, so with `0` (the default)
+    /// it fires at the recovery instant and with a positive delay it
+    /// survives checkpoints like any other pending timer.
+    pub retry_delay_secs: u64,
 }
 
 impl Default for DegradationConfig {
@@ -87,6 +93,7 @@ impl Default for DegradationConfig {
             staleness_max_age: 2,
             staleness_factor: 1.5,
             max_retries: 8,
+            retry_delay_secs: 0,
         }
     }
 }

@@ -408,6 +408,12 @@ pub struct FlowStats {
     pub stranded_drops: u64,
 }
 
+/// Timer-token namespace tag for station-recovery retries (see
+/// [`FlowRouter::retry_token`]): retries ride the engine timing wheel as
+/// ordinary shard-local timer events, distinguished from dead-end timers
+/// by this bit.
+const RETRY_TOKEN_TAG: u64 = 1 << 63;
+
 /// The DTN-FLOW router.
 pub struct FlowRouter {
     // detlint: allow(S1, reason = "run input, not state: restore_state receives the same FlowConfig the run started with")
@@ -1112,6 +1118,61 @@ impl FlowRouter {
 
     fn decode_token(token: u64) -> (NodeId, u64) {
         (NodeId((token & 0xFF_FFFF) as u32), token >> 24)
+    }
+
+    /// Token for a station-recovery retry timer: bit 63 tags the retry
+    /// namespace, the low bits carry the landmark. Dead-end tokens
+    /// (`(episode << 24) | node`) never reach bit 63 — episodes count a
+    /// node's visits, bounded far below `2^39`.
+    fn retry_token(lm: LandmarkId) -> u64 {
+        RETRY_TOKEN_TAG | lm.0 as u64
+    }
+
+    /// The landmark of a retry token, or `None` for dead-end tokens.
+    fn decode_retry_token(token: u64) -> Option<LandmarkId> {
+        (token & RETRY_TOKEN_TAG != 0).then_some(LandmarkId((token & 0xFFFF) as u16))
+    }
+
+    /// The stranded-packet scan a station-recovery retry timer triggers
+    /// (scheduled by `on_station_up`). Packets stranded inside the failed
+    /// station survived the outage: re-queue each one (retry budget
+    /// permitting) and try to move the survivors out through any
+    /// connected carriers right away.
+    fn process_stranded_retries(&mut self, world: &mut World, lm: LandmarkId) {
+        let Some(deg) = self.cfg.degradation else {
+            return;
+        };
+        // A delayed retry may outlive its recovery window: if the station
+        // went down again before the timer fired, the next recovery
+        // schedules a fresh one.
+        if !world.station_is_up(lm) || self.known_down[lm.index()] {
+            return;
+        }
+        let stranded: Vec<PacketId> = world.station_packets(lm).collect();
+        for pkt in stranded {
+            let (dst, dst_node) = {
+                let p = world.packet(pkt);
+                (p.dst, p.dst_node)
+            };
+            let mut meta = self.meta_of(pkt);
+            meta.retries += 1;
+            if meta.retries > deg.max_retries {
+                self.unindex(lm, pkt, dst, dst_node);
+                if world.drop_lost(pkt, LossReason::Outage).is_ok() {
+                    self.stats.stranded_drops += 1;
+                }
+                continue;
+            }
+            self.set_meta(pkt, meta);
+            world.record_retry();
+            world.emit(|at| SimEvent::RetryQueued { at, lm, pkt });
+            self.stats.stranded_requeues += 1;
+        }
+        self.rebucket(world, lm);
+        let survivors: Vec<PacketId> = world.station_packets(lm).collect();
+        for pkt in survivors {
+            self.try_assign_packet(world, lm, pkt, None);
+        }
     }
 
     // ---- checkpoint codec (DESIGN.md §11) ---------------------------------
@@ -2030,6 +2091,12 @@ impl Router for FlowRouter {
     }
 
     fn on_timer(&mut self, world: &mut World, token: u64) {
+        // Station-recovery retries share the timer channel with dead-end
+        // detection; the tag bit separates the namespaces.
+        if let Some(lm) = Self::decode_retry_token(token) {
+            self.process_stranded_retries(world, lm);
+            return;
+        }
         let Some(de) = self.cfg.dead_end else { return };
         let (node, episode) = Self::decode_token(token);
         if node.index() >= self.nodes.len() {
@@ -2111,36 +2178,14 @@ impl Router for FlowRouter {
         let Some(deg) = self.cfg.degradation else {
             return;
         };
-        // Packets stranded inside the failed station survived the outage.
-        // Re-queue each one (retry budget permitting), recompute routes
-        // with the landmark available again, and try to move the
-        // survivors out through any connected carriers right away.
+        // Recompute routes with the landmark available again, then hand
+        // the stranded-packet scan to the timing wheel: the retry fires
+        // as an ordinary shard-local timer event — immediately with the
+        // default zero delay, or after the configured grace period (in
+        // which case it survives checkpoints like any pending timer).
         self.recompute_tables(lm, world);
-        let stranded: Vec<PacketId> = world.station_packets(lm).collect();
-        for pkt in stranded {
-            let (dst, dst_node) = {
-                let p = world.packet(pkt);
-                (p.dst, p.dst_node)
-            };
-            let mut meta = self.meta_of(pkt);
-            meta.retries += 1;
-            if meta.retries > deg.max_retries {
-                self.unindex(lm, pkt, dst, dst_node);
-                if world.drop_lost(pkt, LossReason::Outage).is_ok() {
-                    self.stats.stranded_drops += 1;
-                }
-                continue;
-            }
-            self.set_meta(pkt, meta);
-            world.record_retry();
-            world.emit(|at| SimEvent::RetryQueued { at, lm, pkt });
-            self.stats.stranded_requeues += 1;
-        }
-        self.rebucket(world, lm);
-        let survivors: Vec<PacketId> = world.station_packets(lm).collect();
-        for pkt in survivors {
-            self.try_assign_packet(world, lm, pkt, None);
-        }
+        let at = world.now() + SimDuration::from_secs(deg.retry_delay_secs);
+        world.schedule_timer(at, Self::retry_token(lm));
     }
 
     fn on_node_fail(&mut self, _world: &mut World, node: NodeId, at: Option<LandmarkId>) {

@@ -1,0 +1,303 @@
+//! In-unit batch planning for parallel event dispatch (DESIGN.md §15).
+//!
+//! Between two unit boundaries the engine's merge-ordered event stream
+//! contains long runs of *shard-local* events: arrivals, departures,
+//! station fault flips and packet generations whose target landmark —
+//! and therefore whose touched node/packet set — belongs to a single
+//! shard of the [`crate::ShardPlan`]. The planner groups a maximal
+//! prefix of such a run into one *window* of per-shard batches that can
+//! be staged concurrently against a frozen world view, with the commit
+//! replaying the original merge order exactly.
+//!
+//! The planner never sees engine types; the engine classifies each
+//! event into a [`Claim`] (owning shard plus the touched node, if any)
+//! and the planner applies the partition rule:
+//!
+//! * events of different shards touching disjoint nodes may share a
+//!   window (their batches stage concurrently);
+//! * a node claimed by two *different* shards inside one window — a
+//!   handoff between differently-sharded landmarks (depart at shard A,
+//!   arrive at shard B) — cuts the window before the second claim:
+//!   such an event is a barrier and dispatches sequentially;
+//! * control events (unit boundaries, node fault flips, timers,
+//!   observations) never reach the planner — the engine cuts the run
+//!   before them.
+//!
+//! Planning is a pure function of the claim sequence, so batch
+//! boundaries are deterministic: the same run always produces the same
+//! windows, and — because the commit phase replays merge order — the
+//! boundaries are invisible in every output byte.
+
+use std::collections::BTreeMap;
+
+/// How the engine dispatches events between unit boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Sequential in-unit dispatch; only the unit-*boundary* maintenance
+    /// fans out (the DESIGN.md §13 region).
+    Boundary,
+    /// Boundary fan-out plus in-unit shard-local execution batches
+    /// (DESIGN.md §15). The default for sharded runs.
+    #[default]
+    InUnit,
+}
+
+impl DispatchMode {
+    /// The `parallel_region` tag benches record next to wall times, so
+    /// curves measured under different regions are never compared
+    /// silently.
+    pub fn region_label(self) -> &'static str {
+        match self {
+            DispatchMode::Boundary => "boundary",
+            DispatchMode::InUnit => "boundary+dispatch",
+        }
+    }
+
+    /// Parse a CLI/bench flag value (`"on"`/`"off"` or a region label).
+    pub fn parse(s: &str) -> Option<DispatchMode> {
+        match s {
+            "on" | "dispatch" | "boundary+dispatch" | "in-unit" => Some(DispatchMode::InUnit),
+            "off" | "boundary" => Some(DispatchMode::Boundary),
+            _ => None,
+        }
+    }
+}
+
+/// One shard-local event, as classified by the engine: the shard that
+/// owns it and the node it touches (`None` for node-less events such as
+/// generations and station fault flips).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Claim {
+    /// Owning shard (the event's target landmark under the plan).
+    pub shard: usize,
+    /// Touched node, if any — the conflict key for the handoff rule.
+    pub node: Option<u64>,
+}
+
+/// One shard's slice of a window: the positions (indexes into the
+/// window's merge-ordered event run) this shard stages, in merge order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// The staging shard.
+    pub shard: usize,
+    /// Window positions owned by this shard, ascending.
+    pub positions: Vec<usize>,
+}
+
+/// A planned window: how many leading claims it covers and the
+/// per-shard batches (ascending shard id, so iteration order is
+/// deterministic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowPlan {
+    /// Number of leading claims in the window. Claims past `len` were
+    /// cut off by the handoff rule and belong to the next window.
+    pub len: usize,
+    /// Per-shard batches, ascending by shard id; only non-empty shards
+    /// appear.
+    pub batches: Vec<Batch>,
+    /// True when `len` was limited by a cross-shard node handoff (the
+    /// claim at `len` touches a node already claimed by another shard).
+    pub cut_by_handoff: bool,
+}
+
+/// Plan the largest window over a prefix of `claims`.
+///
+/// Walks the claims in merge order, tracking which shard last claimed
+/// each node; stops at the first claim whose node is already owned by a
+/// *different* shard in this window. Everything before the cut is
+/// grouped into per-shard batches.
+pub fn plan_window(claims: &[Claim]) -> WindowPlan {
+    let mut owner: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut per_shard: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    let mut len = 0;
+    let mut cut_by_handoff = false;
+    for (i, c) in claims.iter().enumerate() {
+        if let Some(n) = c.node {
+            match owner.get(&n) {
+                Some(&s) if s != c.shard => {
+                    cut_by_handoff = true;
+                    break;
+                }
+                _ => {
+                    owner.insert(n, c.shard);
+                }
+            }
+        }
+        per_shard.entry(c.shard).or_default().push(i);
+        len = i + 1;
+    }
+    WindowPlan {
+        len,
+        batches: per_shard
+            .into_iter()
+            .map(|(shard, positions)| Batch { shard, positions })
+            .collect(),
+        cut_by_handoff,
+    }
+}
+
+/// Log₂ batch-size histogram buckets: `1, 2, 4, …, ≥ 2^(N-1)` events.
+pub const HIST_BUCKETS: usize = 10;
+
+/// Diagnostics from in-unit parallel dispatch: how many events staged
+/// vs dispatched sequentially, window/batch counts, cut reasons, and a
+/// batch-size histogram. Pure throughput telemetry — never checkpointed
+/// and never output-affecting (the differential battery ignores it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Staged windows executed (≥ 2 batches each).
+    pub windows: u64,
+    /// Events dispatched through staged windows.
+    pub staged_events: u64,
+    /// Events dispatched on the ordinary sequential path (control
+    /// events, barriers, single-batch runs, timers).
+    pub sequential_events: u64,
+    /// Per-shard batches staged.
+    pub batches: u64,
+    /// Windows cut short by a cross-shard node handoff barrier.
+    pub handoff_cuts: u64,
+    /// Log₂ histogram of staged batch sizes (`batch_hist[i]` counts
+    /// batches of `2^i ..< 2^(i+1)` events; the last bucket is open).
+    pub batch_hist: [u64; HIST_BUCKETS],
+}
+
+impl DispatchStats {
+    /// File one staged batch of `len` events into the histogram.
+    pub fn record_batch(&mut self, len: usize) {
+        self.batches += 1;
+        let bucket = (usize::BITS - 1 - len.max(1).leading_zeros()) as usize;
+        self.batch_hist[bucket.min(HIST_BUCKETS - 1)] += 1;
+    }
+
+    /// Fold another run's stats into this one (bench aggregation).
+    pub fn merge(&mut self, other: &DispatchStats) {
+        self.windows += other.windows;
+        self.staged_events += other.staged_events;
+        self.sequential_events += other.sequential_events;
+        self.batches += other.batches;
+        self.handoff_cuts += other.handoff_cuts;
+        for (a, b) in self.batch_hist.iter_mut().zip(other.batch_hist.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Human label for histogram bucket `i` (`"1"`, `"2-3"`, …,
+    /// `">=512"`).
+    pub fn bucket_label(i: usize) -> String {
+        if i + 1 >= HIST_BUCKETS {
+            format!(">={}", 1usize << i)
+        } else if i == 0 {
+            "1".to_owned()
+        } else {
+            format!("{}-{}", 1usize << i, (1usize << (i + 1)) - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(shard: usize, node: Option<u64>) -> Claim {
+        Claim { shard, node }
+    }
+
+    #[test]
+    fn disjoint_shards_share_one_window() {
+        let claims = [
+            c(0, Some(1)),
+            c(1, Some(2)),
+            c(0, None),
+            c(1, Some(3)),
+            c(0, Some(1)), // same node, same shard: fine
+        ];
+        let plan = plan_window(&claims);
+        assert_eq!(plan.len, 5);
+        assert!(!plan.cut_by_handoff);
+        assert_eq!(
+            plan.batches,
+            vec![
+                Batch {
+                    shard: 0,
+                    positions: vec![0, 2, 4]
+                },
+                Batch {
+                    shard: 1,
+                    positions: vec![1, 3]
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn cross_shard_handoff_cuts_the_window() {
+        // Node 7 departs at shard 0 then arrives at shard 2: the arrive
+        // is a barrier.
+        let claims = [c(0, Some(7)), c(1, None), c(2, Some(7)), c(2, Some(8))];
+        let plan = plan_window(&claims);
+        assert_eq!(plan.len, 2);
+        assert!(plan.cut_by_handoff);
+        assert_eq!(plan.batches.len(), 2);
+        // Planning resumes past the barrier: the rest forms its own window.
+        let rest = plan_window(&claims[plan.len..]);
+        assert_eq!(rest.len, 2);
+        assert!(!rest.cut_by_handoff);
+    }
+
+    #[test]
+    fn empty_and_single_claims() {
+        assert_eq!(plan_window(&[]).len, 0);
+        let plan = plan_window(&[c(3, Some(9))]);
+        assert_eq!(plan.len, 1);
+        assert_eq!(plan.batches.len(), 1);
+        assert_eq!(plan.batches[0].shard, 3);
+    }
+
+    #[test]
+    fn immediate_handoff_still_makes_progress() {
+        // First claim always enters the window even if a later plan saw
+        // its node elsewhere — ownership is per-window, so a barrier
+        // event planned alone forms a 1-event window.
+        let claims = [c(1, Some(4)), c(0, Some(4))];
+        let plan = plan_window(&claims);
+        assert_eq!(plan.len, 1);
+        assert!(plan.cut_by_handoff);
+        let rest = plan_window(&claims[1..]);
+        assert_eq!(rest.len, 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_labels() {
+        let mut s = DispatchStats::default();
+        s.record_batch(1);
+        s.record_batch(2);
+        s.record_batch(3);
+        s.record_batch(700);
+        assert_eq!(s.batches, 4);
+        assert_eq!(s.batch_hist[0], 1);
+        assert_eq!(s.batch_hist[1], 2);
+        assert_eq!(s.batch_hist[HIST_BUCKETS - 1], 1);
+        assert_eq!(DispatchStats::bucket_label(0), "1");
+        assert_eq!(DispatchStats::bucket_label(1), "2-3");
+        assert_eq!(DispatchStats::bucket_label(HIST_BUCKETS - 1), ">=512");
+        let mut t = DispatchStats::default();
+        t.record_batch(1);
+        t.merge(&s);
+        assert_eq!(t.batches, 5);
+        assert_eq!(t.batch_hist[0], 2);
+    }
+
+    #[test]
+    fn dispatch_mode_labels_and_parse() {
+        assert_eq!(DispatchMode::default(), DispatchMode::InUnit);
+        assert_eq!(DispatchMode::InUnit.region_label(), "boundary+dispatch");
+        assert_eq!(DispatchMode::Boundary.region_label(), "boundary");
+        assert_eq!(DispatchMode::parse("on"), Some(DispatchMode::InUnit));
+        assert_eq!(DispatchMode::parse("off"), Some(DispatchMode::Boundary));
+        assert_eq!(
+            DispatchMode::parse("boundary"),
+            Some(DispatchMode::Boundary)
+        );
+        assert_eq!(DispatchMode::parse("nope"), None);
+    }
+}
